@@ -1,0 +1,128 @@
+// A1 (§3.2): early lock release causes cascade aborts; glued actions pass
+// locks without that risk.
+//
+// A chain of k actions each reads its predecessor's output object and
+// writes its own. Scheme "early release" lets each action drop its locks
+// before commit (the concurrency hack glued actions replace); when the
+// first action then aborts, every dependent action must abort too — k-1
+// cascaded aborts. Scheme "glued" commits each step as a constituent and
+// passes the object on: an abort hits exactly one action and the committed
+// prefix survives.
+#include "bench_common.h"
+
+#include "core/structures/glued_action.h"
+
+namespace mca {
+namespace {
+
+void BM_GluedChainThroughput(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < k; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  for (auto _ : state) {
+    GlueGroup glue(rt);
+    glue.begin();
+    for (int i = 0; i < k; ++i) {
+      glue.run_constituent([&](GlueGroup::Constituent& c) {
+        if (i > 0) {
+          objects[static_cast<std::size_t>(i)]->set(
+              objects[static_cast<std::size_t>(i - 1)]->value() + 1);
+        } else {
+          objects[0]->add(1);
+        }
+        if (i + 1 < k) glue.pass_on(c, *objects[static_cast<std::size_t>(i)]);
+      });
+    }
+    glue.end();
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_GluedChainThroughput)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+void cascade_report() {
+  bench::report_header(
+      "A1 / §3.2 — cascade aborts: naive early release vs glued actions",
+      "early release can cause a cascade of actions to be aborted; glued actions release "
+      "locks without the possibility of cascade aborts");
+
+  std::printf("%-8s %-26s %-26s %-24s\n", "chain k", "early release: cascaded",
+              "glued: cascaded", "glued: steps preserved");
+  for (const int k : {4, 8, 16}) {
+    // --- early-release scheme ------------------------------------------------
+    int cascaded_early = 0;
+    {
+      Runtime rt;
+      std::vector<std::unique_ptr<RecoverableInt>> objects;
+      std::vector<std::unique_ptr<AtomicAction>> actions;
+      for (int i = 0; i < k; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 1));
+      // Each action reads obj[i-1], writes obj[i], then releases its locks
+      // early (before commit) so the next action can run.
+      for (int i = 0; i < k; ++i) {
+        auto action = std::make_unique<AtomicAction>(rt, nullptr, ColourSet{Colour::plain()});
+        action->begin(AtomicAction::ContextPolicy::Detached);
+        ActionContext::push(*action);
+        const std::int64_t input =
+            i > 0 ? objects[static_cast<std::size_t>(i - 1)]->value() : 0;
+        objects[static_cast<std::size_t>(i)]->set(input + 1);
+        ActionContext::pop(*action);
+        // The two-phase violation: drop the locks but stay uncommitted.
+        rt.lock_manager().on_commit_release(action->uid(), Colour::plain());
+        actions.push_back(std::move(action));
+      }
+      // The first action aborts; every action that consumed (directly or
+      // transitively) its dirty output must abort as well.
+      actions[0]->abort();
+      for (int i = 1; i < k; ++i) {
+        actions[static_cast<std::size_t>(i)]->abort();
+        ++cascaded_early;
+      }
+    }
+
+    // --- glued scheme ---------------------------------------------------------
+    int cascaded_glued = 0;
+    int preserved = 0;
+    {
+      Runtime rt;
+      std::vector<std::unique_ptr<RecoverableInt>> objects;
+      for (int i = 0; i < k; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 1));
+      GlueGroup glue(rt);
+      glue.begin();
+      for (int i = 0; i + 1 < k; ++i) {
+        glue.run_constituent([&](GlueGroup::Constituent& c) {
+          const std::int64_t input =
+              i > 0 ? objects[static_cast<std::size_t>(i - 1)]->value() : 0;
+          objects[static_cast<std::size_t>(i)]->set(input + 1);
+          glue.pass_on(c, *objects[static_cast<std::size_t>(i)]);
+        });
+      }
+      // The last step fails: it aborts alone.
+      try {
+        glue.run_constituent([&](GlueGroup::Constituent&) -> void {
+          objects[static_cast<std::size_t>(k - 1)]->set(0);
+          throw std::runtime_error("final step fails");
+        });
+      } catch (const std::runtime_error&) {
+        cascaded_glued = 0;  // only the failing action aborted
+      }
+      glue.end();
+      for (int i = 0; i + 1 < k; ++i) {
+        if (bench::is_stable(rt, *objects[static_cast<std::size_t>(i)])) ++preserved;
+      }
+    }
+    std::printf("%-8d %-26d %-26d %d/%d\n", k, cascaded_early, cascaded_glued, preserved, k - 1);
+  }
+  std::printf("shape: early release cascades k-1 aborts; glued cascades none and preserves the "
+              "committed prefix\n");
+}
+
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  mca::cascade_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark binaries.
+//
+// Each binary pairs google-benchmark timings with a printed "shape report":
+// the paper has no measurement tables (it is a design paper), so every
+// experiment in DESIGN.md §4 demonstrates a *claimed behaviour* — work
+// preserved across aborts, shrinking lock footprints, absence of cascade
+// aborts — and quantifies it. EXPERIMENTS.md records claim vs measured.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
+
+namespace mca::bench {
+
+inline std::int64_t read_value(Runtime& rt, RecoverableInt& obj) {
+  AtomicAction a(rt);
+  a.begin();
+  const std::int64_t v = obj.value();
+  a.commit();
+  return v;
+}
+
+inline void write_value(Runtime& rt, RecoverableInt& obj, std::int64_t v) {
+  AtomicAction a(rt);
+  a.begin();
+  obj.set(v);
+  a.commit();
+}
+
+inline bool is_stable(Runtime& rt, const LockManaged& obj) {
+  return rt.default_store().read(obj.uid()).has_value();
+}
+
+inline void report_header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+}
+
+}  // namespace mca::bench

@@ -1,0 +1,134 @@
+// F7 (fig. 7): synchronous vs asynchronous top-level independent actions.
+//
+// Shape: with a synchronous invocation the invoker waits out the
+// independent action's full duration; with an asynchronous one the invoker
+// continues immediately (latency ~ spawn cost). Abort-independence is
+// verified in both directions.
+#include "bench_common.h"
+
+#include "core/structures/independent_action.h"
+
+namespace mca {
+namespace {
+
+void BM_SyncIndependent(benchmark::State& state) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  for (auto _ : state) {
+    IndependentAction::run(rt, [&] { obj.add(1); });
+  }
+  app.abort();
+}
+BENCHMARK(BM_SyncIndependent);
+
+void BM_AsyncIndependentSpawnAndJoin(benchmark::State& state) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  for (auto _ : state) {
+    auto handle = IndependentAction::spawn(rt, [&] { obj.add(1); });
+    handle.join();
+  }
+  app.abort();
+}
+BENCHMARK(BM_AsyncIndependentSpawnAndJoin);
+
+void BM_PlainActionBaseline(benchmark::State& state) {
+  // The same update as an ordinary nested action, for overhead comparison.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  for (auto _ : state) {
+    AtomicAction nested(rt);
+    nested.begin();
+    obj.add(1);
+    nested.commit();
+  }
+  app.abort();
+}
+BENCHMARK(BM_PlainActionBaseline);
+
+}  // namespace
+
+void independence_report() {
+  bench::report_header(
+      "F7 / fig. 7 — sync vs async top-level independent actions",
+      "async: the invoker continues while B runs; both: B commits/aborts independent of A");
+
+  constexpr auto kBodyCost = std::chrono::milliseconds(50);
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+
+  // Synchronous: invoker-visible latency includes the body.
+  AtomicAction app(rt);
+  app.begin();
+  auto t0 = std::chrono::steady_clock::now();
+  IndependentAction::run(rt, [&] {
+    std::this_thread::sleep_for(kBodyCost);
+    obj.add(1);
+  });
+  const auto sync_latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+
+  // Asynchronous: invoker continues immediately.
+  t0 = std::chrono::steady_clock::now();
+  auto handle = IndependentAction::spawn(rt, [&] {
+    std::this_thread::sleep_for(kBodyCost);
+    obj.add(1);
+  });
+  const auto async_latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  handle.join();
+  app.abort();
+
+  std::printf("body cost %lldms: invoker-visible latency sync=%lldus async=%lldus\n",
+              static_cast<long long>(kBodyCost.count()),
+              static_cast<long long>(sync_latency.count()),
+              static_cast<long long>(async_latency.count()));
+
+  // Abort independence both ways.
+  Runtime rt2;
+  RecoverableInt survivor(rt2, 0);
+  RecoverableInt app_obj(rt2, 0);
+  {
+    AtomicAction a(rt2);
+    a.begin();
+    app_obj.add(1);
+    IndependentAction::run(rt2, [&] { survivor.add(1); });
+    a.abort();
+  }
+  const bool independent_survives = bench::read_value(rt2, survivor) == 1;
+  const bool invoker_undone = bench::read_value(rt2, app_obj) == 0;
+  std::int64_t invoker_kept = 0;
+  {
+    AtomicAction a(rt2);
+    a.begin();
+    app_obj.add(1);
+    const Outcome o = IndependentAction::run(rt2, [&]() -> void {
+      survivor.add(1);
+      throw std::runtime_error("independent failure");
+    });
+    if (o == Outcome::Aborted) a.commit();
+    invoker_kept = bench::read_value(rt2, app_obj);
+  }
+  std::printf("independent commit survives invoker abort: %s\n",
+              (independent_survives && invoker_undone) ? "OK" : "VIOLATION");
+  std::printf("invoker commits despite independent abort: %s\n",
+              invoker_kept == 1 ? "OK" : "VIOLATION");
+  const bool shape = async_latency.count() * 5 < sync_latency.count();
+  std::printf("shape: async invoker latency << sync -> %s\n",
+              shape ? "matches claim" : "MISMATCH");
+}
+
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  mca::independence_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// F12 (fig. 12): glued actions implemented through colours — the GlueGroup
+// API must reproduce the hand-coloured scheme (G red; A red,blue; B blue),
+// and the released/retained split must be exact.
+#include "bench_common.h"
+
+#include "core/structures/glued_action.h"
+
+namespace mca {
+namespace {
+
+constexpr int kTotal = 16;   // |O|
+constexpr int kPassed = 4;   // |P|
+
+void BM_HandColouredGlue(benchmark::State& state) {
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < kTotal; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  for (auto _ : state) {
+    const Colour red = Colour::fresh("red");
+    const Colour blue = Colour::fresh("blue");
+    AtomicAction g(rt, nullptr, ColourSet{red});
+    g.begin(AtomicAction::ContextPolicy::Detached);
+    {
+      AtomicAction a(rt, &g, ColourSet{red, blue});
+      a.begin(AtomicAction::ContextPolicy::Detached);
+      for (int i = 0; i < kTotal; ++i) {
+        (void)a.lock_explicit(*objects[static_cast<std::size_t>(i)], LockMode::Write, blue);
+        a.note_modified(*objects[static_cast<std::size_t>(i)]);
+        if (i < kPassed) {
+          (void)a.lock_explicit(*objects[static_cast<std::size_t>(i)],
+                                LockMode::ExclusiveRead, red);
+        }
+      }
+      a.commit();
+    }
+    {
+      AtomicAction b(rt, &g, ColourSet{blue});
+      b.begin(AtomicAction::ContextPolicy::Detached);
+      for (int i = 0; i < kPassed; ++i) {
+        (void)b.lock_explicit(*objects[static_cast<std::size_t>(i)], LockMode::Write, blue);
+        b.note_modified(*objects[static_cast<std::size_t>(i)]);
+      }
+      b.commit();
+    }
+    g.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * (kTotal + kPassed));
+}
+BENCHMARK(BM_HandColouredGlue);
+
+void BM_StructureApiGlue(benchmark::State& state) {
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < kTotal; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  for (auto _ : state) {
+    GlueGroup glue(rt);
+    glue.begin();
+    glue.run_constituent([&](GlueGroup::Constituent& c) {
+      for (int i = 0; i < kTotal; ++i) {
+        objects[static_cast<std::size_t>(i)]->add(1);
+        if (i < kPassed) glue.pass_on(c, *objects[static_cast<std::size_t>(i)]);
+      }
+    });
+    glue.run_constituent([&](GlueGroup::Constituent&) {
+      for (int i = 0; i < kPassed; ++i) objects[static_cast<std::size_t>(i)]->add(1);
+    });
+    glue.end();
+  }
+  state.SetItemsProcessed(state.iterations() * (kTotal + kPassed));
+}
+BENCHMARK(BM_StructureApiGlue);
+
+}  // namespace
+
+void fig12_split_report() {
+  bench::report_header(
+      "F12 / fig. 12 — glued actions via colours",
+      "after A commits: O-P completely released, P carried exclusively to B; A's updates "
+      "already permanent");
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < kTotal; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    for (int i = 0; i < kTotal; ++i) {
+      objects[static_cast<std::size_t>(i)]->add(1);
+      if (i < kPassed) glue.pass_on(c, *objects[static_cast<std::size_t>(i)]);
+    }
+  });
+
+  int released_free = 0;
+  int passed_guarded = 0;
+  int permanent = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    auto& obj = *objects[static_cast<std::size_t>(i)];
+    if (bench::is_stable(rt, obj)) ++permanent;
+    AtomicAction probe(rt, nullptr, {});
+    probe.begin(AtomicAction::ContextPolicy::Detached);
+    probe.set_lock_timeout(std::chrono::milliseconds(20));
+    const LockOutcome o = probe.lock_for(obj, LockMode::Write);
+    probe.abort();
+    if (i < kPassed) {
+      if (o != LockOutcome::Granted) ++passed_guarded;
+    } else {
+      if (o == LockOutcome::Granted) ++released_free;
+    }
+  }
+  glue.end();
+  std::printf("permanent updates after A's commit: %d/%d %s\n", permanent, kTotal,
+              permanent == kTotal ? "OK" : "VIOLATION");
+  std::printf("O-P objects free to outsiders:      %d/%d %s\n", released_free, kTotal - kPassed,
+              released_free == kTotal - kPassed ? "OK" : "VIOLATION");
+  std::printf("P objects guarded for B:            %d/%d %s\n", passed_guarded, kPassed,
+              passed_guarded == kPassed ? "OK" : "VIOLATION");
+}
+
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  mca::fig12_split_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

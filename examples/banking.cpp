@@ -1,0 +1,66 @@
+// Distributed banking: one atomic action across two server nodes, with
+// billing as an independent action (paper §2 commit protocol + §4 iii).
+//
+// A transfer debits an account on node 2 and credits one on node 3; the
+// action's two-phase commit spans both nodes, so a crash before the commit
+// decision aborts cleanly on both sides. The per-transfer fee is charged
+// through a top-level independent action and is kept even when the transfer
+// aborts.
+//
+//   ./build/examples/banking
+#include <cstdio>
+
+#include "apps/billing/billing.h"
+#include "dist/remote.h"
+
+using namespace mca;
+
+int main() {
+  Network net;
+  DistNode client(net, 1);
+  DistNode branch_a(net, 2);
+  DistNode branch_b(net, 3);
+
+  RecoverableInt account_a(branch_a.runtime(), 1'000);
+  RecoverableInt account_b(branch_b.runtime(), 500);
+  branch_a.host(account_a);
+  branch_b.host(account_b);
+  RemoteInt remote_a(client, 2, account_a.uid());
+  RemoteInt remote_b(client, 3, account_b.uid());
+
+  RecoverableInt fees(client.runtime(), 0);
+  RecoverableLog audit(client.runtime());
+  BillingMeter billing(client.runtime(), fees, audit);
+
+  auto transfer = [&](std::int64_t amount, bool fail_mid_way) {
+    AtomicAction action(client.runtime());
+    action.begin();
+    billing.charge("alice", 1);  // independent: survives even an abort
+    remote_a.add(-amount);
+    if (fail_mid_way) {
+      std::printf("transfer of %lld: application failure, aborting\n",
+                  static_cast<long long>(amount));
+      action.abort();
+      return;
+    }
+    remote_b.add(amount);
+    const Outcome outcome = action.commit();
+    std::printf("transfer of %lld: %s\n", static_cast<long long>(amount),
+                outcome == Outcome::Committed ? "committed on both branches" : "aborted");
+  };
+
+  transfer(200, /*fail_mid_way=*/false);
+  transfer(300, /*fail_mid_way=*/true);  // debit rolled back at branch A
+
+  AtomicAction report(client.runtime());
+  report.begin();
+  std::printf("account A = %lld (expected 800: only the first transfer debited)\n",
+              static_cast<long long>(remote_a.value()));
+  std::printf("account B = %lld (expected 700)\n",
+              static_cast<long long>(remote_b.value()));
+  report.commit();
+  std::printf("fees collected = %lld (expected 2: the fee for the aborted\n"
+              "transfer was charged through an independent action)\n",
+              static_cast<long long>(billing.total()));
+  return 0;
+}

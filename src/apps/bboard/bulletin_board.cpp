@@ -1,0 +1,80 @@
+#include "apps/bboard/bulletin_board.h"
+
+#include <algorithm>
+
+namespace mca {
+
+std::uint64_t BulletinBoard::post(const std::string& author, const std::string& body) {
+  setlock_throw(LockMode::Write);
+  modified();
+  const std::uint64_t id = next_id_++;
+  postings_.push_back(Posting{id, author, body, false});
+  return id;
+}
+
+bool BulletinBoard::retract(std::uint64_t id) {
+  setlock_throw(LockMode::Write);
+  modified();
+  auto it = std::find_if(postings_.begin(), postings_.end(),
+                         [&](const Posting& p) { return p.id == id; });
+  if (it == postings_.end() || it->retracted) return false;
+  it->retracted = true;
+  return true;
+}
+
+std::vector<BulletinBoard::Posting> BulletinBoard::postings() const {
+  setlock_throw(LockMode::Read);
+  return postings_;
+}
+
+std::size_t BulletinBoard::active_count() const {
+  setlock_throw(LockMode::Read);
+  return static_cast<std::size_t>(
+      std::count_if(postings_.begin(), postings_.end(),
+                    [](const Posting& p) { return !p.retracted; }));
+}
+
+void BulletinBoard::save_state(ByteBuffer& out) const {
+  out.pack_u64(next_id_);
+  out.pack_u32(static_cast<std::uint32_t>(postings_.size()));
+  for (const Posting& p : postings_) {
+    out.pack_u64(p.id);
+    out.pack_string(p.author);
+    out.pack_string(p.body);
+    out.pack_bool(p.retracted);
+  }
+}
+
+void BulletinBoard::restore_state(ByteBuffer& in) {
+  next_id_ = in.unpack_u64();
+  postings_.clear();
+  const std::uint32_t n = in.unpack_u32();
+  postings_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Posting p;
+    p.id = in.unpack_u64();
+    p.author = in.unpack_string();
+    p.body = in.unpack_string();
+    p.retracted = in.unpack_bool();
+    postings_.push_back(std::move(p));
+  }
+}
+
+std::optional<std::uint64_t> BulletinBoard::post_independent(Runtime& rt, BulletinBoard& board,
+                                                             const std::string& author,
+                                                             const std::string& body) {
+  std::uint64_t id = 0;
+  const Outcome outcome =
+      IndependentAction::run(rt, [&] { id = board.post(author, body); });
+  if (outcome != Outcome::Committed) return std::nullopt;
+  return id;
+}
+
+bool BulletinBoard::retract_independent(Runtime& rt, BulletinBoard& board, std::uint64_t id) {
+  bool retracted = false;
+  const Outcome outcome =
+      IndependentAction::run(rt, [&] { retracted = board.retract(id); });
+  return outcome == Outcome::Committed && retracted;
+}
+
+}  // namespace mca

@@ -1,0 +1,57 @@
+// Bulletin board (paper §4 i).
+//
+// Posting and reading are short atomic actions; invoked from inside an
+// application action they run as *top-level independent* actions so board
+// information never stays locked or invisible for the life of a long
+// application action. If the application later aborts, the post is undone
+// by an application-specific *compensating* action (retract), exactly as
+// the paper prescribes.
+#pragma once
+
+#include <optional>
+
+#include "core/structures/independent_action.h"
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class BulletinBoard final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  struct Posting {
+    std::uint64_t id;
+    std::string author;
+    std::string body;
+    bool retracted;
+  };
+
+  // Raw operations (call inside an action of your choosing).
+  std::uint64_t post(const std::string& author, const std::string& body);
+  bool retract(std::uint64_t id);
+  [[nodiscard]] std::vector<Posting> postings() const;
+  [[nodiscard]] std::size_t active_count() const;
+
+  [[nodiscard]] std::string type_name() const override { return "BulletinBoard"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+  // -- §4(i) convenience wrappers: operations as independent actions ----------
+
+  // Posts from inside (or outside) an application action; the post commits
+  // independently. Returns the posting id, or nullopt if the independent
+  // action aborted.
+  static std::optional<std::uint64_t> post_independent(Runtime& rt, BulletinBoard& board,
+                                                       const std::string& author,
+                                                       const std::string& body);
+
+  // The compensating action for a post whose surrounding application work
+  // was abandoned.
+  static bool retract_independent(Runtime& rt, BulletinBoard& board, std::uint64_t id);
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::vector<Posting> postings_;
+};
+
+}  // namespace mca

@@ -1,0 +1,24 @@
+#include "apps/billing/billing.h"
+
+namespace mca {
+
+bool BillingMeter::charge(const std::string& user, std::int64_t amount) {
+  return IndependentAction::run(rt_, [&] {
+           balance_.add(amount);
+           audit_.append(user + ":" + std::to_string(amount));
+         }) == Outcome::Committed;
+}
+
+std::int64_t BillingMeter::total() {
+  std::int64_t value = 0;
+  IndependentAction::run(rt_, [&] { value = balance_.value(); });
+  return value;
+}
+
+std::vector<std::string> BillingMeter::audit_trail() {
+  std::vector<std::string> entries;
+  IndependentAction::run(rt_, [&] { entries = audit_.entries(); });
+  return entries;
+}
+
+}  // namespace mca

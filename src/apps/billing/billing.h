@@ -1,0 +1,36 @@
+// Billing / accounting of resource usage (paper §4 iii).
+//
+// "If a service is accessed by an action and the user of the service is to
+// be charged, then the charging information should not be recovered if the
+// action aborts." Charges are applied through top-level independent
+// actions; an audit log records every charge alongside the balance.
+#pragma once
+
+#include "core/structures/independent_action.h"
+#include "objects/recoverable_int.h"
+#include "objects/recoverable_log.h"
+
+namespace mca {
+
+class BillingMeter {
+ public:
+  // `balance` accumulates charges; `audit` records one line per charge.
+  BillingMeter(Runtime& rt, RecoverableInt& balance, RecoverableLog& audit)
+      : rt_(rt), balance_(balance), audit_(audit) {}
+
+  // Charges `amount` for `user` independent of the calling action's fate.
+  // Returns false when the charge could not be made permanent.
+  bool charge(const std::string& user, std::int64_t amount);
+
+  // Total charged (runs its own read-only independent action).
+  [[nodiscard]] std::int64_t total();
+
+  [[nodiscard]] std::vector<std::string> audit_trail();
+
+ private:
+  Runtime& rt_;
+  RecoverableInt& balance_;
+  RecoverableLog& audit_;
+};
+
+}  // namespace mca

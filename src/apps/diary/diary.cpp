@@ -1,0 +1,48 @@
+#include "apps/diary/diary.h"
+
+namespace mca {
+
+bool DiarySlot::booked() const {
+  setlock_throw(LockMode::Read);
+  return booked_;
+}
+
+std::string DiarySlot::title() const {
+  setlock_throw(LockMode::Read);
+  return title_;
+}
+
+void DiarySlot::book(const std::string& title) {
+  setlock_throw(LockMode::Write);
+  if (booked_) throw std::logic_error("slot already booked: " + title_);
+  modified();
+  booked_ = true;
+  title_ = title;
+}
+
+void DiarySlot::cancel() {
+  setlock_throw(LockMode::Write);
+  modified();
+  booked_ = false;
+  title_.clear();
+}
+
+void DiarySlot::save_state(ByteBuffer& out) const {
+  out.pack_bool(booked_);
+  out.pack_string(title_);
+}
+
+void DiarySlot::restore_state(ByteBuffer& in) {
+  booked_ = in.unpack_bool();
+  title_ = in.unpack_string();
+}
+
+Diary::Diary(Runtime& rt, std::string owner, std::size_t slot_count)
+    : owner_(std::move(owner)) {
+  slots_.reserve(slot_count);
+  for (std::size_t i = 0; i < slot_count; ++i) {
+    slots_.push_back(std::make_unique<DiarySlot>(rt));
+  }
+}
+
+}  // namespace mca

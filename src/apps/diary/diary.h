@@ -1,0 +1,88 @@
+// Personal diaries for the meeting-scheduler example (paper §4 v).
+//
+// "Each user has a personal diary object ... made up of diary entries (or
+// slots) each of which can be locked separately." We realise per-slot
+// locking by making every slot its own persistent object; a Diary is the
+// collection of a user's slots over a horizon of discrete times.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/structures/glued_action.h"
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+// What the scheduler needs of a diary slot, wherever it lives: implemented
+// by DiarySlot (local object) and RemoteSlot (dist/remote_diary.h), so the
+// same scheduling protocol runs over local and distributed diaries.
+class SlotApi {
+ public:
+  virtual ~SlotApi() = default;
+  [[nodiscard]] virtual bool booked() const = 0;
+  [[nodiscard]] virtual std::string title() const = 0;
+  virtual void book(const std::string& title) = 0;
+  virtual void cancel() = 0;
+
+  // Keeps the slot locked past the running constituent's commit (fig. 9's
+  // hand-over). Call from inside the constituent.
+  virtual void glue_to(GlueGroup& glue, GlueGroup::Constituent& constituent) = 0;
+
+  // Releases the group's transfer lock on a rejected slot mid-protocol.
+  // Local slots are auto-released by the group's touched-but-not-repassed
+  // policy, so the local implementation is a no-op; remote slots need the
+  // explicit release.
+  virtual void unglue_from(GlueGroup& glue) = 0;
+};
+
+class DiarySlot final : public LockManaged, public SlotApi {
+ public:
+  using LockManaged::LockManaged;
+
+  [[nodiscard]] bool booked() const override;
+  [[nodiscard]] std::string title() const override;
+
+  // Books the slot; throws std::logic_error if already booked.
+  void book(const std::string& title) override;
+  void cancel() override;
+
+  void glue_to(GlueGroup& glue, GlueGroup::Constituent& constituent) override {
+    glue.pass_on(constituent, *this);
+  }
+  void unglue_from(GlueGroup&) override {}
+
+  [[nodiscard]] std::string type_name() const override { return "DiarySlot"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+ private:
+  bool booked_ = false;
+  std::string title_;
+};
+
+// What the scheduler needs of a whole diary.
+class DiaryView {
+ public:
+  virtual ~DiaryView() = default;
+  [[nodiscard]] virtual const std::string& owner() const = 0;
+  [[nodiscard]] virtual std::size_t slot_count() const = 0;
+  [[nodiscard]] virtual SlotApi& slot(std::size_t time) = 0;
+};
+
+class Diary final : public DiaryView {
+ public:
+  // A diary for `owner` with `slot_count` discrete times.
+  Diary(Runtime& rt, std::string owner, std::size_t slot_count);
+
+  [[nodiscard]] const std::string& owner() const override { return owner_; }
+  [[nodiscard]] std::size_t slot_count() const override { return slots_.size(); }
+  [[nodiscard]] DiarySlot& slot(std::size_t time) override { return *slots_.at(time); }
+  [[nodiscard]] const DiarySlot& slot(std::size_t time) const { return *slots_.at(time); }
+
+ private:
+  std::string owner_;
+  std::vector<std::unique_ptr<DiarySlot>> slots_;
+};
+
+}  // namespace mca

@@ -1,0 +1,100 @@
+#include "apps/diary/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mca {
+namespace {
+
+std::vector<std::size_t> default_narrow(const std::vector<std::size_t>& candidates,
+                                        std::size_t /*round*/) {
+  const std::size_t keep = std::max<std::size_t>(1, candidates.size() / 2);
+  return {candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(keep)};
+}
+
+}  // namespace
+
+MeetingScheduler::MeetingScheduler(Runtime& rt, std::vector<DiaryView*> group)
+    : rt_(rt), group_(std::move(group)) {
+  if (group_.empty()) throw std::invalid_argument("scheduler needs a non-empty group");
+}
+
+ScheduleResult MeetingScheduler::schedule(const std::string& title, std::size_t rounds,
+                                          Narrow narrow) {
+  if (!narrow) narrow = default_narrow;
+  ScheduleResult result;
+  const std::size_t horizon = group_.front()->slot_count();
+
+  GlueGroup glue(rt_);
+  glue.begin();
+  std::vector<std::size_t> candidates;
+  try {
+    // I1: gather availability and lock every candidate time's slots.
+    glue.run_constituent([&](GlueGroup::Constituent& c) {
+      for (std::size_t t = 0; t < horizon; ++t) {
+        const bool all_free = std::all_of(group_.begin(), group_.end(), [&](DiaryView* d) {
+          return t < d->slot_count() && !d->slot(t).booked();
+        });
+        if (all_free) {
+          candidates.push_back(t);
+          for (DiaryView* d : group_) d->slot(t).glue_to(glue, c);
+        }
+      }
+    });
+    ++result.rounds_run;
+    result.glued_after_round.push_back(glue.glued_count());
+    if (candidates.empty()) throw std::runtime_error("no common free slot");
+
+    // I2..I_{n-1}: narrow, re-passing survivors only.
+    for (std::size_t round = 1; round + 1 < rounds && candidates.size() > 1; ++round) {
+      std::vector<std::size_t> kept = narrow(candidates, round);
+      if (kept.empty()) throw std::runtime_error("narrowing rejected every candidate");
+      glue.run_constituent([&](GlueGroup::Constituent& c) {
+        for (const std::size_t t : candidates) {
+          const bool keep =
+              std::find(kept.begin(), kept.end(), t) != kept.end();
+          for (DiaryView* d : group_) {
+            (void)d->slot(t).booked();  // examine (consume) the slot
+            if (keep) {
+              d->slot(t).glue_to(glue, c);
+            } else {
+              d->slot(t).unglue_from(glue);  // explicit for remote slots
+            }
+          }
+        }
+      });
+      candidates = std::move(kept);
+      ++result.rounds_run;
+      result.glued_after_round.push_back(glue.glued_count());
+    }
+
+    // Final round: book the most preferred candidate everywhere; the rest
+    // of the still-glued slots are examined and released.
+    const std::size_t chosen = candidates.front();
+    glue.run_constituent([&](GlueGroup::Constituent&) {
+      for (const std::size_t t : candidates) {
+        for (DiaryView* d : group_) {
+          if (t == chosen) {
+            d->slot(t).book(title);
+          } else {
+            (void)d->slot(t).booked();
+            d->slot(t).unglue_from(glue);
+          }
+        }
+      }
+    });
+    ++result.rounds_run;
+    result.glued_after_round.push_back(glue.glued_count());
+    glue.end();
+    result.scheduled = true;
+    result.chosen_time = chosen;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    MCA_LOG(Info, "diary") << "scheduling failed: " << e.what();
+    glue.abort();
+  }
+  return result;
+}
+
+}  // namespace mca

@@ -1,0 +1,50 @@
+// Meeting scheduler over glued actions (paper §4 v, fig. 9).
+//
+// Round I1 locks every candidate slot and selects possibilities; each later
+// round I_i narrows the candidate set, passing the surviving slots to
+// I_{i+1} and releasing the rejected ones ("entries in diaries are not
+// unnecessarily kept locked"). Every round is a top-level action for
+// permanence, so the narrowing survives crashes of later rounds; the final
+// round books the chosen slot in every group member's diary.
+#pragma once
+
+#include <functional>
+
+#include "apps/diary/diary.h"
+#include "core/structures/glued_action.h"
+
+namespace mca {
+
+struct ScheduleResult {
+  bool scheduled = false;
+  std::size_t chosen_time = 0;
+  std::size_t rounds_run = 0;
+  // Number of slots still glued after each round: the paper's shrinking
+  // lock footprint, observable.
+  std::vector<std::size_t> glued_after_round;
+  std::string error;
+};
+
+class MeetingScheduler {
+ public:
+  // Narrowing policy: maps (current candidates, round index) to the kept
+  // candidate times, most preferred first. The default keeps the earlier
+  // half (at least one).
+  using Narrow =
+      std::function<std::vector<std::size_t>(const std::vector<std::size_t>&, std::size_t)>;
+
+  // The group may mix local diaries and remote ones (dist/remote_diary.h).
+  MeetingScheduler(Runtime& rt, std::vector<DiaryView*> group);
+
+  // Runs up to `rounds` narrowing rounds and books the winner. Booked slots
+  // and narrowing decisions are permanent per round; on failure everything
+  // still glued is released and already-booked state is never left
+  // inconsistent (booking happens atomically in the last round).
+  ScheduleResult schedule(const std::string& title, std::size_t rounds, Narrow narrow = {});
+
+ private:
+  Runtime& rt_;
+  std::vector<DiaryView*> group_;
+};
+
+}  // namespace mca

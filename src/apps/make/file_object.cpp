@@ -1,0 +1,48 @@
+#include "apps/make/file_object.h"
+
+namespace mca {
+
+std::string TimestampedFile::content() const {
+  setlock_throw(LockMode::Read);
+  return content_;
+}
+
+std::int64_t TimestampedFile::timestamp() const {
+  setlock_throw(LockMode::Read);
+  return timestamp_;
+}
+
+bool TimestampedFile::exists() const {
+  setlock_throw(LockMode::Read);
+  return exists_;
+}
+
+void TimestampedFile::write(const std::string& content) {
+  setlock_throw(LockMode::Write);
+  modified();
+  content_ = content;
+  timestamp_ = LogicalClock::tick();
+  exists_ = true;
+}
+
+void TimestampedFile::write_with_timestamp(const std::string& content, std::int64_t timestamp) {
+  setlock_throw(LockMode::Write);
+  modified();
+  content_ = content;
+  timestamp_ = timestamp;
+  exists_ = true;
+}
+
+void TimestampedFile::save_state(ByteBuffer& out) const {
+  out.pack_string(content_);
+  out.pack_i64(timestamp_);
+  out.pack_bool(exists_);
+}
+
+void TimestampedFile::restore_state(ByteBuffer& in) {
+  content_ = in.unpack_string();
+  timestamp_ = in.unpack_i64();
+  exists_ = in.unpack_bool();
+}
+
+}  // namespace mca

@@ -1,0 +1,64 @@
+// TimestampedFile: the persistent file object of the distributed-make
+// example (paper §4 iv).
+//
+// "Each file has a timestamp associated with it, which is updated
+// automatically every time the file is changed." Timestamps are logical
+// (a process-wide counter) so runs are deterministic.
+#pragma once
+
+#include <atomic>
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+// Monotonic logical clock shared by all files.
+class LogicalClock {
+ public:
+  static std::int64_t tick() { return counter().fetch_add(1) + 1; }
+  static std::int64_t now() { return counter().load(); }
+
+ private:
+  static std::atomic<std::int64_t>& counter() {
+    static std::atomic<std::int64_t> c{0};
+    return c;
+  }
+};
+
+// What the make engine needs of a file, wherever it lives: implemented by
+// TimestampedFile (local object) and by RemoteFile (proxy to a file hosted
+// on another node), so the same engine runs local and distributed makes.
+class FileApi {
+ public:
+  virtual ~FileApi() = default;
+  [[nodiscard]] virtual std::string content() const = 0;
+  [[nodiscard]] virtual std::int64_t timestamp() const = 0;
+  [[nodiscard]] virtual bool exists() const = 0;
+  virtual void write(const std::string& content) = 0;
+};
+
+class TimestampedFile final : public LockManaged, public FileApi {
+ public:
+  using LockManaged::LockManaged;
+
+  [[nodiscard]] std::string content() const override;
+  [[nodiscard]] std::int64_t timestamp() const override;
+  [[nodiscard]] bool exists() const override;
+
+  // Replaces the content and advances the timestamp (write lock).
+  void write(const std::string& content) override;
+
+  // Sets content with an explicit timestamp (workload setup).
+  void write_with_timestamp(const std::string& content, std::int64_t timestamp);
+
+  [[nodiscard]] std::string type_name() const override { return "TimestampedFile"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+ private:
+  std::string content_;
+  std::int64_t timestamp_ = 0;
+  bool exists_ = false;
+};
+
+}  // namespace mca

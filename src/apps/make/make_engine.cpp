@@ -1,0 +1,237 @@
+#include "apps/make/make_engine.h"
+
+#include <algorithm>
+#include <semaphore>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mca {
+
+TimestampedFile& FileTable::file(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, std::make_unique<TimestampedFile>(rt_)).first;
+  }
+  return *it->second;
+}
+
+bool FileTable::has(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  return files_.contains(name);
+}
+
+std::vector<std::string> FileTable::names() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, file] : files_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct MakeEngine::RunState {
+  MakeOptions options;
+  MakeReport report;
+  std::unique_ptr<SerializingAction> serializing;  // Serializing mode
+  std::unique_ptr<AtomicAction> single;            // SingleAction mode
+  std::mutex mutex;                                // guards report + memo
+  std::unordered_map<std::string, std::shared_future<void>> memo;
+  // make -j limiter for command execution (null = unlimited).
+  std::unique_ptr<std::counting_semaphore<1024>> job_slots;
+};
+
+MakeReport MakeEngine::run(const std::string& goal, const MakeOptions& options) {
+  return run_goals({goal}, options);
+}
+
+MakeReport MakeEngine::run_goals(const std::vector<std::string>& goals,
+                                 const MakeOptions& options) {
+  RunState state;
+  state.options = options;
+  if (options.max_parallel > 0) {
+    state.job_slots = std::make_unique<std::counting_semaphore<1024>>(
+        static_cast<std::ptrdiff_t>(std::min<std::size_t>(options.max_parallel, 1024)));
+  }
+  try {
+    for (const std::string& goal : goals) makefile_.check_acyclic(goal);
+    if (options.mode == MakeMode::Serializing) {
+      state.serializing = std::make_unique<SerializingAction>(rt_);
+      state.serializing->begin();
+    } else {
+      state.single = std::make_unique<AtomicAction>(rt_);
+      state.single->begin();
+    }
+    for (const std::string& goal : goals) ensure(goal, state);
+    if (state.serializing != nullptr) {
+      state.serializing->end();
+    } else {
+      if (state.single->commit() != Outcome::Committed) {
+        throw std::runtime_error("top-level make action failed to commit");
+      }
+    }
+    state.report.ok = true;
+  } catch (const std::exception& e) {
+    state.report.ok = false;
+    state.report.error = e.what();
+    try {
+      if (state.serializing != nullptr &&
+          state.serializing->action().status() == ActionStatus::Running) {
+        state.serializing->abort();
+      }
+      if (state.single != nullptr && state.single->status() == ActionStatus::Running) {
+        state.single->abort();
+      }
+    } catch (const std::exception& inner) {
+      MCA_LOG(Error, "make") << "cleanup failed: " << inner.what();
+    }
+  }
+  return state.report;
+}
+
+void MakeEngine::fail_on_target(const std::string& target) {
+  const std::scoped_lock lock(fail_mutex_);
+  fail_targets_.insert(target);
+}
+
+void MakeEngine::ensure(const std::string& target, RunState& state) {
+  // Memoize so shared prerequisites are made consistent exactly once, even
+  // when referenced from concurrent branches.
+  std::shared_future<void> waiter;
+  std::promise<void> promise;
+  bool builder = false;
+  {
+    const std::scoped_lock lock(state.mutex);
+    auto it = state.memo.find(target);
+    if (it == state.memo.end()) {
+      waiter = promise.get_future().share();
+      state.memo.emplace(target, waiter);
+      builder = true;
+    } else {
+      waiter = it->second;
+    }
+  }
+  if (!builder) {
+    waiter.get();  // rethrows the builder's failure
+    return;
+  }
+
+  try {
+    const MakeRule* rule = makefile_.rule_for(target);
+    if (rule == nullptr) {
+      // Phase (i) leaf: a source file must exist; check inside a unit so the
+      // read is properly locked.
+      run_unit(state, [&] {
+        if (!files_.file(target).exists()) {
+          throw std::runtime_error("no rule to make " + target);
+        }
+      });
+    } else {
+      // Phase (i): make every prerequisite consistent first.
+      if (state.options.concurrent && rule->prerequisites.size() > 1) {
+        std::vector<std::thread> threads;
+        std::vector<std::exception_ptr> failures(rule->prerequisites.size());
+        for (std::size_t i = 0; i < rule->prerequisites.size(); ++i) {
+          threads.emplace_back([this, &state, &rule, &failures, i] {
+            try {
+              ensure(rule->prerequisites[i], state);
+            } catch (...) {
+              failures[i] = std::current_exception();
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        for (const auto& failure : failures) {
+          if (failure) std::rethrow_exception(failure);
+        }
+      } else {
+        for (const std::string& prereq : rule->prerequisites) ensure(prereq, state);
+      }
+      build_target(*rule, state);
+    }
+    promise.set_value();
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    waiter.get();  // rethrow for this caller too
+  }
+}
+
+void MakeEngine::build_target(const MakeRule& rule, RunState& state) {
+  // Phases (ii)-(iv): compare timestamps and, when stale, execute the
+  // commands — one unit of work, top level for permanence in Serializing
+  // mode.
+  run_unit(state, [&] {
+    {
+      const std::scoped_lock lock(state.mutex);
+      ++state.report.targets_checked;
+    }
+    FileApi& target_file = files_.file(rule.target);
+    const bool exists = target_file.exists();
+    const std::int64_t target_ts = exists ? target_file.timestamp() : -1;
+
+    bool stale = !exists || makefile_.is_phony(rule.target);
+    std::string combined;
+    for (const std::string& prereq : rule.prerequisites) {
+      FileApi& p = files_.file(prereq);
+      if (p.timestamp() > target_ts) stale = true;
+      combined += p.content();
+      combined += ';';
+    }
+    if (!stale) return;
+
+    {
+      const std::scoped_lock lock(fail_mutex_);
+      if (fail_targets_.contains(rule.target)) {
+        fail_targets_.erase(rule.target);
+        throw std::runtime_error("injected failure rebuilding " + rule.target);
+      }
+    }
+    // Execute the commands: simulated compile with configurable cost. This
+    // is a *distributed* make — each compilation runs on some workstation of
+    // the network — so the local engine waits (sleeps) for it rather than
+    // burning this node's CPU; concurrent compilations genuinely overlap,
+    // bounded by the -j job slots when configured.
+    if (state.options.command_cost.count() > 0) {
+      if (state.job_slots != nullptr) state.job_slots->acquire();
+      std::this_thread::sleep_for(state.options.command_cost);
+      if (state.job_slots != nullptr) state.job_slots->release();
+    }
+    target_file.write("built[" + rule.target + "](" + combined + ")");
+    {
+      const std::scoped_lock lock(state.mutex);
+      state.report.rebuilt.push_back(rule.target);
+    }
+    MCA_LOG(Debug, "make") << "rebuilt " << rule.target;
+  });
+}
+
+void MakeEngine::run_unit(RunState& state, const std::function<void()>& body) {
+  if (state.serializing != nullptr) {
+    auto constituent = state.serializing->constituent();
+    constituent->begin();
+    try {
+      body();
+    } catch (...) {
+      constituent->abort();
+      throw;
+    }
+    if (constituent->commit() != Outcome::Committed) {
+      throw std::runtime_error("constituent failed to commit");
+    }
+  } else {
+    AtomicAction unit(rt_, state.single.get(), {});
+    unit.begin();
+    try {
+      body();
+    } catch (...) {
+      unit.abort();
+      throw;
+    }
+    if (unit.commit() != Outcome::Committed) {
+      throw std::runtime_error("nested make action failed to commit");
+    }
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,115 @@
+#include "apps/make/makefile_parser.h"
+
+#include <set>
+#include <sstream>
+
+namespace mca {
+namespace {
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+}  // namespace
+
+Makefile Makefile::parse(const std::string& text) {
+  Makefile mf;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    if (strip(line).empty()) continue;
+
+    const bool is_command = line.front() == '\t' || line.front() == ' ';
+    if (is_command) {
+      if (mf.rules_.empty()) {
+        throw MakefileError("command line before any rule: " + strip(line));
+      }
+      mf.rules_.back().commands.push_back(strip(line));
+      continue;
+    }
+
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw MakefileError("malformed rule line (no ':'): " + line);
+    }
+    if (strip(line.substr(0, colon)) == ".PHONY") {
+      const auto names = split_words(line.substr(colon + 1));
+      mf.phony_.insert(names.begin(), names.end());
+      continue;
+    }
+    MakeRule rule;
+    rule.target = strip(line.substr(0, colon));
+    if (rule.target.empty() || rule.target.find(' ') != std::string::npos) {
+      throw MakefileError("malformed target in: " + line);
+    }
+    rule.prerequisites = split_words(line.substr(colon + 1));
+    if (mf.by_target_.contains(rule.target)) {
+      throw MakefileError("duplicate target: " + rule.target);
+    }
+    mf.by_target_[rule.target] = mf.rules_.size();
+    mf.rules_.push_back(std::move(rule));
+  }
+  if (mf.rules_.empty()) throw MakefileError("makefile has no rules");
+  return mf;
+}
+
+const MakeRule* Makefile::rule_for(const std::string& target) const {
+  auto it = by_target_.find(target);
+  return it == by_target_.end() ? nullptr : &rules_[it->second];
+}
+
+const std::string& Makefile::default_goal() const { return rules_.front().target; }
+
+std::vector<std::string> Makefile::all_files() const {
+  std::set<std::string> names;
+  for (const MakeRule& r : rules_) {
+    names.insert(r.target);
+    names.insert(r.prerequisites.begin(), r.prerequisites.end());
+  }
+  return {names.begin(), names.end()};
+}
+
+bool Makefile::is_phony(const std::string& target) const { return phony_.contains(target); }
+
+void Makefile::check_acyclic(const std::string& goal) const {
+  enum class Mark { None, InProgress, Done };
+  std::unordered_map<std::string, Mark> marks;
+  // Iterative DFS with an explicit stack of (node, next-child-index).
+  std::vector<std::pair<std::string, std::size_t>> stack{{goal, 0}};
+  marks[goal] = Mark::InProgress;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const MakeRule* rule = rule_for(node);
+    const std::size_t fanout = rule != nullptr ? rule->prerequisites.size() : 0;
+    if (next >= fanout) {
+      marks[node] = Mark::Done;
+      stack.pop_back();
+      continue;
+    }
+    const std::string& child = rule->prerequisites[next++];
+    switch (marks[child]) {
+      case Mark::InProgress:
+        throw MakefileError("dependency cycle through " + child);
+      case Mark::None:
+        marks[child] = Mark::InProgress;
+        stack.emplace_back(child, 0);
+        break;
+      case Mark::Done:
+        break;
+    }
+  }
+}
+
+}  // namespace mca

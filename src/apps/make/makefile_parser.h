@@ -1,0 +1,63 @@
+// Makefile model and parser for the distributed-make example (paper §4 iv).
+//
+// Supports the classic subset the paper's example uses:
+//
+//   Test: Test0.o Test1.o
+//   <TAB>cc -o Test Test0.o Test1.o
+//
+// Rule lines are "target: prerequisite...", command lines are indented with
+// a tab (or spaces) and attach to the preceding rule. '#' starts a comment.
+// ".PHONY: name..." marks targets that are always rebuilt regardless of
+// timestamps (the conventional make extension).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mca {
+
+struct MakeRule {
+  std::string target;
+  std::vector<std::string> prerequisites;
+  std::vector<std::string> commands;
+};
+
+class MakefileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Makefile {
+ public:
+  // Throws MakefileError on malformed input or duplicate targets.
+  static Makefile parse(const std::string& text);
+
+  // The rule for `target`, or nullptr when `target` is a source file.
+  [[nodiscard]] const MakeRule* rule_for(const std::string& target) const;
+
+  [[nodiscard]] const std::vector<MakeRule>& rules() const { return rules_; }
+
+  // The default goal: the first rule's target.
+  [[nodiscard]] const std::string& default_goal() const;
+
+  // Every file name mentioned (targets and prerequisites).
+  [[nodiscard]] std::vector<std::string> all_files() const;
+
+  // True for targets declared in a ".PHONY:" line.
+  [[nodiscard]] bool is_phony(const std::string& target) const;
+
+  // Throws MakefileError if the dependency graph has a cycle reachable from
+  // `goal` or names a prerequisite chain that can never resolve.
+  void check_acyclic(const std::string& goal) const;
+
+ private:
+  std::vector<MakeRule> rules_;
+  std::unordered_map<std::string, std::size_t> by_target_;
+  std::set<std::string> phony_;
+};
+
+}  // namespace mca

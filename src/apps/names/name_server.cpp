@@ -1,0 +1,30 @@
+#include "apps/names/name_server.h"
+
+namespace mca {
+
+bool NameServer::add(const std::string& name, const std::string& location) {
+  return IndependentAction::run(rt_, [&] { bindings_.insert(name, location); }) ==
+         Outcome::Committed;
+}
+
+bool NameServer::remove(const std::string& name) {
+  return IndependentAction::run(rt_, [&] { bindings_.erase(name); }) == Outcome::Committed;
+}
+
+std::optional<std::string> NameServer::lookup(const std::string& name) {
+  std::optional<std::string> result;
+  if (IndependentAction::run(rt_, [&] { result = bindings_.lookup(name); }) !=
+      Outcome::Committed) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+IndependentAction::Async NameServer::add_async(std::string name, std::string location) {
+  return IndependentAction::spawn(rt_, [this, name = std::move(name),
+                                        location = std::move(location)] {
+    bindings_.insert(name, location);
+  });
+}
+
+}  // namespace mca

@@ -1,0 +1,43 @@
+// Replicated name server (paper §4 ii).
+//
+// "For the sake of availability and consistency it is desirable that a name
+// server be replicated and operations on it (add, delete, lookup) structured
+// as atomic actions. Such atomic actions can be invoked as top-level
+// independent actions from within distributed applications."
+//
+// NameServer wraps a ReplicatedMap and exposes §4(ii)'s usage patterns:
+// every public operation runs as its own top-level independent action, so a
+// name-server update issued from inside an application action is never
+// undone by the application's abort, and bindings never stay locked for the
+// application's lifetime. update_async gives the paper's asynchronous
+// variant ("update the name server asynchronously, while carrying on with
+// the main computation").
+#pragma once
+
+#include "core/structures/independent_action.h"
+#include "replication/replica_group.h"
+
+namespace mca {
+
+class NameServer {
+ public:
+  NameServer(Runtime& rt, ReplicatedMap& bindings) : rt_(rt), bindings_(bindings) {}
+
+  // Synchronous top-level independent operations. Returns false when the
+  // independent action aborted (e.g. quorum loss).
+  bool add(const std::string& name, const std::string& location);
+  bool remove(const std::string& name);
+
+  // Lookup as an independent action; nullopt when absent or unavailable.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& name);
+
+  // Asynchronous update (fig. 7b): returns immediately; join the handle (or
+  // drop it) at your leisure.
+  IndependentAction::Async add_async(std::string name, std::string location);
+
+ private:
+  Runtime& rt_;
+  ReplicatedMap& bindings_;
+};
+
+}  // namespace mca

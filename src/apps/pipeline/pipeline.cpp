@@ -1,0 +1,69 @@
+#include "apps/pipeline/pipeline.h"
+
+#include "common/logging.h"
+#include "core/structures/independent_action.h"
+
+namespace mca {
+
+Pipeline& Pipeline::stage(std::string name, StageBody body, Compensator compensator) {
+  stages_.push_back(StageSpec{std::move(name), std::move(body), std::move(compensator)});
+  return *this;
+}
+
+void Pipeline::append_audit(const std::string& entry) {
+  if (audit_ == nullptr) return;
+  (void)IndependentAction::run(rt_, [&] { audit_->append(entry); });
+}
+
+PipelineResult Pipeline::run() {
+  PipelineResult result;
+  GlueGroup glue(rt_);
+  glue.begin();
+  std::vector<const StageSpec*> committed;
+
+  for (const StageSpec& spec : stages_) {
+    GlueGroup::Constituent constituent = glue.constituent();
+    constituent.begin();
+    StageContext context(glue, constituent, spec.name);
+    try {
+      spec.body(context);
+    } catch (const std::exception& e) {
+      constituent.abort();
+      result.failed_stage = spec.name;
+      result.error = e.what();
+      append_audit("FAILED " + spec.name + ": " + e.what());
+      // Compensate the committed prefix in reverse; each compensation is a
+      // top-level independent action of its own.
+      for (auto it = committed.rbegin(); it != committed.rend(); ++it) {
+        if ((*it)->compensator == nullptr) continue;
+        if (IndependentAction::run(rt_, (*it)->compensator) == Outcome::Committed) {
+          ++result.compensations_run;
+          append_audit("COMPENSATED " + (*it)->name);
+        } else {
+          MCA_LOG(Warn, "pipeline") << "compensator for stage '" << (*it)->name
+                                    << "' aborted";
+          append_audit("COMPENSATION-FAILED " + (*it)->name);
+        }
+      }
+      glue.abort();
+      return result;
+    }
+    if (constituent.commit() != Outcome::Committed) {
+      result.failed_stage = spec.name;
+      result.error = "stage failed to commit";
+      glue.abort();
+      return result;
+    }
+    committed.push_back(&spec);
+    ++result.stages_run;
+    append_audit("DONE " + spec.name);
+    for (const std::string& entry : context.audit_entries_) {
+      append_audit(spec.name + ": " + entry);
+    }
+  }
+  glue.end();
+  result.completed = true;
+  return result;
+}
+
+}  // namespace mca

@@ -1,0 +1,97 @@
+// Staged workflows: the paper's motivating "long-lived application
+// function" (§3), structured with everything the paper proposes.
+//
+// A long-lived function (order processing, document publishing, ...) must
+// not run as one top-level action: it would hold locks for its entire life
+// and an abort near the end would undo hours of work. A Pipeline instead
+// runs each stage as a glued constituent:
+//
+//   * each completed stage is PERMANENT at its own commit (top level in the
+//     work colour) — a later failure cannot silently undo it;
+//   * objects a stage passes on stay locked across the gap to the next
+//     stage (glue colour), everything else is released immediately;
+//   * because committed stages cannot be rolled back by the kernel, each
+//     stage registers a COMPENSATOR; when a later stage fails, the engine
+//     compensates the committed prefix in reverse order, each compensation
+//     a top-level independent action (§3.4's future-work mechanism).
+//
+// Stages receive a StageContext to mark objects for hand-over and to record
+// audit entries (independent, surviving any outcome).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/structures/compensating_action.h"
+#include "core/structures/glued_action.h"
+#include "objects/recoverable_log.h"
+
+namespace mca {
+
+class StageContext {
+ public:
+  // Keeps `obj` locked through to the next stage.
+  void pass_on(LockManaged& obj) { glue_->pass_on(*constituent_, obj); }
+
+  // Appends to the pipeline's audit log as an independent action when the
+  // stage commits (buffered so an aborted stage leaves no audit residue).
+  void audit(std::string entry) { audit_entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] const std::string& stage_name() const { return name_; }
+
+ private:
+  friend class Pipeline;
+  StageContext(GlueGroup& glue, GlueGroup::Constituent& constituent, std::string name)
+      : glue_(&glue), constituent_(&constituent), name_(std::move(name)) {}
+
+  GlueGroup* glue_;
+  GlueGroup::Constituent* constituent_;
+  std::string name_;
+  std::vector<std::string> audit_entries_;
+};
+
+struct PipelineResult {
+  bool completed = false;
+  std::size_t stages_run = 0;        // stages that committed
+  std::size_t compensations_run = 0; // committed compensators after failure
+  std::string failed_stage;
+  std::string error;
+};
+
+class Pipeline {
+ public:
+  using StageBody = std::function<void(StageContext&)>;
+  using Compensator = std::function<void()>;
+
+  // `audit` (optional) receives one entry per stage/compensation event.
+  explicit Pipeline(Runtime& rt, RecoverableLog* audit = nullptr)
+      : rt_(rt), audit_(audit) {}
+
+  // Adds a stage. The compensator must semantically undo the stage's
+  // committed effects; pass nullptr for stages that need none (read-only or
+  // naturally idempotent).
+  Pipeline& stage(std::string name, StageBody body, Compensator compensator = nullptr);
+
+  // Runs the stages in order. On a stage failure the committed prefix is
+  // compensated in reverse and the result reports the failure. Never
+  // throws.
+  PipelineResult run();
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  struct StageSpec {
+    std::string name;
+    StageBody body;
+    Compensator compensator;
+  };
+
+  void append_audit(const std::string& entry);
+
+  Runtime& rt_;
+  RecoverableLog* audit_;
+  std::vector<StageSpec> stages_;
+};
+
+}  // namespace mca

@@ -1,0 +1,107 @@
+#include "common/buffer.h"
+
+#include <bit>
+
+namespace mca {
+namespace {
+
+// All multi-byte quantities are stored little-endian so that states written
+// by a file store remain readable regardless of host order.
+template <typename T>
+T to_little_endian(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    auto bytes = std::bit_cast<std::array<std::byte, sizeof(T)>>(v);
+    std::reverse(bytes.begin(), bytes.end());
+    return std::bit_cast<T>(bytes);
+  } else {
+    return v;
+  }
+}
+
+}  // namespace
+
+void ByteBuffer::append(const void* src, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(src);
+  data_.insert(data_.end(), p, p + n);
+}
+
+void ByteBuffer::extract(void* dst, std::size_t n) {
+  if (cursor_ + n > data_.size()) throw BufferUnderflow();
+  std::memcpy(dst, data_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+void ByteBuffer::pack_u32(std::uint32_t v) {
+  v = to_little_endian(v);
+  append(&v, sizeof v);
+}
+
+void ByteBuffer::pack_u64(std::uint64_t v) {
+  v = to_little_endian(v);
+  append(&v, sizeof v);
+}
+
+void ByteBuffer::pack_double(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  pack_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteBuffer::pack_string(std::string_view s) {
+  pack_u32(static_cast<std::uint32_t>(s.size()));
+  append(s.data(), s.size());
+}
+
+void ByteBuffer::pack_uid(const Uid& u) {
+  pack_u64(u.hi());
+  pack_u64(u.lo());
+}
+
+void ByteBuffer::pack_bytes(std::span<const std::byte> bytes) {
+  pack_u32(static_cast<std::uint32_t>(bytes.size()));
+  append(bytes.data(), bytes.size());
+}
+
+std::uint8_t ByteBuffer::unpack_u8() {
+  std::uint8_t v = 0;
+  extract(&v, sizeof v);
+  return v;
+}
+
+std::uint32_t ByteBuffer::unpack_u32() {
+  std::uint32_t v = 0;
+  extract(&v, sizeof v);
+  return to_little_endian(v);
+}
+
+std::uint64_t ByteBuffer::unpack_u64() {
+  std::uint64_t v = 0;
+  extract(&v, sizeof v);
+  return to_little_endian(v);
+}
+
+double ByteBuffer::unpack_double() { return std::bit_cast<double>(unpack_u64()); }
+
+std::string ByteBuffer::unpack_string() {
+  const std::uint32_t len = unpack_u32();
+  if (cursor_ + len > data_.size()) throw BufferUnderflow();
+  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), len);
+  cursor_ += len;
+  return s;
+}
+
+Uid ByteBuffer::unpack_uid() {
+  const std::uint64_t hi = unpack_u64();
+  const std::uint64_t lo = unpack_u64();
+  return Uid(hi, lo);
+}
+
+std::vector<std::byte> ByteBuffer::unpack_bytes() {
+  const std::uint32_t len = unpack_u32();
+  if (cursor_ + len > data_.size()) throw BufferUnderflow();
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + len));
+  cursor_ += len;
+  return out;
+}
+
+}  // namespace mca

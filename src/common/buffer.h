@@ -1,0 +1,81 @@
+// Binary serialisation buffer used for object states and network messages.
+//
+// Mirrors the role of Arjuna's Buffer/TypedBuffer: recoverable objects pack
+// their instance variables into a ByteBuffer in save_state() and unpack them
+// in restore_state(); the RPC layer packs call arguments the same way.
+// Encoding is little-endian, length-prefixed for strings and containers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/uid.h"
+
+namespace mca {
+
+// Thrown when unpacking runs past the end of the buffer or reads an
+// impossible length; indicates a corrupt or truncated state/message.
+class BufferUnderflow : public std::runtime_error {
+ public:
+  BufferUnderflow() : std::runtime_error("ByteBuffer: unpack past end of data") {}
+};
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  // -- packing -------------------------------------------------------------
+
+  void pack_u8(std::uint8_t v) { append(&v, sizeof v); }
+  void pack_u32(std::uint32_t v);
+  void pack_u64(std::uint64_t v);
+  void pack_i64(std::int64_t v) { pack_u64(static_cast<std::uint64_t>(v)); }
+  void pack_bool(bool v) { pack_u8(v ? 1 : 0); }
+  void pack_double(double v);
+  void pack_string(std::string_view s);
+  void pack_uid(const Uid& u);
+  void pack_bytes(std::span<const std::byte> bytes);
+
+  // -- unpacking (sequential cursor) ----------------------------------------
+
+  [[nodiscard]] std::uint8_t unpack_u8();
+  [[nodiscard]] std::uint32_t unpack_u32();
+  [[nodiscard]] std::uint64_t unpack_u64();
+  [[nodiscard]] std::int64_t unpack_i64() { return static_cast<std::int64_t>(unpack_u64()); }
+  [[nodiscard]] bool unpack_bool() { return unpack_u8() != 0; }
+  [[nodiscard]] double unpack_double();
+  [[nodiscard]] std::string unpack_string();
+  [[nodiscard]] Uid unpack_uid();
+  [[nodiscard]] std::vector<std::byte> unpack_bytes();
+
+  // -- whole-buffer access ---------------------------------------------------
+
+  [[nodiscard]] const std::vector<std::byte>& data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool exhausted() const { return cursor_ >= data_.size(); }
+  void rewind() { cursor_ = 0; }
+  void clear() {
+    data_.clear();
+    cursor_ = 0;
+  }
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  void append(const void* src, std::size_t n);
+  void extract(void* dst, std::size_t n);
+
+  std::vector<std::byte> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace mca

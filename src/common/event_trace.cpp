@@ -1,0 +1,41 @@
+#include "common/event_trace.h"
+
+namespace mca {
+
+void EventTrace::record(TraceKind kind, const Uid& action, const Uid& object,
+                        std::string detail) {
+  if (!enabled()) return;
+  const std::scoped_lock lock(mutex_);
+  if (events_.size() >= capacity_) {
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 4 + 1));
+  }
+  events_.push_back(
+      TraceEvent{std::chrono::steady_clock::now(), kind, action, object, std::move(detail)});
+}
+
+std::vector<TraceEvent> EventTrace::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t EventTrace::size() const {
+  const std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void EventTrace::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> EventTrace::of_kind(TraceKind kind) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace mca

@@ -1,0 +1,81 @@
+// Event tracing for action systems.
+//
+// When enabled, the kernel and lock manager record begin/commit/abort and
+// lock grant/wait/release events into a bounded, thread-safe buffer. Tests
+// assert on protocol sequences; the timeline example renders executions as
+// the paper draws them (figs. 1-9: one bar per action along a time line).
+// Disabled (the default) the hooks cost one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/uid.h"
+
+namespace mca {
+
+enum class TraceKind {
+  ActionBegin,
+  ActionCommit,
+  ActionAbort,
+  LockGranted,
+  LockWait,
+  LockRefused,
+  LockDeadlock,
+  ColourInherited,
+  ColourReleased,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::ActionBegin: return "begin";
+    case TraceKind::ActionCommit: return "commit";
+    case TraceKind::ActionAbort: return "abort";
+    case TraceKind::LockGranted: return "lock-granted";
+    case TraceKind::LockWait: return "lock-wait";
+    case TraceKind::LockRefused: return "lock-refused";
+    case TraceKind::LockDeadlock: return "lock-deadlock";
+    case TraceKind::ColourInherited: return "colour-inherited";
+    case TraceKind::ColourReleased: return "colour-released";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::chrono::steady_clock::time_point at;
+  TraceKind kind = TraceKind::ActionBegin;
+  Uid action = Uid::nil();
+  Uid object = Uid::nil();  // nil for pure action events
+  std::string detail;       // colours, modes, labels
+};
+
+class EventTrace {
+ public:
+  // Keeps at most `capacity` events; older ones are dropped FIFO.
+  explicit EventTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(TraceKind kind, const Uid& action, const Uid& object = Uid::nil(),
+              std::string detail = {});
+
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  // Events of one kind, in order (test convenience).
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mca

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mca {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace log_internal {
+
+bool enabled(LogLevel level) { return level >= g_level.load(std::memory_order_relaxed); }
+
+void emit(LogLevel level, const std::string& component, const std::string& message) {
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch());
+  const std::scoped_lock lock(g_sink_mutex);
+  std::fprintf(stderr, "[%12lld] %s [%s] %s\n",
+               static_cast<long long>(now.count()), level_name(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace mca

@@ -1,0 +1,53 @@
+// Minimal thread-safe levelled logger.
+//
+// The library is quiet by default (level Warn); tests and examples raise the
+// level to trace commit protocols and lock traffic. Logging goes through a
+// single serialised sink so interleaved multi-threaded action output stays
+// readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mca {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+namespace log_internal {
+void emit(LogLevel level, const std::string& component, const std::string& message);
+bool enabled(LogLevel level);
+}  // namespace log_internal
+
+// Sets the global threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Usage: MCA_LOG(Debug, "lock") << "granted " << mode << " on " << uid;
+#define MCA_LOG(level, component)                                        \
+  for (bool mca_log_once = ::mca::log_internal::enabled(::mca::LogLevel::level); \
+       mca_log_once; mca_log_once = false)                               \
+  ::mca::log_internal::LogLine(::mca::LogLevel::level, component)
+
+namespace log_internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+}  // namespace mca

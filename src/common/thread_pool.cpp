@@ -1,0 +1,55 @@
+#include "common/thread_pool.h"
+
+namespace mca {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void ThreadPool::shutdown() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,40 @@
+// Fixed-size worker pool used by simulated nodes to execute incoming RPC
+// requests off the network delivery thread (handlers may block on locks).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mca {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`; returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  // Stops accepting work, drains the queue, joins workers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mca

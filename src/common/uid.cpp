@@ -1,0 +1,41 @@
+#include "common/uid.h"
+
+#include <atomic>
+#include <ostream>
+#include <random>
+#include <sstream>
+
+namespace mca {
+namespace {
+
+std::uint64_t process_entropy() {
+  static const std::uint64_t entropy = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return entropy;
+}
+
+std::uint64_t next_sequence() {
+  static std::atomic<std::uint64_t> seq{1};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Uid::Uid() : hi_(process_entropy()), lo_(next_sequence()) {}
+
+std::string Uid::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Uid& uid) {
+  auto flags = os.flags();
+  os << std::hex << uid.hi() << ':' << uid.lo();
+  os.flags(flags);
+  return os;
+}
+
+}  // namespace mca

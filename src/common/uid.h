@@ -1,0 +1,52 @@
+// Unique identifiers for objects, actions and nodes.
+//
+// A Uid is a process-wide unique 128-bit value: 64 bits of creation-time
+// entropy (seeded once per process) and a 64-bit monotonic sequence number.
+// Uids are value types: cheap to copy, totally ordered and hashable, so they
+// can key maps in the lock manager, the object stores and the commit logs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace mca {
+
+class Uid {
+ public:
+  // Constructs a fresh, process-unique identifier.
+  Uid();
+
+  // Reconstructs a Uid from its two halves (used by serialisation).
+  constexpr Uid(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  // The nil Uid: never produced by the default constructor.
+  static constexpr Uid nil() { return Uid(0, 0); }
+
+  [[nodiscard]] constexpr bool is_nil() const { return hi_ == 0 && lo_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Uid&, const Uid&) = default;
+
+ private:
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Uid& uid);
+
+}  // namespace mca
+
+template <>
+struct std::hash<mca::Uid> {
+  std::size_t operator()(const mca::Uid& u) const noexcept {
+    // Mix the halves; lo_ is a counter so it carries most of the entropy
+    // distribution work after multiplication by a large odd constant.
+    return static_cast<std::size_t>(u.hi() ^ (u.lo() * 0x9E3779B97F4A7C15ULL));
+  }
+};

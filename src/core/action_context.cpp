@@ -1,0 +1,32 @@
+#include "core/action_context.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace mca {
+namespace {
+
+thread_local std::vector<AtomicAction*> t_stack;
+
+}  // namespace
+
+AtomicAction* ActionContext::current() { return t_stack.empty() ? nullptr : t_stack.back(); }
+
+AtomicAction& ActionContext::require() {
+  AtomicAction* a = current();
+  if (a == nullptr) throw std::logic_error("no action is running on this thread");
+  return *a;
+}
+
+void ActionContext::push(AtomicAction& action) { t_stack.push_back(&action); }
+
+void ActionContext::pop(AtomicAction& action) {
+  if (t_stack.empty() || t_stack.back() != &action) {
+    throw std::logic_error("action context pop does not match innermost action");
+  }
+  t_stack.pop_back();
+}
+
+std::size_t ActionContext::depth() { return t_stack.size(); }
+
+}  // namespace mca

@@ -1,0 +1,33 @@
+// Thread-local action context.
+//
+// Each thread keeps a stack of the actions it has begun; the innermost one
+// is the *current* action, which lock-managed objects charge their lock and
+// undo traffic to. Children started on other threads name their parent
+// explicitly and push onto their own thread's stack.
+#pragma once
+
+#include <cstddef>
+
+namespace mca {
+
+class AtomicAction;
+
+class ActionContext {
+ public:
+  // The innermost running action on this thread, or nullptr.
+  [[nodiscard]] static AtomicAction* current();
+
+  // The current action, or a thrown std::logic_error if there is none —
+  // for call sites that require an action (e.g. modifying a lock-managed
+  // object).
+  [[nodiscard]] static AtomicAction& require();
+
+  static void push(AtomicAction& action);
+
+  // Pops `action`, which must be the innermost entry of this thread's stack.
+  static void pop(AtomicAction& action);
+
+  [[nodiscard]] static std::size_t depth();
+};
+
+}  // namespace mca

@@ -1,0 +1,407 @@
+#include "core/atomic_action.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "objects/lock_managed.h"
+
+namespace mca {
+namespace {
+
+ColourSet initial_colours(AtomicAction* parent, ColourSet explicit_colours) {
+  if (!explicit_colours.empty()) return explicit_colours;
+  if (parent != nullptr) return parent->colours();
+  return ColourSet{Colour::plain()};
+}
+
+}  // namespace
+
+AtomicAction::AtomicAction(Runtime& rt) : AtomicAction(rt, ActionContext::current(), {}) {}
+
+AtomicAction::AtomicAction(Runtime& rt, ColourSet colours)
+    : AtomicAction(rt, ActionContext::current(), std::move(colours)) {}
+
+AtomicAction::AtomicAction(Runtime& rt, AtomicAction* parent, ColourSet colours)
+    : rt_(rt), parent_(parent), colours_(initial_colours(parent, std::move(colours))) {
+  plan_ = LockPlan::single(colours_.primary());
+}
+
+AtomicAction::AtomicAction(Runtime& rt, MirrorTag, const Uid& uid, ColourSet colours)
+    : rt_(rt), uid_(uid), parent_(nullptr), colours_(std::move(colours)) {
+  if (colours_.empty()) colours_ = ColourSet{Colour::plain()};
+  plan_ = LockPlan::single(colours_.primary());
+}
+
+void AtomicAction::begin_mirror(std::vector<Uid> path) {
+  ActionStatus expected = ActionStatus::Created;
+  if (!status_.compare_exchange_strong(expected, ActionStatus::Running)) {
+    throw std::logic_error("AtomicAction::begin_mirror: action already begun");
+  }
+  context_policy_ = ContextPolicy::Detached;
+  rt_.ancestry().register_action(uid_, std::move(path));
+  rt_.note_begun();
+}
+
+void AtomicAction::finish_mirror() {
+  ActionStatus expected = ActionStatus::Running;
+  if (!status_.compare_exchange_strong(expected, ActionStatus::Committed)) {
+    throw std::logic_error("AtomicAction::finish_mirror: mirror is not running");
+  }
+  rt_.ancestry().deregister_action(uid_);
+  rt_.note_committed();
+}
+
+std::vector<UndoRecord> AtomicAction::extract_records(Colour c) {
+  const std::scoped_lock lock(mutex_);
+  std::vector<UndoRecord> out;
+  std::erase_if(undo_, [&](UndoRecord& r) {
+    if (r.colour != c) return false;
+    out.push_back(std::move(r));
+    return true;
+  });
+  return out;
+}
+
+void AtomicAction::add_colours(const ColourSet& extra) {
+  const std::scoped_lock lock(mutex_);
+  for (const Colour c : extra) colours_ = colours_.with(c);
+}
+
+AtomicAction::~AtomicAction() {
+  if (status_.load() != ActionStatus::Running) return;
+  try {
+    abort();
+  } catch (const std::exception& e) {
+    MCA_LOG(Error, "action") << "abort during destruction of " << uid_ << " failed: " << e.what();
+  }
+}
+
+void AtomicAction::begin(ContextPolicy policy) {
+  ActionStatus expected = ActionStatus::Created;
+  if (!status_.compare_exchange_strong(expected, ActionStatus::Running)) {
+    throw std::logic_error("AtomicAction::begin: action already begun");
+  }
+  context_policy_ = policy;
+  if (parent_ != nullptr) {
+    if (parent_->status() != ActionStatus::Running) {
+      status_.store(ActionStatus::Created);
+      throw std::logic_error("AtomicAction::begin: parent is not running");
+    }
+    parent_->active_children_.fetch_add(1);
+  }
+  std::vector<Uid> path =
+      parent_ != nullptr ? rt_.ancestry().path_of(parent_->uid()) : std::vector<Uid>{};
+  path.push_back(uid_);
+  rt_.ancestry().register_action(uid_, std::move(path));
+  if (policy == ContextPolicy::OnThread) ActionContext::push(*this);
+  rt_.note_begun();
+  rt_.trace().record(TraceKind::ActionBegin, uid_, Uid::nil(), colours().to_string());
+  MCA_LOG(Trace, "action") << "begin " << uid_ << " colours " << colours().to_string();
+}
+
+ColourSet AtomicAction::colours() const {
+  const std::scoped_lock lock(mutex_);
+  return colours_;
+}
+
+bool AtomicAction::has_colour(Colour c) const {
+  const std::scoped_lock lock(mutex_);
+  return colours_.contains(c);
+}
+
+Colour AtomicAction::private_colour() {
+  const std::scoped_lock lock(mutex_);
+  if (!private_colour_) {
+    private_colour_ = Colour::fresh("priv");
+    colours_ = colours_.with(*private_colour_);
+  }
+  return *private_colour_;
+}
+
+AtomicAction* AtomicAction::nearest_ancestor_with(Colour c) const {
+  for (AtomicAction* a = parent_; a != nullptr; a = a->parent_) {
+    if (a->has_colour(c)) return a;
+  }
+  return nullptr;
+}
+
+void AtomicAction::add_participant(std::shared_ptr<TerminationParticipant> participant,
+                                   const std::string& key) {
+  const std::scoped_lock lock(mutex_);
+  if (!key.empty() &&
+      std::find(participant_keys_.begin(), participant_keys_.end(), key) !=
+          participant_keys_.end()) {
+    return;
+  }
+  participants_.push_back(std::move(participant));
+  participant_keys_.push_back(key);
+}
+
+bool AtomicAction::has_participant(const std::string& key) const {
+  const std::scoped_lock lock(mutex_);
+  return std::find(participant_keys_.begin(), participant_keys_.end(), key) !=
+         participant_keys_.end();
+}
+
+std::shared_ptr<TerminationParticipant> AtomicAction::participant(const std::string& key) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = std::find(participant_keys_.begin(), participant_keys_.end(), key);
+  if (it == participant_keys_.end()) return nullptr;
+  return participants_[static_cast<std::size_t>(it - participant_keys_.begin())];
+}
+
+LockOutcome AtomicAction::lock_for(LockManaged& object, LockMode logical) {
+  if (status() != ActionStatus::Running) {
+    throw std::logic_error("lock_for: action is not running");
+  }
+  const LockPlan plan = [&] {
+    const std::scoped_lock lock(mutex_);
+    return plan_;
+  }();
+  const auto& acquisitions =
+      logical == LockMode::Write ? plan.for_write : plan.for_read;
+  if (logical == LockMode::ExclusiveRead) {
+    throw std::logic_error("lock_for: use lock_explicit for exclusive-read");
+  }
+  for (const auto& [mode, colour] : acquisitions) {
+    if (!has_colour(colour)) {
+      throw std::logic_error("lock plan names colour " + colour.name() +
+                             " the action does not possess");
+    }
+    const LockOutcome o =
+        rt_.lock_manager().acquire(uid_, object.uid(), mode, colour, lock_timeout_);
+    if (o != LockOutcome::Granted) return o;
+    if (status() != ActionStatus::Running) {
+      // The action was terminated (e.g. a mirror aborted by its
+      // coordinator) while this request waited: the grant must not stick.
+      rt_.lock_manager().release_early(uid_, object.uid(), colour, mode);
+      throw std::logic_error("lock_for: action terminated while waiting for a lock");
+    }
+  }
+  object.ensure_activated();
+  return LockOutcome::Granted;
+}
+
+LockOutcome AtomicAction::lock_explicit(LockManaged& object, LockMode mode, Colour colour) {
+  if (status() != ActionStatus::Running) {
+    throw std::logic_error("lock_explicit: action is not running");
+  }
+  if (!has_colour(colour)) {
+    throw std::logic_error("lock_explicit: action does not possess colour " + colour.name());
+  }
+  const LockOutcome o =
+      rt_.lock_manager().acquire(uid_, object.uid(), mode, colour, lock_timeout_);
+  if (o == LockOutcome::Granted) {
+    if (status() != ActionStatus::Running) {
+      rt_.lock_manager().release_early(uid_, object.uid(), colour, mode);
+      throw std::logic_error("lock_explicit: action terminated while waiting for a lock");
+    }
+    object.ensure_activated();
+  }
+  return o;
+}
+
+void AtomicAction::note_modified(LockManaged& object) {
+  // The undo record carries the colour of the write lock this action holds;
+  // the grant rules guarantee an object carries write locks of one colour
+  // only, so the lookup is unambiguous.
+  std::optional<Colour> write_colour;
+  for (const LockEntry& e : rt_.lock_manager().entries(object.uid())) {
+    if (e.owner == uid_ && e.mode == LockMode::Write) {
+      write_colour = e.colour;
+      break;
+    }
+  }
+  if (!write_colour) {
+    throw std::logic_error("modified() called without a write lock on object " +
+                           object.uid().to_string());
+  }
+  const std::scoped_lock lock(mutex_);
+  const bool already_recorded =
+      std::any_of(undo_.begin(), undo_.end(),
+                  [&](const UndoRecord& r) { return r.object == &object; });
+  if (already_recorded) return;
+  undo_.push_back(UndoRecord{&object, *write_colour, object.snapshot_state()});
+}
+
+void AtomicAction::adopt_records(std::vector<UndoRecord> records) {
+  const std::scoped_lock lock(mutex_);
+  for (UndoRecord& incoming : records) {
+    const bool have = std::any_of(undo_.begin(), undo_.end(), [&](const UndoRecord& r) {
+      return r.object == incoming.object;
+    });
+    // Keep the earliest snapshot: if this action already filed (or adopted)
+    // a record for the object, its snapshot predates the child's.
+    if (!have) undo_.push_back(std::move(incoming));
+  }
+}
+
+std::vector<ColourDisposition> AtomicAction::dispositions() const {
+  std::vector<ColourDisposition> out;
+  for (const Colour c : colours()) {
+    AtomicAction* heir = nearest_ancestor_with(c);
+    out.push_back(ColourDisposition{c, heir != nullptr ? heir->uid() : Uid::nil()});
+  }
+  return out;
+}
+
+std::size_t AtomicAction::undo_record_count() const {
+  const std::scoped_lock lock(mutex_);
+  return undo_.size();
+}
+
+bool AtomicAction::prepare_permanent(const std::vector<Colour>& permanent,
+                                     std::vector<UndoRecord*>& prepared) {
+  const std::scoped_lock lock(mutex_);
+  for (UndoRecord& r : undo_) {
+    if (std::find(permanent.begin(), permanent.end(), r.colour) == permanent.end()) continue;
+    try {
+      r.object->store().write_shadow(r.object->make_object_state());
+      prepared.push_back(&r);
+    } catch (const std::exception& e) {
+      MCA_LOG(Warn, "action") << "prepare failed for object " << r.object->uid() << ": "
+                              << e.what();
+      for (UndoRecord* p : prepared) p->object->store().discard_shadow(p->object->uid());
+      prepared.clear();
+      return false;
+    }
+  }
+  return true;
+}
+
+Outcome AtomicAction::commit() {
+  if (status() != ActionStatus::Running) {
+    throw std::logic_error("AtomicAction::commit: action is not running");
+  }
+  if (active_children_.load() != 0) {
+    throw std::logic_error("AtomicAction::commit: children still running");
+  }
+
+  // Resolve each colour to its heir (or to permanence).
+  struct Resolution {
+    Colour colour;
+    AtomicAction* heir;
+  };
+  std::vector<Resolution> resolutions;
+  std::vector<Colour> permanent;
+  for (const Colour c : colours()) {
+    AtomicAction* heir = nearest_ancestor_with(c);
+    resolutions.push_back({c, heir});
+    if (heir == nullptr) permanent.push_back(c);
+  }
+
+  // Phase one: shadows for every permanent-colour update, then participants.
+  // Any failure aborts the whole action — failure atomicity spans all the
+  // action's colours (§5.1 property 1).
+  std::vector<UndoRecord*> prepared;
+  if (!prepare_permanent(permanent, prepared)) {
+    rt_.note_prepare_failure();
+    abort();
+    return Outcome::Aborted;
+  }
+  const auto dispos = dispositions();
+  const auto participants = [&] {
+    const std::scoped_lock lock(mutex_);
+    return participants_;
+  }();
+  for (auto& p : participants) {
+    bool ok = false;
+    try {
+      ok = p->prepare(uid_, permanent);
+    } catch (const std::exception& e) {
+      MCA_LOG(Warn, "action") << "participant prepare threw: " << e.what();
+    }
+    if (!ok) {
+      for (UndoRecord* r : prepared) r->object->store().discard_shadow(r->object->uid());
+      rt_.note_prepare_failure();
+      abort();
+      return Outcome::Aborted;
+    }
+  }
+
+  // Phase two: promote shadows, then process locks and records per colour.
+  for (UndoRecord* r : prepared) r->object->store().commit_shadow(r->object->uid());
+
+  for (const Resolution& res : resolutions) {
+    if (res.heir == nullptr) {
+      rt_.trace().record(TraceKind::ColourReleased, uid_, Uid::nil(), res.colour.name());
+      rt_.lock_manager().on_commit_release(uid_, res.colour);
+    } else {
+      rt_.trace().record(TraceKind::ColourInherited, uid_, res.heir->uid(), res.colour.name());
+      std::vector<UndoRecord> passing;
+      {
+        const std::scoped_lock lock(mutex_);
+        std::erase_if(undo_, [&](UndoRecord& r) {
+          if (r.colour != res.colour) return false;
+          passing.push_back(std::move(r));
+          return true;
+        });
+      }
+      res.heir->adopt_records(std::move(passing));
+      rt_.lock_manager().on_commit_inherit(uid_, res.colour, res.heir->uid());
+    }
+  }
+
+  for (auto& p : participants) {
+    try {
+      p->commit(uid_, dispos);
+    } catch (const std::exception& e) {
+      MCA_LOG(Error, "action") << "participant commit threw: " << e.what();
+    }
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    undo_.clear();
+  }
+
+  status_.store(ActionStatus::Committed);
+  end_bookkeeping();
+  rt_.note_committed();
+  rt_.trace().record(TraceKind::ActionCommit, uid_);
+  MCA_LOG(Trace, "action") << "committed " << uid_;
+  return Outcome::Committed;
+}
+
+void AtomicAction::abort() {
+  if (status() != ActionStatus::Running) {
+    throw std::logic_error("AtomicAction::abort: action is not running");
+  }
+  if (active_children_.load() != 0) {
+    throw std::logic_error("AtomicAction::abort: children still running");
+  }
+  const auto participants = [&] {
+    const std::scoped_lock lock(mutex_);
+    return participants_;
+  }();
+  for (auto& p : participants) {
+    try {
+      p->abort(uid_);
+    } catch (const std::exception& e) {
+      MCA_LOG(Error, "action") << "participant abort threw: " << e.what();
+    }
+  }
+  restore_undo_records();
+  rt_.lock_manager().on_abort(uid_);
+  status_.store(ActionStatus::Aborted);
+  end_bookkeeping();
+  rt_.note_aborted();
+  rt_.trace().record(TraceKind::ActionAbort, uid_);
+  MCA_LOG(Trace, "action") << "aborted " << uid_;
+}
+
+void AtomicAction::restore_undo_records() {
+  const std::scoped_lock lock(mutex_);
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    it->object->apply_state(it->before);
+  }
+  undo_.clear();
+}
+
+void AtomicAction::end_bookkeeping() {
+  if (context_policy_ == ContextPolicy::OnThread) ActionContext::pop(*this);
+  rt_.ancestry().deregister_action(uid_);
+  if (parent_ != nullptr) parent_->active_children_.fetch_sub(1);
+}
+
+}  // namespace mca

@@ -1,0 +1,92 @@
+#include "core/colour.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mca {
+namespace {
+
+// Interning table. Index 0 is reserved for the plain colour.
+struct ColourTable {
+  std::mutex mutex;
+  std::vector<std::string> names{"plain"};
+  std::unordered_map<std::string, std::uint32_t> by_name{{"plain", 0}};
+};
+
+ColourTable& table() {
+  static ColourTable t;
+  return t;
+}
+
+}  // namespace
+
+Colour Colour::named(const std::string& name) {
+  auto& t = table();
+  const std::scoped_lock lock(t.mutex);
+  auto [it, inserted] = t.by_name.try_emplace(name, static_cast<std::uint32_t>(t.names.size()));
+  if (inserted) t.names.push_back(name);
+  return Colour(it->second);
+}
+
+Colour Colour::fresh(const std::string& hint) {
+  auto& t = table();
+  const std::scoped_lock lock(t.mutex);
+  const auto id = static_cast<std::uint32_t>(t.names.size());
+  std::ostringstream name;
+  name << hint << '#' << id;
+  t.names.push_back(name.str());
+  t.by_name.emplace(t.names.back(), id);
+  return Colour(id);
+}
+
+const std::string& Colour::name() const {
+  auto& t = table();
+  const std::scoped_lock lock(t.mutex);
+  return t.names.at(id_);
+}
+
+ColourSet::ColourSet(std::initializer_list<Colour> colours) : colours_(colours) { normalise(); }
+
+ColourSet::ColourSet(std::vector<Colour> colours) : colours_(std::move(colours)) { normalise(); }
+
+void ColourSet::normalise() {
+  // Keep the first occurrence order-stable for primary(), but deduplicate.
+  std::vector<Colour> unique;
+  unique.reserve(colours_.size());
+  for (Colour c : colours_) {
+    if (std::find(unique.begin(), unique.end(), c) == unique.end()) unique.push_back(c);
+  }
+  colours_ = std::move(unique);
+}
+
+bool ColourSet::contains(Colour c) const {
+  return std::find(colours_.begin(), colours_.end(), c) != colours_.end();
+}
+
+Colour ColourSet::primary() const {
+  if (colours_.empty()) throw std::logic_error("ColourSet::primary on empty set");
+  return colours_.front();
+}
+
+ColourSet ColourSet::with(Colour c) const {
+  if (contains(c)) return *this;
+  std::vector<Colour> out = colours_;
+  out.push_back(c);
+  return ColourSet(std::move(out));
+}
+
+std::string ColourSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < colours_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << colours_[i].name();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace mca

@@ -1,0 +1,83 @@
+// Colours and colour sets (paper §5).
+//
+// A colour is an attribute attached to actions and to the locks they
+// acquire. Coloured actions of the same colour behave like conventional
+// atomic actions towards each other; actions of different colours are
+// decoupled for recovery and permanence. A Colour is an interned name —
+// cheap to copy and compare — and a ColourSet is a small ordered set of
+// them.
+//
+// The distinguished `Colour::plain()` is what single-coloured (conventional)
+// actions use; a system in which every action is {plain} behaves exactly
+// like a classical nested atomic action system (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mca {
+
+class Colour {
+ public:
+  // Interns `name`, returning the same Colour for the same string.
+  static Colour named(const std::string& name);
+
+  // A fresh colour guaranteed distinct from every other colour in the
+  // process; used by the structure builders (§5.3-5.5) to mint serializing /
+  // glue / independence colours automatically.
+  static Colour fresh(const std::string& hint = "c");
+
+  // The default colour of conventional atomic actions.
+  static Colour plain() { return Colour(0); }
+
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  friend auto operator<=>(const Colour&, const Colour&) = default;
+
+ private:
+  explicit constexpr Colour(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+// An immutable small ordered set of colours. Actions are statically assigned
+// their ColourSet when they begin (§5.1: "actions are statically assigned
+// colours").
+class ColourSet {
+ public:
+  ColourSet() = default;
+  ColourSet(std::initializer_list<Colour> colours);
+  explicit ColourSet(std::vector<Colour> colours);
+
+  [[nodiscard]] bool contains(Colour c) const;
+  [[nodiscard]] bool empty() const { return colours_.empty(); }
+  [[nodiscard]] std::size_t size() const { return colours_.size(); }
+  [[nodiscard]] const std::vector<Colour>& colours() const { return colours_; }
+
+  // The colour used when an operation does not name one explicitly; defined
+  // as the first colour of the set.
+  [[nodiscard]] Colour primary() const;
+
+  [[nodiscard]] ColourSet with(Colour c) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  auto begin() const { return colours_.begin(); }
+  auto end() const { return colours_.end(); }
+
+  friend bool operator==(const ColourSet&, const ColourSet&) = default;
+
+ private:
+  void normalise();
+  std::vector<Colour> colours_;
+};
+
+}  // namespace mca
+
+template <>
+struct std::hash<mca::Colour> {
+  std::size_t operator()(const mca::Colour& c) const noexcept { return c.id(); }
+};

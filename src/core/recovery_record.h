@@ -1,0 +1,26 @@
+// Recovery (undo) records.
+//
+// When an action first modifies an object it snapshots the object's prior
+// in-memory state into an UndoRecord tagged with the colour of the write
+// lock used. On abort the snapshots are re-applied in reverse order; on
+// commit the records of each colour either pass to the closest ancestor of
+// that colour (which can then undo past the child's changes if *it* aborts)
+// or — for an outermost-in-colour commit — drive the write of the new state
+// to the object's store (permanence of effect, §5.1 property 3).
+#pragma once
+
+#include "common/buffer.h"
+#include "core/colour.h"
+
+namespace mca {
+
+class LockManaged;
+
+struct UndoRecord {
+  LockManaged* object = nullptr;
+  Colour colour = Colour::plain();
+  // Serialised state at the time of this action's first modification.
+  ByteBuffer before;
+};
+
+}  // namespace mca

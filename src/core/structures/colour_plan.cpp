@@ -1,0 +1,320 @@
+#include "core/structures/colour_plan.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mca {
+
+StructureSpec StructureSpec::plain(std::string name, std::vector<StructureSpec> children) {
+  return StructureSpec{Kind::Plain, std::move(name), 0, std::move(children)};
+}
+
+StructureSpec StructureSpec::serializing(std::string name, std::vector<StructureSpec> children) {
+  return StructureSpec{Kind::Serializing, std::move(name), 0, std::move(children)};
+}
+
+StructureSpec StructureSpec::glued(std::string name, std::vector<StructureSpec> children) {
+  return StructureSpec{Kind::Glued, std::move(name), 0, std::move(children)};
+}
+
+StructureSpec StructureSpec::independent(std::string name, std::size_t level,
+                                         std::vector<StructureSpec> children) {
+  return StructureSpec{Kind::Independent, std::move(name), level, std::move(children)};
+}
+
+namespace {
+
+const char* kind_name(StructureSpec::Kind kind) {
+  switch (kind) {
+    case StructureSpec::Kind::Plain: return "plain";
+    case StructureSpec::Kind::Serializing: return "serializing";
+    case StructureSpec::Kind::Glued: return "glued";
+    case StructureSpec::Kind::Independent: return "independent";
+  }
+  return "?";
+}
+
+struct PlannerFrame {
+  const StructureSpec* spec;
+  ColourSet colours;
+  // The colour a boundary at this frame hands to independence-seeking
+  // descendants (minted lazily).
+  std::optional<Colour> private_colour;
+};
+
+class Planner {
+ public:
+  std::vector<ColourAssignment> run(const StructureSpec& root) {
+    visit(root, /*depth=*/0, ColourSet{Colour::plain()}, LockPlan::single(Colour::plain()),
+          "top-level action", /*forced=*/std::nullopt);
+    return std::move(assignments_);
+  }
+
+ private:
+  struct Forced {
+    ColourSet colours;
+    LockPlan plan;
+    std::string note;
+  };
+
+  // `forced` carries a colouring the parent structure decided for this node
+  // (constituent roles). Only Plain nodes accept a forced colouring: deeper
+  // structures nest inside an explicit Plain wrapper, which keeps every
+  // structure node's own colour minting unambiguous.
+  void visit(const StructureSpec& node, std::size_t depth, ColourSet inherited,
+             LockPlan inherited_plan, std::string note, std::optional<Forced> forced) {
+    if (forced && node.kind != StructureSpec::Kind::Plain) {
+      throw std::invalid_argument(
+          "'" + node.name +
+          "': constituents of serializing/glued structures must be Plain nodes (wrap nested "
+          "structures in a Plain child)");
+    }
+
+    switch (node.kind) {
+      case StructureSpec::Kind::Plain: {
+        const ColourSet colours = forced ? forced->colours : inherited;
+        const LockPlan plan = forced ? forced->plan : inherited_plan;
+        emit(node, depth, colours, plan, forced ? forced->note : note);
+        recurse_children(node, depth, colours, plan);
+        return;
+      }
+      case StructureSpec::Kind::Serializing:
+      case StructureSpec::Kind::Glued: {
+        const bool serializing = node.kind == StructureSpec::Kind::Serializing;
+        const Colour transfer = Colour::fresh(serializing ? "ser" : "glue");
+        const ColourSet colours{transfer};
+        const LockPlan plan = LockPlan::single(transfer);
+        emit(node, depth, colours, plan,
+             serializing ? "serializing encloser (retains constituent locks)"
+                         : "glue group (carries passed-on locks)");
+        const Colour work = Colour::fresh("work");
+        Forced role;
+        role.colours = ColourSet{transfer, work};
+        if (serializing) {
+          role.plan.for_write = {{LockMode::Write, work}, {LockMode::ExclusiveRead, transfer}};
+          role.plan.for_read = {{LockMode::Read, transfer}};
+          role.plan.undo_colour = work;
+          role.note = "constituent (top level in the work colour)";
+        } else {
+          role.plan = LockPlan::single(work);
+          role.note = "glue constituent (pass_on adds XR in the glue colour)";
+        }
+        stack_.push_back(PlannerFrame{&node, colours, std::nullopt});
+        for (const StructureSpec& child : node.children) {
+          visit(child, depth + 1, colours, plan, role.note, role);
+        }
+        stack_.pop_back();
+        return;
+      }
+      case StructureSpec::Kind::Independent: {
+        if (node.level > stack_.size()) {
+          throw std::invalid_argument("independence level " + std::to_string(node.level) +
+                                      " of '" + node.name + "' exceeds its ancestor chain");
+        }
+        Colour colour = Colour::plain();
+        if (node.level == 0) {
+          colour = Colour::fresh("indep");
+          note = "top-level independent";
+        } else {
+          // Tied to the boundary ancestor `level` frames up; everything
+          // below it may abort without undoing this node.
+          PlannerFrame& boundary = stack_[stack_.size() - node.level];
+          if (!boundary.private_colour) {
+            boundary.private_colour = Colour::fresh("priv");
+            // The boundary's colour set grows; patch the emitted row.
+            for (ColourAssignment& a : assignments_) {
+              if (a.name == boundary.spec->name) {
+                a.colours = a.colours.with(*boundary.private_colour);
+                a.private_colours = a.private_colours.with(*boundary.private_colour);
+              }
+            }
+            boundary.colours = boundary.colours.with(*boundary.private_colour);
+          }
+          colour = *boundary.private_colour;
+          note = "level-" + std::to_string(node.level) + " independent (boundary: " +
+                 boundary.spec->name + ")";
+        }
+        const ColourSet colours{colour};
+        const LockPlan plan = LockPlan::single(colour);
+        emit(node, depth, colours, plan, note);
+        recurse_children(node, depth, colours, plan);
+        return;
+      }
+    }
+  }
+
+  void recurse_children(const StructureSpec& node, std::size_t depth, const ColourSet& colours,
+                        const LockPlan& plan) {
+    stack_.push_back(PlannerFrame{&node, colours, std::nullopt});
+    for (const StructureSpec& child : node.children) {
+      visit(child, depth + 1, colours, plan, "nested action", std::nullopt);
+    }
+    stack_.pop_back();
+  }
+
+  void emit(const StructureSpec& node, std::size_t depth, const ColourSet& colours,
+            const LockPlan& plan, const std::string& note) {
+    assignments_.push_back(
+        ColourAssignment{node.name, node.kind, depth, colours, ColourSet{}, plan, note});
+  }
+
+  std::vector<ColourAssignment> assignments_;
+  std::vector<PlannerFrame> stack_;
+};
+
+}  // namespace
+
+ColourPlan ColourPlan::plan(const StructureSpec& spec) {
+  ColourPlan out;
+  Planner planner;
+  out.assignments_ = planner.run(spec);
+  return out;
+}
+
+const ColourAssignment& ColourPlan::assignment_of(const std::string& name) const {
+  auto it = std::find_if(assignments_.begin(), assignments_.end(),
+                         [&](const ColourAssignment& a) { return a.name == name; });
+  if (it == assignments_.end()) {
+    throw std::out_of_range("no assignment for node '" + name + "'");
+  }
+  return *it;
+}
+
+namespace {
+
+// Walks spec and assignment rows in the same depth-first order, applying
+// the §5 checks.
+void validate_node(const StructureSpec& node,
+                   const std::unordered_map<std::string, const ColourAssignment*>& by_name,
+                   const std::vector<const StructureSpec*>& ancestors,
+                   std::vector<ColourPlanError>& errors) {
+  auto self_it = by_name.find(node.name);
+  if (self_it == by_name.end()) {
+    errors.push_back({node.name, "no colour assignment for this node"});
+    return;
+  }
+  const ColourAssignment& self = *self_it->second;
+
+  auto colours_of = [&](const StructureSpec* n) -> const ColourSet* {
+    auto it = by_name.find(n->name);
+    return it == by_name.end() ? nullptr : &it->second->colours;
+  };
+
+  switch (node.kind) {
+    case StructureSpec::Kind::Plain: {
+      if (!ancestors.empty()) {
+        if (const ColourSet* parent = colours_of(ancestors.back())) {
+          // Classical nesting needs the child to cover the parent's colours
+          // only when the parent is itself plain (structure children have
+          // role-specific colourings checked below).
+          if (ancestors.back()->kind == StructureSpec::Kind::Plain) {
+            const ColourAssignment& parent_row = *by_name.at(ancestors.back()->name);
+            for (const Colour c : *parent) {
+              // Boundary private colours are deliberately not inherited.
+              if (parent_row.private_colours.contains(c)) continue;
+              if (!self.colours.contains(c)) {
+                errors.push_back(
+                    {node.name, "plain child lacks parent colour " + c.name()});
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case StructureSpec::Kind::Serializing:
+    case StructureSpec::Kind::Glued: {
+      if (self.colours.size() != 1) {
+        errors.push_back({node.name, "structure encloser must hold exactly one colour"});
+        break;
+      }
+      const Colour transfer = self.colours.primary();
+      for (const StructureSpec& child : node.children) {
+        const ColourSet* child_colours = colours_of(&child);
+        if (child_colours == nullptr) continue;
+        if (!child_colours->contains(transfer)) {
+          errors.push_back({child.name, "constituent does not share the transfer colour " +
+                                            transfer.name()});
+        }
+        for (const Colour c : *child_colours) {
+          if (c != transfer && self.colours.contains(c)) {
+            errors.push_back(
+                {node.name, "encloser possesses constituent work colour " + c.name() +
+                                " (constituents would lose top-level permanence)"});
+          }
+        }
+        // The work colour must not appear above the encloser either.
+        for (const StructureSpec* ancestor : ancestors) {
+          const ColourSet* up = colours_of(ancestor);
+          if (up == nullptr) continue;
+          for (const Colour c : *child_colours) {
+            if (c != transfer && up->contains(c)) {
+              errors.push_back({child.name, "work colour " + c.name() +
+                                                " is held by ancestor " + ancestor->name});
+            }
+          }
+        }
+      }
+      break;
+    }
+    case StructureSpec::Kind::Independent: {
+      // Independent of the (level-1) nearest enclosing actions (all of
+      // them when level==0): no shared colours with those.
+      const std::size_t skip = node.level == 0 ? ancestors.size() : node.level - 1;
+      for (std::size_t i = 0; i < skip && i < ancestors.size(); ++i) {
+        const StructureSpec* near = ancestors[ancestors.size() - 1 - i];
+        const ColourSet* up = colours_of(near);
+        if (up == nullptr) continue;
+        for (const Colour c : self.colours) {
+          if (up->contains(c)) {
+            errors.push_back({node.name, "shares colour " + c.name() + " with " + near->name +
+                                             " it should be independent of"});
+          }
+        }
+      }
+      if (node.level > 0 && node.level <= ancestors.size()) {
+        const StructureSpec* boundary = ancestors[ancestors.size() - node.level];
+        const ColourSet* up = colours_of(boundary);
+        bool shared = false;
+        if (up != nullptr) {
+          for (const Colour c : self.colours) shared = shared || up->contains(c);
+        }
+        if (!shared) {
+          errors.push_back({node.name, "does not share a colour with its boundary " +
+                                           boundary->name});
+        }
+      }
+      break;
+    }
+  }
+
+  auto next_ancestors = ancestors;
+  next_ancestors.push_back(&node);
+  for (const StructureSpec& child : node.children) {
+    validate_node(child, by_name, next_ancestors, errors);
+  }
+}
+
+}  // namespace
+
+std::vector<ColourPlanError> ColourPlan::validate(
+    const StructureSpec& spec, const std::vector<ColourAssignment>& assignments) {
+  std::unordered_map<std::string, const ColourAssignment*> by_name;
+  for (const ColourAssignment& a : assignments) by_name[a.name] = &a;
+  std::vector<ColourPlanError> errors;
+  validate_node(spec, by_name, {}, errors);
+  return errors;
+}
+
+std::string ColourPlan::to_string() const {
+  std::ostringstream os;
+  for (const ColourAssignment& a : assignments_) {
+    os << std::string(a.depth * 2, ' ') << a.name << " [" << kind_name(a.kind) << "] "
+       << a.colours.to_string() << " — " << a.note << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mca

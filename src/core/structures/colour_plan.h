@@ -1,0 +1,107 @@
+// Automatic colour assignment from structure descriptions (paper §6).
+//
+// "The approach that we are adopting in our research is to let the
+// application builder think in terms of the action structures of section 3
+// and to generate colour assignments automatically, thus ensuring that
+// coloured actions are used in a controlled manner."
+//
+// The structure classes (SerializingAction, GlueGroup, IndependentAction)
+// do this implicitly at run time. This module exposes the same assignment
+// as *data*: a StructureSpec describes a tree of intended structures, and
+// plan() computes every node's ColourSet and LockPlan — useful for
+// inspecting, persisting, or validating a colouring before running it, and
+// for driving hand-coloured AtomicAction systems from declarative input.
+// validate() checks an assignment against the §5 rules the figures rely
+// on, catching the classic mistakes (an encloser sharing the constituents'
+// work colour, an "independent" child sharing a colour with its invoker...).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/atomic_action.h"
+
+namespace mca {
+
+// One node of an intended action structure.
+struct StructureSpec {
+  enum class Kind {
+    Plain,        // conventional nested action: inherits the parent colours
+    Serializing,  // fig. 11 encloser; children become constituents
+    Glued,        // fig. 12 group; children become glue constituents
+    Independent,  // fig. 13/15; `level` picks the *boundary* ancestor the
+                  // node's fate is tied to: 0 = none (fully top-level
+                  // independent), 1 = parent, 2 = grandparent (fig. 15's E
+                  // inside B inside A is level 2), ...
+  };
+
+  Kind kind = Kind::Plain;
+  std::string name;       // must be unique within a spec (used as the key)
+  std::size_t level = 0;  // Independent only
+  std::vector<StructureSpec> children;
+
+  static StructureSpec plain(std::string name, std::vector<StructureSpec> children = {});
+  static StructureSpec serializing(std::string name, std::vector<StructureSpec> children);
+  static StructureSpec glued(std::string name, std::vector<StructureSpec> children);
+  static StructureSpec independent(std::string name, std::size_t level = 0,
+                                   std::vector<StructureSpec> children = {});
+};
+
+// The computed assignment for one node.
+struct ColourAssignment {
+  std::string name;
+  StructureSpec::Kind kind = StructureSpec::Kind::Plain;
+  std::size_t depth = 0;
+  ColourSet colours;
+  // Colours minted on this node purely as independence boundaries
+  // (fig. 15's "blue" on A): descendants do not inherit them, so the
+  // validator's classical-nesting check exempts them.
+  ColourSet private_colours;
+  LockPlan lock_plan;
+  std::string note;  // human-readable role description
+};
+
+struct ColourPlanError {
+  std::string node;
+  std::string message;
+};
+
+class ColourPlan {
+ public:
+  // Computes colour assignments for every node of `spec` (root first,
+  // depth-first order). Throws std::invalid_argument for impossible specs
+  // (e.g. an Independent level deeper than its ancestor chain).
+  static ColourPlan plan(const StructureSpec& spec);
+
+  [[nodiscard]] const std::vector<ColourAssignment>& assignments() const {
+    return assignments_;
+  }
+  [[nodiscard]] const ColourAssignment& assignment_of(const std::string& name) const;
+
+  // Checks the assignment against the §5 well-formedness rules:
+  //  * a serializing/glue encloser must not possess its constituents' work
+  //    colour (otherwise constituents are not top level for permanence);
+  //  * every constituent must share the encloser's transfer colour
+  //    (otherwise the encloser cannot retain its locks);
+  //  * an independent node must share no colour with the actions it is
+  //    independent of;
+  //  * a plain child must possess every colour of its parent (classical
+  //    nesting).
+  // Returns the violations found (empty = well formed). A plan produced by
+  // plan() always validates; the entry point exists to vet hand-made or
+  // edited assignments.
+  [[nodiscard]] static std::vector<ColourPlanError> validate(
+      const StructureSpec& spec, const std::vector<ColourAssignment>& assignments);
+  [[nodiscard]] std::vector<ColourPlanError> validate(const StructureSpec& spec) const {
+    return validate(spec, assignments_);
+  }
+
+  // Pretty-printed table of the assignment.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<ColourAssignment> assignments_;
+};
+
+}  // namespace mca

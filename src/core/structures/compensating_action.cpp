@@ -1,0 +1,63 @@
+#include "core/structures/compensating_action.h"
+
+#include "common/logging.h"
+
+namespace mca {
+
+CompensationScope::~CompensationScope() {
+  if (!settled_) {
+    try {
+      abandon();
+    } catch (const std::exception& e) {
+      MCA_LOG(Error, "compensation") << "abandon during destruction failed: " << e.what();
+    }
+  }
+}
+
+Outcome CompensationScope::step(const std::function<void()>& forward,
+                                std::function<void()> compensator) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (settled_) throw std::logic_error("CompensationScope: step after settle");
+  }
+  const Outcome outcome = IndependentAction::run(rt_, forward);
+  if (outcome == Outcome::Committed) {
+    const std::scoped_lock lock(mutex_);
+    compensators_.push_back(std::move(compensator));
+  }
+  return outcome;
+}
+
+void CompensationScope::complete() {
+  const std::scoped_lock lock(mutex_);
+  settled_ = true;
+  compensators_.clear();
+}
+
+std::size_t CompensationScope::abandon() {
+  std::vector<std::function<void()>> to_run;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (settled_) return 0;
+    settled_ = true;
+    to_run = std::move(compensators_);
+    compensators_.clear();
+  }
+  std::size_t committed = 0;
+  for (auto it = to_run.rbegin(); it != to_run.rend(); ++it) {
+    const Outcome outcome = IndependentAction::run(rt_, *it);
+    if (outcome == Outcome::Committed) {
+      ++committed;
+    } else {
+      MCA_LOG(Warn, "compensation") << "a compensator aborted; continuing with the rest";
+    }
+  }
+  return committed;
+}
+
+std::size_t CompensationScope::pending_compensations() const {
+  const std::scoped_lock lock(mutex_);
+  return compensators_.size();
+}
+
+}  // namespace mca

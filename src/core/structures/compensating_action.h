@@ -1,0 +1,66 @@
+// Compensation scopes — the paper's future work (§3.4).
+//
+// "Once a top-level action commits, its effects can only be 'undone' by
+// running one or more application specific compensating actions. Developing
+// mechanisms for compensation within the framework proposed here is left as
+// a topic for further research."
+//
+// This module supplies that mechanism. A CompensationScope brackets a piece
+// of application work that launches top-level independent actions (bulletin
+// posts, name-server updates, charges...). Each independent step registers
+// a *compensator* alongside its forward body. If the scope completes, the
+// compensators are discarded; if it is abandoned, they are executed in
+// reverse order, each as its own top-level independent action — turning a
+// sequence of permanent steps into a saga with application-level undo.
+//
+// Compensators must be semantic inverses of their forward steps (retract a
+// posting, remove a binding, refund a charge); the framework guarantees
+// ordering, at-most-once execution per registered step, and that a
+// compensator failure does not stop the remaining ones (it is reported).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/structures/independent_action.h"
+
+namespace mca {
+
+class CompensationScope {
+ public:
+  explicit CompensationScope(Runtime& rt) : rt_(rt) {}
+
+  // Destructor compensates if neither complete() nor abandon() was called
+  // (exception-safety: a scope unwound by a throw compensates).
+  ~CompensationScope();
+
+  CompensationScope(const CompensationScope&) = delete;
+  CompensationScope& operator=(const CompensationScope&) = delete;
+
+  // Runs `forward` as a top-level independent action; when it commits,
+  // `compensator` is registered for potential rollback. Returns the forward
+  // outcome (an aborted forward step registers nothing — it already had no
+  // effect).
+  Outcome step(const std::function<void()>& forward,
+               std::function<void()> compensator);
+
+  // Marks the scope successful: compensators are discarded.
+  void complete();
+
+  // Abandons the scope now: every registered compensator runs in reverse
+  // order, each as an independent action. Returns how many compensators
+  // committed.
+  std::size_t abandon();
+
+  [[nodiscard]] std::size_t pending_compensations() const;
+  [[nodiscard]] bool settled() const { return settled_; }
+
+ private:
+  Runtime& rt_;
+  mutable std::mutex mutex_;
+  std::vector<std::function<void()>> compensators_;
+  bool settled_ = false;
+};
+
+}  // namespace mca

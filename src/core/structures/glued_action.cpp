@@ -1,0 +1,104 @@
+#include "core/structures/glued_action.h"
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+GlueGroup::GlueGroup(Runtime& rt) : GlueGroup(rt, ActionContext::current()) {}
+
+GlueGroup::GlueGroup(Runtime& rt, AtomicAction* parent)
+    : glue_(Colour::fresh("glue")),
+      work_(Colour::fresh("work")),
+      group_(rt, parent, ColourSet{glue_}) {}
+
+void GlueGroup::begin() { group_.begin(); }
+
+GlueGroup::Constituent GlueGroup::constituent() {
+  auto action =
+      std::make_unique<AtomicAction>(group_.runtime(), &group_, ColourSet{glue_, work_});
+  action->set_lock_plan(LockPlan::single(work_));
+  return Constituent(*this, std::move(action));
+}
+
+void GlueGroup::pass_on(Constituent& within, LockManaged& obj) {
+  if (const LockOutcome o = within.action().lock_explicit(obj, LockMode::ExclusiveRead, glue_);
+      o != LockOutcome::Granted) {
+    throw LockFailure(o, obj.uid());
+  }
+  within.passed_.insert(obj.uid());
+}
+
+Outcome GlueGroup::run_constituent(const std::function<void(Constituent&)>& body) {
+  Constituent c = constituent();
+  c.begin();
+  try {
+    body(c);
+  } catch (...) {
+    c.abort();
+    throw;
+  }
+  return c.commit();
+}
+
+void GlueGroup::Constituent::begin() { action_->begin(); }
+
+Outcome GlueGroup::Constituent::commit() {
+  // Which currently-glued objects did this constituent touch? Those it does
+  // not pass on again are released once it has committed (fig. 9).
+  std::vector<Uid> consumed;
+  {
+    const std::scoped_lock lock(group_->mutex_);
+    LockManager& lm = action_->runtime().lock_manager();
+    for (const Uid& uid : group_->glued_) {
+      for (const LockEntry& e : lm.entries(uid)) {
+        if (e.owner == action_->uid()) {
+          consumed.push_back(uid);
+          break;
+        }
+      }
+    }
+  }
+  const Outcome outcome = action_->commit();
+  if (outcome == Outcome::Committed) {
+    const std::scoped_lock lock(group_->mutex_);
+    LockManager& lm = action_->runtime().lock_manager();
+    for (const Uid& uid : consumed) {
+      if (!passed_.contains(uid)) {
+        group_->glued_.erase(uid);
+        lm.release_early(group_->group_.uid(), uid, group_->glue_, LockMode::ExclusiveRead);
+      }
+    }
+    group_->glued_.insert(passed_.begin(), passed_.end());
+  }
+  return outcome;
+}
+
+void GlueGroup::Constituent::abort() {
+  // The constituent's own locks (including its fresh XR transfer locks) are
+  // discarded; whatever the group already carried stays glued, so the work
+  // can be retried.
+  action_->abort();
+}
+
+Outcome GlueGroup::end() {
+  {
+    const std::scoped_lock lock(mutex_);
+    glued_.clear();
+  }
+  return group_.commit();
+}
+
+void GlueGroup::abort() {
+  {
+    const std::scoped_lock lock(mutex_);
+    glued_.clear();
+  }
+  group_.abort();
+}
+
+std::size_t GlueGroup::glued_count() const {
+  const std::scoped_lock lock(mutex_);
+  return glued_.size();
+}
+
+}  // namespace mca

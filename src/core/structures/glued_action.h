@@ -1,0 +1,114 @@
+// Glued actions (paper §3.2, implemented per §5.4 / fig. 12).
+//
+// Gluing lets a *selected subset* of an action's locks pass atomically to
+// the next action while every other lock is released at commit time — more
+// concurrency than a serializing action (which retains everything), with no
+// cascade-abort risk (unlike naive early lock release).
+//
+// Colouring (automatic): the glue group G is coloured {g}; every constituent
+// A_i is coloured {g, w} and works in w (plain single-colour plan). Inside a
+// constituent, pass_on(obj) additionally takes an EXCLUSIVE-READ lock on obj
+// in g; at the constituent's commit its w locks are released (and its
+// updates made permanent — no w-coloured ancestor exists) while the g locks
+// are inherited by G, carrying the object exclusively across the gap to the
+// next constituent.
+//
+// Objects glued into a constituent but *not* passed on again are released
+// when that constituent commits (fig. 9: rejected diary slots are freed),
+// via an early release by G — safe because G is a pure transfer mechanism
+// that never reads or writes the objects itself.
+//
+// Usage:
+//   GlueGroup glue(rt);
+//   glue.begin();
+//   {
+//     GlueGroup::Constituent a = glue.constituent();
+//     a.begin();
+//     ... modify objects ...
+//     glue.pass_on(a, obj1);          // obj1 stays locked after a commits
+//     a.commit();
+//   }
+//   {
+//     GlueGroup::Constituent b = glue.constituent();
+//     b.begin();
+//     ... b can write obj1; everything else was released ...
+//     b.commit();                      // obj1 released: b passed nothing on
+//   }
+//   glue.end();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/atomic_action.h"
+
+namespace mca {
+
+class LockManaged;
+
+class GlueGroup {
+ public:
+  class Constituent {
+   public:
+    void begin();
+    Outcome commit();
+    void abort();
+
+    [[nodiscard]] AtomicAction& action() { return *action_; }
+
+   private:
+    friend class GlueGroup;
+    Constituent(GlueGroup& group, std::unique_ptr<AtomicAction> action)
+        : group_(&group), action_(std::move(action)) {}
+
+    GlueGroup* group_;
+    std::unique_ptr<AtomicAction> action_;
+    std::unordered_set<Uid> passed_;
+  };
+
+  explicit GlueGroup(Runtime& rt);
+  GlueGroup(Runtime& rt, AtomicAction* parent);
+
+  void begin();
+
+  // A fresh constituent ({g, w}-coloured child of the group). Constituents
+  // may run sequentially (fig. 5/9) or concurrently (fig. 6).
+  [[nodiscard]] Constituent constituent();
+
+  // Marks `obj` to stay locked past `within`'s commit: takes an XR lock in
+  // the glue colour charged to `within`. Throws LockFailure if it cannot be
+  // granted.
+  void pass_on(Constituent& within, LockManaged& obj);
+
+  // Convenience: run a whole constituent on this thread; `body` receives the
+  // constituent to pass_on through. Commits on normal return, aborts on
+  // exception (which propagates).
+  Outcome run_constituent(const std::function<void(Constituent&)>& body);
+
+  // Ends the group, releasing every still-glued object. Like a serializing
+  // action the group has no failure atomicity of its own: end() and abort()
+  // differ only in reported status.
+  Outcome end();
+  void abort();
+
+  // Objects currently carried by the group (test/bench introspection).
+  [[nodiscard]] std::size_t glued_count() const;
+
+  [[nodiscard]] AtomicAction& action() { return group_; }
+  [[nodiscard]] Colour glue_colour() const { return glue_; }
+  [[nodiscard]] Colour work_colour() const { return work_; }
+
+ private:
+  void constituent_committed(Constituent& c);
+
+  Colour glue_;
+  Colour work_;
+  AtomicAction group_;
+  mutable std::mutex mutex_;
+  std::unordered_set<Uid> glued_;
+};
+
+}  // namespace mca

@@ -1,0 +1,56 @@
+#include "core/structures/independent_action.h"
+
+#include "common/logging.h"
+
+namespace mca {
+namespace {
+
+Outcome run_body(AtomicAction& action, const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const std::exception& e) {
+    MCA_LOG(Info, "independent") << "body threw (" << e.what() << "); aborting";
+    action.abort();
+    return Outcome::Aborted;
+  }
+  return action.commit();
+}
+
+}  // namespace
+
+Outcome IndependentAction::run(Runtime& rt, const std::function<void()>& body,
+                               Independence independence) {
+  AtomicAction action(rt, ColourSet{independence.resolve()});
+  action.begin();
+  return run_body(action, body);
+}
+
+IndependentAction::Async IndependentAction::spawn(Runtime& rt, std::function<void()> body,
+                                                  Independence independence) {
+  // Resolve the colour and parent on the invoking thread: the colour may
+  // mint an ancestor's private colour, which must happen before the child's
+  // colour set is fixed.
+  const Colour colour = independence.resolve();
+  AtomicAction* parent = ActionContext::current();
+
+  std::promise<Outcome> promise;
+  std::future<Outcome> outcome = promise.get_future();
+  std::thread thread([&rt, parent, colour, body = std::move(body),
+                      promise = std::move(promise)]() mutable {
+    AtomicAction action(rt, parent, ColourSet{colour});
+    action.begin();
+    promise.set_value(run_body(action, body));
+  });
+  return Async(std::move(outcome), std::move(thread));
+}
+
+Outcome IndependentAction::Async::join() {
+  if (!joined_) {
+    joined_ = true;
+    if (outcome_.valid()) result_ = outcome_.get();
+    if (thread_.joinable()) thread_.join();
+  }
+  return result_;
+}
+
+}  // namespace mca

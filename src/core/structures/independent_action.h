@@ -1,0 +1,86 @@
+// Top-level and n-level independent actions (paper §3.3, §5.5-5.6,
+// figs. 7, 13, 14, 15).
+//
+// An independent action is invoked from inside another action but commits or
+// aborts on its own: colouring it with colours disjoint from the invoker's
+// makes its locks and updates ignore the invoker's fate. Two degrees:
+//
+//   * top_level(): a fresh colour nobody else has — the action's effects are
+//     permanent at its own commit, whatever any ancestor does (fig. 13);
+//   * up_to(ancestor): the ancestor's private colour — the action's effects
+//     survive the abort of everything *below* that ancestor, but are undone
+//     if the ancestor itself aborts (second/n-level independence, fig. 15:
+//     E coloured blue survives B's abort but not A's).
+//
+// Invocation is synchronous (the invoker continues after the independent
+// action terminates, fig. 7a) or asynchronous on its own thread (fig. 7b).
+// Asynchronous independents are structurally children of the invoker, so the
+// invoker must join() them before it terminates — the same completion rule
+// the rest of the kernel enforces for concurrent children.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+
+#include "core/atomic_action.h"
+
+namespace mca {
+
+// Degree of independence for an invoked action.
+class Independence {
+ public:
+  // Fully top-level: a fresh private colour.
+  static Independence top_level() { return Independence(nullptr); }
+
+  // Independent of every action strictly below `ancestor`; tied to
+  // `ancestor`'s own fate (its private colour).
+  static Independence up_to(AtomicAction& ancestor) { return Independence(&ancestor); }
+
+  [[nodiscard]] Colour resolve() const {
+    return boundary_ != nullptr ? boundary_->private_colour() : Colour::fresh("indep");
+  }
+
+ private:
+  explicit Independence(AtomicAction* boundary) : boundary_(boundary) {}
+  AtomicAction* boundary_;
+};
+
+class IndependentAction {
+ public:
+  // Synchronously runs `body` as an independent action nested under the
+  // current action (if any): commits on normal return, aborts if `body`
+  // throws (the exception is swallowed; Aborted is returned, and the
+  // invoker decides how to proceed — fig. 7a).
+  static Outcome run(Runtime& rt, const std::function<void()>& body,
+                     Independence independence = Independence::top_level());
+
+  // Handle to an asynchronous independent action.
+  class Async {
+   public:
+    Async(Async&&) = default;
+    Async& operator=(Async&&) = default;
+    ~Async() { join(); }
+
+    // Blocks until the action has terminated and returns its outcome.
+    Outcome join();
+
+   private:
+    friend class IndependentAction;
+    Async(std::future<Outcome> outcome, std::thread thread)
+        : outcome_(std::move(outcome)), thread_(std::move(thread)) {}
+
+    std::future<Outcome> outcome_;
+    std::thread thread_;
+    bool joined_ = false;
+    Outcome result_ = Outcome::Aborted;
+  };
+
+  // Asynchronously runs `body` as an independent child of the current
+  // action on a new thread (fig. 7b). The invoker must join() the handle
+  // (or let it go out of scope) before terminating itself.
+  static Async spawn(Runtime& rt, std::function<void()> body,
+                     Independence independence = Independence::top_level());
+};
+
+}  // namespace mca

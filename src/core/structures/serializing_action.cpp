@@ -1,0 +1,50 @@
+#include "core/structures/serializing_action.h"
+
+namespace mca {
+namespace {
+
+LockPlan constituent_plan(Colour serial, Colour work) {
+  LockPlan plan;
+  plan.for_write = {{LockMode::Write, work}, {LockMode::ExclusiveRead, serial}};
+  plan.for_read = {{LockMode::Read, serial}};
+  plan.undo_colour = work;
+  return plan;
+}
+
+}  // namespace
+
+SerializingAction::SerializingAction(Runtime& rt)
+    : SerializingAction(rt, ActionContext::current()) {}
+
+SerializingAction::SerializingAction(Runtime& rt, AtomicAction* parent)
+    : serial_(Colour::fresh("ser")),
+      work_(Colour::fresh("work")),
+      action_(rt, parent, ColourSet{serial_}) {}
+
+void SerializingAction::begin() { action_.begin(); }
+
+Outcome SerializingAction::run_constituent(const std::function<void()>& body) {
+  AtomicAction c(action_.runtime(), &action_, ColourSet{serial_, work_});
+  c.set_lock_plan(constituent_plan(serial_, work_));
+  c.begin();
+  try {
+    body();
+  } catch (...) {
+    c.abort();
+    throw;
+  }
+  return c.commit();
+}
+
+std::unique_ptr<AtomicAction> SerializingAction::constituent() {
+  auto c = std::make_unique<AtomicAction>(action_.runtime(), &action_,
+                                          ColourSet{serial_, work_});
+  c->set_lock_plan(constituent_plan(serial_, work_));
+  return c;
+}
+
+Outcome SerializingAction::end() { return action_.commit(); }
+
+void SerializingAction::abort() { action_.abort(); }
+
+}  // namespace mca

@@ -1,0 +1,70 @@
+// Serializing actions (paper §3.1, implemented per §5.3 / fig. 11).
+//
+// A serializing action is "atomic with respect to concurrency but not with
+// respect to failures": its constituents behave as top-level actions for
+// permanence (a committed constituent's effects survive even if the
+// serializing action later aborts), while the locks the constituents release
+// at commit are retained by the serializing action, so no outside action can
+// interleave between constituents.
+//
+// Colouring (automatic, §6): the serializing action is coloured {S}; each
+// constituent {S, W}, with the lock plan
+//     write  ->  WRITE in W  +  EXCLUSIVE-READ in S
+//     read   ->  READ in S
+// where S, W are fresh colours. A constituent's W locks have no W-coloured
+// ancestor, so its updates become permanent at its own commit; its S locks
+// are inherited by the serializing action, which is a pure serializing
+// mechanism (it performs no writes).
+//
+// Usage:
+//   SerializingAction ser(rt);
+//   ser.begin();
+//   ser.run_constituent([&] { ...B... });
+//   ser.run_constituent([&] { ...C... });
+//   ser.end();        // or ser.abort(); B and C's effects survive either way
+//
+// Concurrent constituents (fig. 8, distributed make) use constituent() to
+// obtain a configured child action and begin/commit it on another thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/atomic_action.h"
+
+namespace mca {
+
+class SerializingAction {
+ public:
+  // Parent is the current action of the constructing thread (usually none).
+  explicit SerializingAction(Runtime& rt);
+  SerializingAction(Runtime& rt, AtomicAction* parent);
+
+  void begin();
+
+  // Runs `body` inside a fresh constituent on this thread: commits on normal
+  // return, aborts if `body` throws (the exception propagates).
+  Outcome run_constituent(const std::function<void()>& body);
+
+  // A configured constituent action for manual / cross-thread control. The
+  // caller begins, runs and terminates it; it is parented to the serializing
+  // action regardless of which thread it runs on.
+  [[nodiscard]] std::unique_ptr<AtomicAction> constituent();
+
+  // Terminates the serializing action, releasing the retained locks. end()
+  // commits; abort() differs only in status reporting — committed
+  // constituents' effects survive both (relaxed failure atomicity, §3.1).
+  Outcome end();
+  void abort();
+
+  [[nodiscard]] AtomicAction& action() { return action_; }
+  [[nodiscard]] Colour serial_colour() const { return serial_; }
+  [[nodiscard]] Colour work_colour() const { return work_; }
+
+ private:
+  Colour serial_;
+  Colour work_;
+  AtomicAction action_;
+};
+
+}  // namespace mca

@@ -1,0 +1,325 @@
+#include "dist/node.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "dist/remote.h"
+
+namespace mca {
+namespace {
+
+// Process-global dispatcher registry, keyed by type_name().
+struct TypeRegistry {
+  std::mutex mutex;
+  std::unordered_map<std::string, DistNode::Dispatcher> dispatchers;
+};
+
+TypeRegistry& type_registry() {
+  static TypeRegistry r;
+  return r;
+}
+
+// RAII current-action scope for server-side operation execution.
+class ContextGuard {
+ public:
+  explicit ContextGuard(AtomicAction& action) : action_(action) {
+    ActionContext::push(action_);
+  }
+  ~ContextGuard() { ActionContext::pop(action_); }
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  AtomicAction& action_;
+};
+
+constexpr const char* kLockFailPrefix = "lockfail:";
+
+std::string encode_lock_failure(LockOutcome o) {
+  return std::string(kLockFailPrefix) + std::string(to_string(o));
+}
+
+std::optional<LockOutcome> decode_lock_failure(const std::string& error) {
+  if (!error.starts_with(kLockFailPrefix)) return std::nullopt;
+  const std::string what = error.substr(std::strlen(kLockFailPrefix));
+  if (what == "refused") return LockOutcome::Refused;
+  if (what == "deadlock") return LockOutcome::Deadlock;
+  if (what == "timeout") return LockOutcome::Timeout;
+  return LockOutcome::Timeout;
+}
+
+}  // namespace
+
+DistNode::DistNode(Network& network, NodeId id, ObjectStore* store, std::size_t rpc_workers)
+    : id_(id),
+      owned_store_(store == nullptr ? std::make_unique<MemoryStore>(StorageClass::Stable)
+                                    : nullptr),
+      runtime_(std::make_unique<Runtime>(store != nullptr ? *store : *owned_store_)),
+      rpc_(network, id, rpc_workers),
+      participants_(*runtime_, [this](const Uid& uid) { return resolve(uid); }) {
+  register_standard_types();
+  register_services();
+}
+
+DistNode::~DistNode() = default;
+
+void DistNode::register_type(const std::string& type_name, Dispatcher dispatcher) {
+  auto& r = type_registry();
+  const std::scoped_lock lock(r.mutex);
+  r.dispatchers[type_name] = std::move(dispatcher);
+}
+
+void DistNode::host(LockManaged& object) {
+  const std::scoped_lock lock(hosted_mutex_);
+  hosted_[object.uid()] = Hosted{&object, object.snapshot_state()};
+}
+
+LockManaged* DistNode::resolve(const Uid& uid) {
+  const std::scoped_lock lock(hosted_mutex_);
+  auto it = hosted_.find(uid);
+  return it == hosted_.end() ? nullptr : it->second.object;
+}
+
+void DistNode::register_services() {
+  rpc_.register_service("obj.invoke", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    std::vector<Uid> path = wire::unpack_path(args);
+    const ColourSet colours = wire::unpack_colour_set(args);
+    const LockPlan plan = wire::unpack_plan(args);
+    const Uid object_uid = args.unpack_uid();
+    const std::string op = args.unpack_string();
+    ByteBuffer op_args(args.unpack_bytes());
+
+    LockManaged* object = resolve(object_uid);
+    if (object == nullptr) {
+      throw std::runtime_error("no such object: " + object_uid.to_string());
+    }
+    Dispatcher dispatcher;
+    {
+      auto& r = type_registry();
+      const std::scoped_lock lock(r.mutex);
+      auto it = r.dispatchers.find(object->type_name());
+      if (it == r.dispatchers.end()) {
+        throw std::runtime_error("no dispatcher for type " + object->type_name());
+      }
+      dispatcher = it->second;
+    }
+
+    // Shared ownership: the mirror stays valid for this operation even if a
+    // concurrent coordinator decision removes it from the table.
+    const auto mirror = participants_.mirror_for(action, std::move(path), colours);
+    mirror->set_lock_plan(plan);
+    const ContextGuard scope(*mirror);
+    try {
+      return dispatcher(*object, op, op_args);
+    } catch (const LockFailure& f) {
+      throw std::runtime_error(encode_lock_failure(f.outcome()));
+    }
+  });
+
+  rpc_.register_service("obj.lock", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    std::vector<Uid> path = wire::unpack_path(args);
+    const ColourSet colours = wire::unpack_colour_set(args);
+    const Uid object_uid = args.unpack_uid();
+    const auto mode = static_cast<LockMode>(args.unpack_u8());
+    const Colour colour = wire::unpack_colour(args);
+
+    LockManaged* object = resolve(object_uid);
+    if (object == nullptr) {
+      throw std::runtime_error("no such object: " + object_uid.to_string());
+    }
+    const auto mirror = participants_.mirror_for(action, std::move(path), colours);
+    ByteBuffer reply;
+    reply.pack_u8(static_cast<std::uint8_t>(mirror->lock_explicit(*object, mode, colour)));
+    return reply;
+  });
+
+  rpc_.register_service("obj.unlock", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid owner = args.unpack_uid();
+    const Uid object = args.unpack_uid();
+    const Colour colour = wire::unpack_colour(args);
+    const auto mode = static_cast<LockMode>(args.unpack_u8());
+    runtime_->lock_manager().release_early(owner, object, colour, mode);
+    return ByteBuffer{};
+  });
+
+  rpc_.register_service("tx.prepare", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    const NodeId coordinator = args.unpack_u32();
+    const std::uint32_t n = args.unpack_u32();
+    std::vector<Colour> permanent;
+    permanent.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) permanent.push_back(wire::unpack_colour(args));
+    ByteBuffer reply;
+    reply.pack_bool(participants_.prepare(action, permanent, coordinator));
+    return reply;
+  });
+
+  rpc_.register_service("tx.commit", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    const auto heirs = wire::unpack_heirs(args);
+    participants_.commit(action, heirs);
+    return ByteBuffer{};
+  });
+
+  rpc_.register_service("tx.abort", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    participants_.abort(action);
+    return ByteBuffer{};
+  });
+
+  rpc_.register_service("tx.status", [this](ByteBuffer& args) {
+    const Uid action = args.unpack_uid();
+    ByteBuffer reply;
+    reply.pack_bool(CoordinatorLogParticipant::committed(*runtime_, action));
+    return reply;
+  });
+}
+
+ByteBuffer DistNode::invoke(NodeId target, const Uid& object, const std::string& op,
+                            ByteBuffer args) {
+  AtomicAction& action = ActionContext::require();
+  if (!action.has_participant("coordlog")) {
+    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*runtime_), "coordlog");
+  }
+  const std::string key = RpcParticipant::key_for(target);
+  auto participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
+  if (participant == nullptr) {
+    participant = std::make_shared<RpcParticipant>(*this, target, action);
+    action.add_participant(participant, key);
+  }
+
+  ByteBuffer request;
+  request.pack_uid(action.uid());
+  wire::pack_path(request, runtime_->ancestry().path_of(action.uid()));
+  wire::pack_colour_set(request, action.colours());
+  wire::pack_plan(request, action.lock_plan());
+  request.pack_uid(object);
+  request.pack_string(op);
+  request.pack_bytes(args.data());
+
+  // Server-side lock waits can be long; give the call a generous deadline
+  // (the lock itself still times out server-side).
+  RpcResult r = rpc_.call(target, "obj.invoke", std::move(request),
+                          CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
+  switch (r.status) {
+    case RpcStatus::Ok:
+      participant->note_success();
+      return std::move(r.payload);
+    case RpcStatus::Timeout:
+      throw NodeUnreachable(target);
+    case RpcStatus::AppError:
+      // The server executed (and may hold locks under the action's mirror):
+      // the participant must take part in termination even though the
+      // operation itself failed.
+      participant->note_success();
+      if (auto outcome = decode_lock_failure(r.error)) throw LockFailure(*outcome, object);
+      throw RemoteError(r.error);
+  }
+  throw RemoteError("unreachable");
+}
+
+LockOutcome DistNode::remote_lock(NodeId target, const Uid& object, LockMode mode,
+                                  Colour colour) {
+  AtomicAction& action = ActionContext::require();
+  if (!action.has_colour(colour)) {
+    throw std::logic_error("remote_lock: action does not possess colour " + colour.name());
+  }
+  if (!action.has_participant("coordlog")) {
+    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*runtime_), "coordlog");
+  }
+  const std::string key = RpcParticipant::key_for(target);
+  auto participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
+  if (participant == nullptr) {
+    participant = std::make_shared<RpcParticipant>(*this, target, action);
+    action.add_participant(participant, key);
+  }
+
+  ByteBuffer request;
+  request.pack_uid(action.uid());
+  wire::pack_path(request, runtime_->ancestry().path_of(action.uid()));
+  wire::pack_colour_set(request, action.colours());
+  request.pack_uid(object);
+  request.pack_u8(static_cast<std::uint8_t>(mode));
+  wire::pack_colour(request, colour);
+
+  RpcResult r = rpc_.call(target, "obj.lock", std::move(request),
+                          CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
+  switch (r.status) {
+    case RpcStatus::Ok:
+      participant->note_success();
+      return static_cast<LockOutcome>(r.payload.unpack_u8());
+    case RpcStatus::Timeout:
+      throw NodeUnreachable(target);
+    case RpcStatus::AppError:
+      participant->note_success();
+      throw RemoteError(r.error);
+  }
+  throw RemoteError("unreachable");
+}
+
+bool DistNode::remote_release_early(NodeId target, const Uid& owner, const Uid& object,
+                                    Colour colour, LockMode mode) {
+  ByteBuffer request;
+  request.pack_uid(owner);
+  request.pack_uid(object);
+  wire::pack_colour(request, colour);
+  request.pack_u8(static_cast<std::uint8_t>(mode));
+  RpcResult r = rpc_.call(target, "obj.unlock", std::move(request));
+  return r.ok();
+}
+
+void DistNode::crash() {
+  down_.store(true);
+  rpc_.crash();
+  participants_.crash();
+  runtime_->lock_manager().clear();
+  runtime_->default_store().crash();
+  // Volatile memory: every hosted object falls back to its construction
+  // state; the next access re-activates from the stable store.
+  const std::scoped_lock lock(hosted_mutex_);
+  for (auto& [uid, hosted] : hosted_) {
+    hosted.object->apply_state(hosted.initial_state);
+    hosted.object->invalidate_activation();
+  }
+  MCA_LOG(Info, "node") << "node " << id_ << " crashed";
+}
+
+void DistNode::restart() {
+  runtime_->lock_manager().clear();
+  rpc_.restart();
+  down_.store(false);
+  // Recovery: resolve in-doubt prepared actions via their coordinators
+  // (presumed abort when the coordinator has no commit record or cannot be
+  // reached — in the latter case the marker stays for the next restart).
+  for (const auto& [action, coordinator] : participants_.in_doubt()) {
+    ByteBuffer args;
+    args.pack_uid(action);
+    RpcResult r = rpc_.call(coordinator, "tx.status", std::move(args),
+                            CallOptions{std::chrono::milliseconds(2'000),
+                                        std::chrono::milliseconds(100)});
+    if (!r.ok()) {
+      MCA_LOG(Warn, "node") << "recovery: coordinator " << coordinator << " unreachable for "
+                            << action << "; staying in doubt";
+      continue;
+    }
+    const bool committed = r.payload.unpack_bool();
+    participants_.resolve_in_doubt(action, committed);
+    MCA_LOG(Info, "node") << "recovery: action " << action << " resolved as "
+                          << (committed ? "committed" : "aborted");
+  }
+  // Presumed abort for shadows orphaned before their marker was written.
+  if (const std::size_t dropped = participants_.discard_unreferenced_shadows(); dropped > 0) {
+    MCA_LOG(Info, "node") << "recovery: discarded " << dropped << " orphan shadow(s)";
+  }
+  MCA_LOG(Info, "node") << "node " << id_ << " restarted";
+}
+
+}  // namespace mca

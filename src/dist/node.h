@@ -1,0 +1,125 @@
+// DistNode: a simulated workstation (paper §2).
+//
+// A node bundles a Runtime (lock manager + object store), an RPC endpoint on
+// the simulated network, a registry of the persistent objects it hosts, and
+// the server side of the commit protocol. The same class serves both roles
+// of the paper's model: it can host objects for remote callers and run
+// client actions that invoke operations on other nodes' objects.
+//
+// Failure model: crash() makes the node fail-silent — it stops receiving,
+// loses all volatile state (locks, mirrors, reply cache, in-memory object
+// states) and keeps only its stable store. restart() brings it back and runs
+// recovery: in-doubt prepared actions are resolved by asking their
+// coordinator (presumed abort).
+//
+// Remote invocation: operations travel by (object uid, operation name,
+// packed args); the server looks up a per-type Dispatcher to run the
+// operation against the local object under a *mirror* of the caller's
+// action. Register dispatchers with register_type(); the standard
+// recoverable types are pre-registered (dist/remote.h).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "dist/rpc.h"
+#include "dist/tpc.h"
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+// Raised client-side when a remote invocation fails at the application
+// level (the server threw something other than a lock failure).
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Raised client-side when the target node is unreachable within the call
+// timeout.
+class NodeUnreachable : public std::runtime_error {
+ public:
+  explicit NodeUnreachable(NodeId node)
+      : std::runtime_error("node " + std::to_string(node) + " unreachable") {}
+};
+
+class DistNode {
+ public:
+  // An operation dispatcher for one object type: run `op` with `args`
+  // against `object` (called with the caller's mirror action as the current
+  // action of the thread).
+  using Dispatcher =
+      std::function<ByteBuffer(LockManaged& object, const std::string& op, ByteBuffer& args)>;
+
+  // `store`, when given, must outlive the node (e.g. a FileStore for real
+  // persistence); otherwise the node owns a stable in-memory store.
+  DistNode(Network& network, NodeId id, ObjectStore* store = nullptr,
+           std::size_t rpc_workers = 8);
+  ~DistNode();
+
+  DistNode(const DistNode&) = delete;
+  DistNode& operator=(const DistNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] RpcEndpoint& rpc() { return rpc_; }
+  [[nodiscard]] ParticipantTable& participants() { return participants_; }
+
+  // Registers a dispatcher for a type name (process-global).
+  static void register_type(const std::string& type_name, Dispatcher dispatcher);
+
+  // Makes `object` (which must use this node's runtime/store) invocable by
+  // remote callers. Its construction-time state is snapshotted so a crash
+  // can reset never-committed objects.
+  void host(LockManaged& object);
+
+  // Client side: invoke `op` on the remote `object` at `target` within the
+  // current action. Registers commit-protocol participants on the action as
+  // needed. Throws LockFailure / RemoteError / NodeUnreachable.
+  ByteBuffer invoke(NodeId target, const Uid& object, const std::string& op, ByteBuffer args);
+
+  // Deadline for invoke() calls (default 15 s: server-side lock waits can be
+  // long).
+  void set_invoke_timeout(std::chrono::milliseconds t) { invoke_timeout_ = t; }
+
+  // Acquires (mode, colour) on the remote `object` for the current action —
+  // the remote counterpart of AtomicAction::lock_explicit, used by structure
+  // helpers (e.g. gluing a remote object, dist/remote_glue.h). Registers
+  // commit participants exactly like invoke().
+  LockOutcome remote_lock(NodeId target, const Uid& object, LockMode mode, Colour colour);
+
+  // Early release of a structure action's transfer lock held at `target`
+  // (the remote counterpart of LockManager::release_early). Returns false
+  // when the node cannot be reached.
+  bool remote_release_early(NodeId target, const Uid& owner, const Uid& object, Colour colour,
+                            LockMode mode);
+
+  // -- failure simulation ------------------------------------------------------
+
+  void crash();
+  void restart();
+  [[nodiscard]] bool up() const { return !down_.load(); }
+
+ private:
+  void register_services();
+  [[nodiscard]] LockManaged* resolve(const Uid& uid);
+
+  struct Hosted {
+    LockManaged* object;
+    ByteBuffer initial_state;
+  };
+
+  NodeId id_;
+  std::unique_ptr<MemoryStore> owned_store_;
+  std::unique_ptr<Runtime> runtime_;
+  RpcEndpoint rpc_;
+  ParticipantTable participants_;
+  std::atomic<bool> down_{false};
+  std::chrono::milliseconds invoke_timeout_{15'000};
+
+  std::mutex hosted_mutex_;
+  std::unordered_map<Uid, Hosted> hosted_;
+};
+
+}  // namespace mca

@@ -1,0 +1,82 @@
+// Client-side proxies for the standard recoverable types, plus the matching
+// server-side dispatchers.
+//
+// A proxy mirrors the API of its server-side type; each method packs its
+// arguments, ships them with invoke() (which handles action context, commit
+// participants and failures), and unpacks the result. Dispatchers for the
+// standard types are registered automatically when the first DistNode is
+// constructed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dist/node.h"
+
+namespace mca {
+
+// Registers dispatchers for RecoverableInt/Map/Set/Log. Idempotent.
+void register_standard_types();
+
+class RemoteObject {
+ public:
+  RemoteObject(DistNode& local, NodeId target, const Uid& uid)
+      : local_(&local), target_(target), uid_(uid) {}
+
+  [[nodiscard]] const Uid& uid() const { return uid_; }
+  [[nodiscard]] NodeId target() const { return target_; }
+
+ protected:
+  ByteBuffer invoke(const std::string& op, ByteBuffer args = {}) const {
+    return local_->invoke(target_, uid_, op, std::move(args));
+  }
+
+ private:
+  DistNode* local_;
+  NodeId target_;
+  Uid uid_;
+};
+
+class RemoteInt : public RemoteObject {
+ public:
+  using RemoteObject::RemoteObject;
+
+  [[nodiscard]] std::int64_t value() const;
+  void set(std::int64_t v);
+  void add(std::int64_t delta);
+};
+
+class RemoteMap : public RemoteObject {
+ public:
+  using RemoteObject::RemoteObject;
+
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+  void insert(const std::string& key, const std::string& value);
+  bool erase(const std::string& key);
+};
+
+class RemoteSet : public RemoteObject {
+ public:
+  using RemoteObject::RemoteObject;
+
+  [[nodiscard]] bool contains(const std::string& element) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> elements() const;
+  bool insert(const std::string& element);
+  bool erase(const std::string& element);
+};
+
+class RemoteLog : public RemoteObject {
+ public:
+  using RemoteObject::RemoteObject;
+
+  [[nodiscard]] std::vector<std::string> entries() const;
+  [[nodiscard]] std::size_t size() const;
+  void append(const std::string& entry);
+};
+
+}  // namespace mca

@@ -1,0 +1,73 @@
+#include "dist/remote_diary.h"
+
+namespace mca {
+namespace {
+
+ByteBuffer dispatch_slot(LockManaged& object, const std::string& op, ByteBuffer& args) {
+  auto& slot = dynamic_cast<DiarySlot&>(object);
+  ByteBuffer reply;
+  if (op == "booked") {
+    reply.pack_bool(slot.booked());
+  } else if (op == "title") {
+    reply.pack_string(slot.title());
+  } else if (op == "book") {
+    slot.book(args.unpack_string());
+  } else if (op == "cancel") {
+    slot.cancel();
+  } else {
+    throw std::runtime_error("unknown operation DiarySlot::" + op);
+  }
+  return reply;
+}
+
+}  // namespace
+
+void register_diary_type() {
+  static std::once_flag once;
+  std::call_once(once, [] { DistNode::register_type("DiarySlot", dispatch_slot); });
+}
+
+bool RemoteSlot::booked() const { return invoke("booked").unpack_bool(); }
+
+std::string RemoteSlot::title() const { return invoke("title").unpack_string(); }
+
+void RemoteSlot::book(const std::string& title) {
+  ByteBuffer args;
+  args.pack_string(title);
+  invoke("book", std::move(args));
+}
+
+void RemoteSlot::cancel() { invoke("cancel"); }
+
+void RemoteSlot::glue_to(GlueGroup& glue, GlueGroup::Constituent& constituent) {
+  if (&ActionContext::require() != &constituent.action()) {
+    throw std::logic_error("RemoteSlot::glue_to: the constituent is not the current action");
+  }
+  const LockOutcome o =
+      local_->remote_lock(target_, uid_, LockMode::ExclusiveRead, glue.glue_colour());
+  if (o != LockOutcome::Granted) throw LockFailure(o, uid_);
+}
+
+void RemoteSlot::unglue_from(GlueGroup& glue) {
+  (void)local_->remote_release_early(target_, glue.action().uid(), uid_, glue.glue_colour(),
+                                     LockMode::ExclusiveRead);
+}
+
+void RemoteDiary::bind_slot(std::size_t time, const Uid& uid) {
+  if (slots_.size() <= time) slots_.resize(time + 1);
+  slots_[time] = std::make_unique<RemoteSlot>(local_, target_, uid);
+}
+
+void RemoteDiary::create_hosted_slots(DistNode& host, std::size_t count) {
+  if (host.id() != target_) {
+    throw std::invalid_argument("create_hosted_slots: host is not this diary's node");
+  }
+  for (std::size_t t = 0; t < count; ++t) {
+    auto slot = std::make_unique<DiarySlot>(host.runtime());
+    host.host(*slot);
+    bind_slot(t, slot->uid());
+    owned_.push_back(std::move(slot));
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,74 @@
+// Remote diaries: the distributed meeting scheduler (paper §4 v across
+// nodes — the application the concluding remarks single out for the
+// distributed version of the scheme).
+//
+// Each user's diary slots live as DiarySlot objects on that user's own
+// workstation; the scheduler runs elsewhere and reaches them through
+// RemoteSlot proxies. Gluing a remote slot acquires the XR transfer lock at
+// its home node (dist/remote_glue.h), so fig. 9's shrinking-footprint
+// protocol works unchanged over the network — including releasing rejected
+// slots at their home nodes while the protocol is still running.
+#pragma once
+
+#include "apps/diary/diary.h"
+#include "dist/remote_glue.h"
+
+namespace mca {
+
+// Registers the DiarySlot dispatcher (idempotent).
+void register_diary_type();
+
+class RemoteSlot final : public SlotApi {
+ public:
+  RemoteSlot(DistNode& local, NodeId target, const Uid& uid)
+      : local_(&local), target_(target), uid_(uid) {}
+
+  [[nodiscard]] bool booked() const override;
+  [[nodiscard]] std::string title() const override;
+  void book(const std::string& title) override;
+  void cancel() override;
+
+  void glue_to(GlueGroup& glue, GlueGroup::Constituent& constituent) override;
+  void unglue_from(GlueGroup& glue) override;
+
+  [[nodiscard]] const Uid& uid() const { return uid_; }
+  [[nodiscard]] NodeId target() const { return target_; }
+
+ private:
+  ByteBuffer invoke(const std::string& op, ByteBuffer args = {}) const {
+    return local_->invoke(target_, uid_, op, std::move(args));
+  }
+
+  DistNode* local_;
+  NodeId target_;
+  Uid uid_;
+};
+
+// A scheduler-side view of one user's diary hosted at a remote node.
+class RemoteDiary final : public DiaryView {
+ public:
+  RemoteDiary(DistNode& local, NodeId target, std::string owner)
+      : local_(local), target_(target), owner_(std::move(owner)) {
+    register_diary_type();
+  }
+
+  // Binds slot `time` to an object already hosted at the diary's node.
+  void bind_slot(std::size_t time, const Uid& uid);
+
+  // Creates `count` DiarySlot objects in `host`'s runtime, hosts them and
+  // binds them here (host.id() must equal target()).
+  void create_hosted_slots(DistNode& host, std::size_t count);
+
+  [[nodiscard]] const std::string& owner() const override { return owner_; }
+  [[nodiscard]] std::size_t slot_count() const override { return slots_.size(); }
+  [[nodiscard]] SlotApi& slot(std::size_t time) override { return *slots_.at(time); }
+
+ private:
+  DistNode& local_;
+  NodeId target_;
+  std::string owner_;
+  std::vector<std::unique_ptr<RemoteSlot>> slots_;
+  std::vector<std::unique_ptr<DiarySlot>> owned_;  // via create_hosted_slots
+};
+
+}  // namespace mca

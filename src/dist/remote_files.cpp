@@ -1,0 +1,76 @@
+#include "dist/remote_files.h"
+
+namespace mca {
+namespace {
+
+ByteBuffer dispatch_file(LockManaged& object, const std::string& op, ByteBuffer& args) {
+  auto& f = dynamic_cast<TimestampedFile&>(object);
+  ByteBuffer reply;
+  if (op == "content") {
+    reply.pack_string(f.content());
+  } else if (op == "timestamp") {
+    reply.pack_i64(f.timestamp());
+  } else if (op == "exists") {
+    reply.pack_bool(f.exists());
+  } else if (op == "write") {
+    f.write(args.unpack_string());
+  } else if (op == "write_with_timestamp") {
+    const std::string content = args.unpack_string();
+    f.write_with_timestamp(content, args.unpack_i64());
+  } else {
+    throw std::runtime_error("unknown operation TimestampedFile::" + op);
+  }
+  return reply;
+}
+
+}  // namespace
+
+void register_file_type() {
+  static std::once_flag once;
+  std::call_once(once, [] { DistNode::register_type("TimestampedFile", dispatch_file); });
+}
+
+std::string RemoteFile::content() const {
+  return invoke("content").unpack_string();
+}
+
+std::int64_t RemoteFile::timestamp() const { return invoke("timestamp").unpack_i64(); }
+
+bool RemoteFile::exists() const { return invoke("exists").unpack_bool(); }
+
+void RemoteFile::write(const std::string& content) {
+  ByteBuffer args;
+  args.pack_string(content);
+  invoke("write", std::move(args));
+}
+
+void RemoteFileTable::bind(const std::string& name, NodeId node, const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  proxies_[name] = std::make_unique<RemoteFile>(local_, node, uid);
+}
+
+TimestampedFile& RemoteFileTable::create_hosted(const std::string& name, DistNode& host) {
+  auto file = std::make_unique<TimestampedFile>(host.runtime());
+  TimestampedFile& ref = *file;
+  host.host(ref);
+  bind(name, host.id(), ref.uid());
+  const std::scoped_lock lock(mutex_);
+  owned_.push_back(std::move(file));
+  return ref;
+}
+
+FileApi& RemoteFileTable::file(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = proxies_.find(name);
+  if (it == proxies_.end()) {
+    throw std::runtime_error("no node hosts file '" + name + "'");
+  }
+  return *it->second;
+}
+
+bool RemoteFileTable::has(const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  return proxies_.contains(name);
+}
+
+}  // namespace mca

@@ -1,0 +1,73 @@
+// Remote file access for the *distributed* make of paper §4(iv)/fig. 8.
+//
+// Files live as TimestampedFile objects on whatever nodes host them; a
+// RemoteFile proxies one of them through DistNode::invoke, so the make
+// engine's serializing constituents operate on files scattered across the
+// network exactly as they do locally — locks are held at each file's home
+// node under the caller's mirror action, and the per-colour commit carries
+// them from constituent to serializing action across the wire.
+//
+// RemoteFileTable implements the engine's FileDirectory over a mapping
+// name -> (node, object uid); hosting helpers register files with their
+// nodes and the table in one step.
+#pragma once
+
+#include <unordered_map>
+
+#include "apps/make/make_engine.h"
+#include "dist/node.h"
+
+namespace mca {
+
+// Registers the TimestampedFile dispatcher (idempotent; DistNode's standard
+// types do not include it because apps/make is a separate layer).
+void register_file_type();
+
+class RemoteFile final : public FileApi {
+ public:
+  RemoteFile(DistNode& local, NodeId target, const Uid& uid)
+      : local_(&local), target_(target), uid_(uid) {}
+
+  [[nodiscard]] std::string content() const override;
+  [[nodiscard]] std::int64_t timestamp() const override;
+  [[nodiscard]] bool exists() const override;
+  void write(const std::string& content) override;
+
+  [[nodiscard]] const Uid& uid() const { return uid_; }
+  [[nodiscard]] NodeId target() const { return target_; }
+
+ private:
+  ByteBuffer invoke(const std::string& op, ByteBuffer args = {}) const {
+    return local_->invoke(target_, uid_, op, std::move(args));
+  }
+
+  DistNode* local_;
+  NodeId target_;
+  Uid uid_;
+};
+
+class RemoteFileTable final : public FileDirectory {
+ public:
+  explicit RemoteFileTable(DistNode& local) : local_(local) { register_file_type(); }
+
+  // Binds `name` to an object already hosted at `node`.
+  void bind(const std::string& name, NodeId node, const Uid& uid);
+
+  // Creates a TimestampedFile in `host`'s runtime, hosts it there, and
+  // binds it here. The returned reference lives as long as the table.
+  TimestampedFile& create_hosted(const std::string& name, DistNode& host);
+
+  // FileDirectory: unresolved names throw (a distributed make cannot
+  // conjure files on an unknown node).
+  FileApi& file(const std::string& name) override;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+ private:
+  DistNode& local_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<RemoteFile>> proxies_;
+  std::vector<std::unique_ptr<TimestampedFile>> owned_;  // via create_hosted
+};
+
+}  // namespace mca

@@ -1,0 +1,48 @@
+// Gluing *remote* objects (figs. 5/9 across nodes).
+//
+// The colour mechanism needs no new machinery for this: passing a remote
+// object on means acquiring an EXCLUSIVE-READ lock in the glue colour at
+// the object's home node, charged to the constituent's mirror. When the
+// constituent commits, the server-side per-colour processing hands that
+// lock to the glue group's mirror (heir propagation), and the group's own
+// distributed commit releases it at end(). These helpers are therefore thin
+// free functions over DistNode::remote_lock / remote_release_early.
+//
+// One policy difference from local gluing: the group cannot observe which
+// remote objects a later constituent touched, so remote objects stay glued
+// until unglue_remote() is called (or the group ends) rather than being
+// auto-released when touched-but-not-repassed.
+#pragma once
+
+#include "core/structures/glued_action.h"
+#include "dist/remote.h"
+
+namespace mca {
+
+// Keeps `object` (hosted remotely) locked past `constituent`'s commit:
+// call from inside the running constituent. Throws LockFailure when the XR
+// lock is not granted.
+inline void pass_on_remote(GlueGroup& glue, GlueGroup::Constituent& constituent,
+                           DistNode& local, const RemoteObject& object) {
+  // The lock is charged to the constituent (the innermost current action
+  // must be it).
+  if (&ActionContext::require() != &constituent.action()) {
+    throw std::logic_error("pass_on_remote: the constituent is not the current action");
+  }
+  const LockOutcome o =
+      local.remote_lock(object.target(), object.uid(), LockMode::ExclusiveRead,
+                        glue.glue_colour());
+  if (o != LockOutcome::Granted) throw LockFailure(o, object.uid());
+}
+
+// Releases the group's transfer lock on a remote object before the group
+// ends (fig. 9's "slots not found acceptable are released"). Safe for the
+// same reason the local early release is: the group never reads or writes
+// the objects it carries. Returns false when the node is unreachable (the
+// lock then remains until the group's commit reaches the node).
+inline bool unglue_remote(GlueGroup& glue, DistNode& local, const RemoteObject& object) {
+  return local.remote_release_early(object.target(), glue.action().uid(), object.uid(),
+                                    glue.glue_colour(), LockMode::ExclusiveRead);
+}
+
+}  // namespace mca

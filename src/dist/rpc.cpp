@@ -1,0 +1,161 @@
+#include "dist/rpc.h"
+
+#include "common/logging.h"
+
+namespace mca {
+
+RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers)
+    : network_(network), id_(id), pool_(workers) {
+  network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
+}
+
+RpcEndpoint::~RpcEndpoint() {
+  network_.detach(id_);
+  pool_.shutdown();
+}
+
+void RpcEndpoint::register_service(const std::string& name, Service service) {
+  const std::scoped_lock lock(mutex_);
+  services_[name] = std::move(service);
+}
+
+RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer args,
+                            CallOptions options) {
+  auto pending = std::make_shared<PendingCall>();
+  const Uid request_id;
+  {
+    const std::scoped_lock lock(mutex_);
+    calls_[request_id] = pending;
+  }
+
+  Datagram request{id_, to, service, request_id, /*is_reply=*/false, std::move(args)};
+  const auto deadline = std::chrono::steady_clock::now() + options.timeout;
+
+  RpcResult result;
+  {
+    std::unique_lock lock(pending->mutex);
+    while (!pending->completed) {
+      if (!up_.load()) break;  // we crashed mid-call
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      network_.send(request);  // (re)transmit
+      pending->done.wait_for(lock, options.retry_interval);
+    }
+    if (pending->completed) result = std::move(pending->result);
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    calls_.erase(request_id);
+  }
+  return result;
+}
+
+void RpcEndpoint::crash() {
+  up_.store(false);
+  network_.set_up(id_, false);
+  std::vector<std::shared_ptr<PendingCall>> abandoned;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++epoch_;
+    reply_cache_.clear();
+    in_progress_.clear();
+    for (auto& [request_id, call] : calls_) abandoned.push_back(call);
+    calls_.clear();
+  }
+  for (auto& call : abandoned) {
+    const std::scoped_lock lock(call->mutex);
+    call->completed = true;
+    call->result = RpcResult{RpcStatus::Timeout, {}, "caller crashed"};
+    call->done.notify_all();
+  }
+}
+
+void RpcEndpoint::restart() {
+  up_.store(true);
+  network_.set_up(id_, true);
+}
+
+void RpcEndpoint::on_datagram(Datagram d) {
+  if (!up_.load()) return;
+  if (d.is_reply) {
+    std::shared_ptr<PendingCall> call;
+    {
+      const std::scoped_lock lock(mutex_);
+      auto it = calls_.find(d.request_id);
+      if (it == calls_.end()) return;  // late duplicate reply
+      call = it->second;
+    }
+    const std::scoped_lock lock(call->mutex);
+    if (call->completed) return;
+    call->completed = true;
+    ByteBuffer& payload = d.payload;
+    RpcResult r;
+    r.status = static_cast<RpcStatus>(payload.unpack_u8());
+    if (r.status == RpcStatus::Ok) {
+      r.payload = ByteBuffer(payload.unpack_bytes());
+    } else {
+      r.error = payload.unpack_string();
+    }
+    call->result = std::move(r);
+    call->done.notify_all();
+    return;
+  }
+
+  // Request path: at-most-once via the reply cache.
+  {
+    const std::scoped_lock lock(mutex_);
+    if (auto it = reply_cache_.find(d.request_id); it != reply_cache_.end()) {
+      network_.send(it->second);  // duplicate of a finished request
+      return;
+    }
+    if (!in_progress_.insert(d.request_id).second) {
+      return;  // still executing; client will retry
+    }
+  }
+  // Execute off the delivery thread: services may block on locks.
+  if (!pool_.submit([this, d = std::move(d)]() mutable { serve(std::move(d)); })) {
+    const std::scoped_lock lock(mutex_);
+    in_progress_.erase(d.request_id);
+  }
+}
+
+void RpcEndpoint::serve(Datagram d) {
+  Service service;
+  std::uint64_t epoch_at_start = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    epoch_at_start = epoch_;
+    auto it = services_.find(d.service);
+    if (it != services_.end()) service = it->second;
+  }
+
+  ByteBuffer reply_payload;
+  if (!service) {
+    reply_payload.pack_u8(static_cast<std::uint8_t>(RpcStatus::AppError));
+    reply_payload.pack_string("no such service: " + d.service);
+  } else {
+    try {
+      ByteBuffer result = service(d.payload);
+      reply_payload.pack_u8(static_cast<std::uint8_t>(RpcStatus::Ok));
+      reply_payload.pack_bytes(result.data());
+    } catch (const std::exception& e) {
+      reply_payload.pack_u8(static_cast<std::uint8_t>(RpcStatus::AppError));
+      reply_payload.pack_string(e.what());
+    }
+  }
+
+  Datagram reply{id_, d.from, d.service, d.request_id, /*is_reply=*/true,
+                 std::move(reply_payload)};
+  {
+    const std::scoped_lock lock(mutex_);
+    in_progress_.erase(d.request_id);
+    if (epoch_ != epoch_at_start || !up_.load()) {
+      // We crashed while executing: a fail-silent node sends nothing, and
+      // the orphan's effects are dealt with by recovery.
+      return;
+    }
+    reply_cache_[d.request_id] = reply;
+  }
+  network_.send(std::move(reply));
+}
+
+}  // namespace mca

@@ -1,0 +1,94 @@
+// RPC over the simulated network (paper §2: operations on remote objects are
+// invoked via an RPC mechanism).
+//
+// Client side: call() retransmits the request until a reply arrives or the
+// timeout expires, masking message loss. Server side: requests are executed
+// on the node's thread pool; a reply cache keyed by request id gives
+// at-most-once execution — a retransmitted request whose execution already
+// finished is answered from the cache, one still in progress is ignored
+// (the client keeps retrying).
+//
+// The reply cache is volatile: a node crash clears it, exactly like a real
+// rebooted server. Orphaned executions at a crashed server are abandoned;
+// the commit protocol (dist/tpc) makes their effects recoverable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "sim/network.h"
+
+namespace mca {
+
+enum class RpcStatus { Ok, Timeout, AppError };
+
+struct RpcResult {
+  RpcStatus status = RpcStatus::Timeout;
+  ByteBuffer payload;    // service result when Ok
+  std::string error;     // diagnostic when AppError
+
+  [[nodiscard]] bool ok() const { return status == RpcStatus::Ok; }
+};
+
+struct CallOptions {
+  std::chrono::milliseconds timeout{2'000};
+  std::chrono::milliseconds retry_interval{100};
+};
+
+class RpcEndpoint {
+ public:
+  // A service computes a reply payload; throwing maps to RpcStatus::AppError
+  // with the exception's what() as diagnostic.
+  using Service = std::function<ByteBuffer(ByteBuffer&)>;
+
+  RpcEndpoint(Network& network, NodeId id, std::size_t workers = 8);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  void register_service(const std::string& name, Service service);
+
+  // Blocking remote call with retransmission.
+  [[nodiscard]] RpcResult call(NodeId to, const std::string& service, ByteBuffer args,
+                               CallOptions options = {});
+
+  // Crash simulation: stop receiving, drop the (volatile) reply cache and
+  // all in-flight client calls. restart() re-attaches.
+  void crash();
+  void restart();
+  [[nodiscard]] bool up() const { return up_.load(); }
+
+ private:
+  void on_datagram(Datagram d);
+  void serve(Datagram d);
+
+  struct PendingCall {
+    std::mutex mutex;
+    std::condition_variable done;
+    bool completed = false;
+    RpcResult result;
+  };
+
+  Network& network_;
+  NodeId id_;
+  std::atomic<bool> up_{true};
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, Service> services_;
+  std::unordered_map<Uid, std::shared_ptr<PendingCall>> calls_;
+  std::unordered_map<Uid, Datagram> reply_cache_;
+  std::unordered_set<Uid> in_progress_;
+  std::uint64_t epoch_ = 0;  // bumped by crash(): stale executions are muted
+
+  ThreadPool pool_;
+};
+
+}  // namespace mca

@@ -1,0 +1,325 @@
+#include "dist/tpc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "dist/node.h"
+#include "objects/lock_managed.h"
+
+namespace mca {
+namespace {
+
+// Protocol records live in the same stores as object states; their keys are
+// derived from the action uid so they cannot collide with each other when a
+// node both coordinates and participates.
+Uid marker_uid(const Uid& action) {
+  return Uid(action.hi() ^ 0x4D43415F5052455BULL, action.lo());
+}
+
+Uid log_uid(const Uid& action) {
+  return Uid(action.hi() ^ 0x4D43415F434C4F47ULL, action.lo());
+}
+
+}  // namespace
+
+ParticipantTable::ParticipantTable(Runtime& rt, ObjectResolver resolve)
+    : rt_(rt), resolve_(std::move(resolve)) {}
+
+std::shared_ptr<AtomicAction> ParticipantTable::mirror_for(const Uid& action,
+                                                           const std::vector<Uid>& path,
+                                                           const ColourSet& colours) {
+  const std::scoped_lock lock(mutex_);
+  auto it = mirrors_.find(action);
+  if (it == mirrors_.end()) {
+    auto mirror = std::make_shared<AtomicAction>(rt_, AtomicAction::MirrorTag{}, action, colours);
+    mirror->begin_mirror(path);
+    it = mirrors_.emplace(action, Mirror{std::move(mirror), {}}).first;
+  } else {
+    it->second.action->add_colours(colours);
+  }
+  return it->second.action;
+}
+
+bool ParticipantTable::has_mirror(const Uid& action) const {
+  const std::scoped_lock lock(mutex_);
+  return mirrors_.contains(action);
+}
+
+std::size_t ParticipantTable::mirror_count() const {
+  const std::scoped_lock lock(mutex_);
+  return mirrors_.size();
+}
+
+void ParticipantTable::write_marker(const Uid& action, NodeId coordinator,
+                                    const std::vector<std::pair<Uid, Colour>>& prepared) {
+  ByteBuffer payload;
+  payload.pack_u32(coordinator);
+  payload.pack_u32(static_cast<std::uint32_t>(prepared.size()));
+  for (const auto& [uid, colour] : prepared) {
+    payload.pack_uid(uid);
+    wire::pack_colour(payload, colour);
+  }
+  rt_.default_store().write(ObjectState(marker_uid(action), kPreparedMarkerType,
+                                        std::move(payload)));
+}
+
+void ParticipantTable::drop_marker(const Uid& action) {
+  rt_.default_store().remove(marker_uid(action));
+}
+
+bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& permanent,
+                               NodeId coordinator) {
+  const std::scoped_lock lock(mutex_);
+  auto it = mirrors_.find(action);
+  if (it == mirrors_.end()) {
+    // The action's state here was lost (crash) — vote no.
+    MCA_LOG(Info, "tpc") << "prepare " << action << ": no mirror, voting no";
+    return false;
+  }
+  Mirror& mirror = it->second;
+  mirror.prepared.clear();
+  try {
+    for (const Colour c : permanent) {
+      // Peek at the records of this colour (extract, then re-adopt: abort
+      // must still be able to undo them).
+      auto records = mirror.action->extract_records(c);
+      for (const UndoRecord& r : records) {
+        r.object->store().write_shadow(r.object->make_object_state());
+        mirror.prepared.emplace_back(r.object->uid(), c);
+      }
+      mirror.action->adopt_records(std::move(records));
+    }
+  } catch (const std::exception& e) {
+    MCA_LOG(Warn, "tpc") << "prepare " << action << " failed: " << e.what();
+    for (const auto& [uid, colour] : mirror.prepared) {
+      if (LockManaged* object = resolve_(uid)) object->store().discard_shadow(uid);
+    }
+    mirror.prepared.clear();
+    return false;
+  }
+  write_marker(action, coordinator, mirror.prepared);
+  return true;
+}
+
+void ParticipantTable::commit(const Uid& action, const std::vector<wire::HeirInfo>& heirs) {
+  std::unique_lock lock(mutex_);
+  auto it = mirrors_.find(action);
+  if (it == mirrors_.end()) {
+    // Crash after prepare: fall back to marker-driven promotion.
+    lock.unlock();
+    resolve_in_doubt(action, /*committed=*/true);
+    return;
+  }
+  Mirror mirror = std::move(it->second);
+  mirrors_.erase(it);
+
+  for (const wire::HeirInfo& h : heirs) {
+    if (h.heir.is_nil()) {
+      for (const auto& [uid, colour] : mirror.prepared) {
+        if (colour == h.colour) {
+          LockManaged* object = resolve_(uid);
+          (object != nullptr ? object->store() : rt_.default_store()).commit_shadow(uid);
+        }
+      }
+      (void)mirror.action->extract_records(h.colour);  // permanence: records done
+      rt_.lock_manager().on_commit_release(action, h.colour);
+    } else {
+      // The heir's mirror must exist even when no records pass (it may
+      // inherit read locks only).
+      auto hit = mirrors_.find(h.heir);
+      if (hit == mirrors_.end()) {
+        auto m = std::make_shared<AtomicAction>(rt_, AtomicAction::MirrorTag{}, h.heir,
+                                                h.heir_colours);
+        m->begin_mirror(h.heir_path);
+        hit = mirrors_.emplace(h.heir, Mirror{std::move(m), {}}).first;
+      } else {
+        hit->second.action->add_colours(h.heir_colours);
+      }
+      hit->second.action->adopt_records(mirror.action->extract_records(h.colour));
+      rt_.lock_manager().on_commit_inherit(action, h.colour, h.heir);
+    }
+  }
+  drop_marker(action);
+  mirror.action->finish_mirror();
+}
+
+void ParticipantTable::abort(const Uid& action) {
+  std::unique_lock lock(mutex_);
+  auto it = mirrors_.find(action);
+  if (it == mirrors_.end()) {
+    lock.unlock();
+    resolve_in_doubt(action, /*committed=*/false);
+    return;
+  }
+  Mirror mirror = std::move(it->second);
+  mirrors_.erase(it);
+  lock.unlock();
+  for (const auto& [uid, colour] : mirror.prepared) {
+    if (LockManaged* object = resolve_(uid)) object->store().discard_shadow(uid);
+  }
+  drop_marker(action);
+  mirror.action->abort();
+}
+
+void ParticipantTable::crash() {
+  const std::scoped_lock lock(mutex_);
+  // Volatile state vanishes; markers and shadows stay in the stable store
+  // for recovery. Mirrors are dropped without aborting: the lock manager is
+  // cleared separately and the objects' memory is reset by the node.
+  mirrors_.clear();
+}
+
+std::vector<std::pair<Uid, NodeId>> ParticipantTable::in_doubt() const {
+  std::vector<std::pair<Uid, NodeId>> out;
+  for (const Uid& uid : rt_.default_store().uids()) {
+    auto state = rt_.default_store().read(uid);
+    if (!state || state->type_name() != kPreparedMarkerType) continue;
+    ByteBuffer payload = state->state();
+    const NodeId coordinator = payload.unpack_u32();
+    // Reverse the marker-key derivation to recover the action uid.
+    const Uid action(uid.hi() ^ 0x4D43415F5052455BULL, uid.lo());
+    out.emplace_back(action, coordinator);
+  }
+  return out;
+}
+
+std::size_t ParticipantTable::discard_unreferenced_shadows() {
+  // Collect every object uid referenced by a surviving prepared marker.
+  std::unordered_set<Uid> referenced;
+  for (const Uid& uid : rt_.default_store().uids()) {
+    auto state = rt_.default_store().read(uid);
+    if (!state || state->type_name() != kPreparedMarkerType) continue;
+    ByteBuffer payload = state->state();
+    (void)payload.unpack_u32();  // coordinator
+    const std::uint32_t n = payload.unpack_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      referenced.insert(payload.unpack_uid());
+      (void)wire::unpack_colour(payload);
+    }
+  }
+  std::size_t dropped = 0;
+  for (const Uid& shadow : rt_.default_store().shadow_uids()) {
+    if (!referenced.contains(shadow)) {
+      rt_.default_store().discard_shadow(shadow);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void ParticipantTable::resolve_in_doubt(const Uid& action, bool committed) {
+  auto state = rt_.default_store().read(marker_uid(action));
+  if (!state) return;
+  ByteBuffer payload = state->state();
+  (void)payload.unpack_u32();  // coordinator
+  const std::uint32_t n = payload.unpack_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Uid object = payload.unpack_uid();
+    (void)wire::unpack_colour(payload);
+    if (committed) {
+      rt_.default_store().commit_shadow(object);
+      if (LockManaged* obj = resolve_(object)) obj->invalidate_activation();
+    } else {
+      rt_.default_store().discard_shadow(object);
+    }
+  }
+  drop_marker(action);
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+RpcParticipant::RpcParticipant(DistNode& local, NodeId target, AtomicAction& owner)
+    : local_(local), target_(target), owner_(owner) {}
+
+std::string RpcParticipant::key_for(NodeId target) { return "node:" + std::to_string(target); }
+
+bool RpcParticipant::prepare(const Uid& action, const std::vector<Colour>& permanent) {
+  if (!armed_.load()) {
+    abort(action);  // best-effort cleanup of a possible orphaned execution
+    return true;
+  }
+  ByteBuffer args;
+  args.pack_uid(action);
+  args.pack_u32(local_.id());
+  args.pack_u32(static_cast<std::uint32_t>(permanent.size()));
+  for (const Colour c : permanent) wire::pack_colour(args, c);
+  RpcResult r = local_.rpc().call(target_, "tx.prepare", std::move(args));
+  if (!r.ok()) return false;
+  return r.payload.unpack_bool();
+}
+
+void RpcParticipant::commit(const Uid& action,
+                            const std::vector<ColourDisposition>& dispositions) {
+  if (!armed_.load()) return;
+  std::vector<wire::HeirInfo> heirs;
+  for (const ColourDisposition& d : dispositions) {
+    wire::HeirInfo h;
+    h.colour = d.colour;
+    h.heir = d.heir;
+    if (!d.heir.is_nil()) {
+      AtomicAction* heir_action = owner_.nearest_ancestor_with(d.colour);
+      if (heir_action != nullptr) {
+        h.heir_path = owner_.runtime().ancestry().path_of(heir_action->uid());
+        h.heir_colours = heir_action->colours();
+        // The heir inherits responsibility for this node: give it a
+        // participant (and a coordinator log) of its own.
+        if (!heir_action->has_participant("coordlog")) {
+          heir_action->add_participant(
+              std::make_shared<CoordinatorLogParticipant>(owner_.runtime()), "coordlog");
+        }
+        auto heir_participant = std::dynamic_pointer_cast<RpcParticipant>(
+            heir_action->participant(key_for(target_)));
+        if (heir_participant == nullptr) {
+          heir_participant =
+              std::make_shared<RpcParticipant>(local_, target_, *heir_action);
+          heir_action->add_participant(heir_participant, key_for(target_));
+        }
+        // The heir now owns server-side state (the inherited mirror).
+        heir_participant->note_success();
+      }
+    }
+    heirs.push_back(std::move(h));
+  }
+
+  ByteBuffer args;
+  args.pack_uid(action);
+  wire::pack_heirs(args, heirs);
+
+  // Phase two must reach the participant: retry (bounded); if the node is
+  // down longer than this, its recovery asks the coordinator log instead.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    RpcResult r = local_.rpc().call(target_, "tx.commit", args);
+    if (r.ok()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  MCA_LOG(Warn, "tpc") << "commit " << action << " to node " << target_
+                       << " undelivered; participant recovery will resolve it";
+}
+
+void RpcParticipant::abort(const Uid& action) {
+  ByteBuffer args;
+  args.pack_uid(action);
+  // Presumed abort makes best-effort delivery sufficient; keep attempts
+  // short so aborting against a crashed node is cheap.
+  const CallOptions options{std::chrono::milliseconds(300), std::chrono::milliseconds(100)};
+  const int attempts = armed_.load() ? 3 : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    RpcResult r = local_.rpc().call(target_, "tx.abort", args, options);
+    if (r.ok()) return;
+  }
+}
+
+void CoordinatorLogParticipant::commit(const Uid& action,
+                                       const std::vector<ColourDisposition>&) {
+  rt_.default_store().write(ObjectState(log_uid(action), kCoordinatorLogType, ByteBuffer{}));
+}
+
+bool CoordinatorLogParticipant::committed(Runtime& rt, const Uid& action) {
+  auto state = rt.default_store().read(log_uid(action));
+  return state.has_value() && state->type_name() == kCoordinatorLogType;
+}
+
+}  // namespace mca

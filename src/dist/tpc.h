@@ -1,0 +1,151 @@
+// Two-phase commit machinery (paper §2: "a commit protocol is required
+// during the termination of an atomic action").
+//
+// Server side — ParticipantTable: one per node. It keeps a *mirror* action
+// for every client action that has operated on this node's objects (locks
+// and undo records accrue to the mirror), and executes the coordinator's
+// prepare / commit / abort requests:
+//
+//   prepare(action, permanent)  write shadows for the permanent colours'
+//                               records + a stable "prepared" marker naming
+//                               the coordinator, then vote yes
+//   commit(action, heirs)       promote shadows (permanence), pass records
+//                               and locks of inherited colours to the heir's
+//                               mirror, drop the marker
+//   abort(action)               discard shadows/marker, restore states,
+//                               release locks
+//
+// Crash wipes the table (volatile); recovery resolves stable prepared
+// markers by asking the coordinator (presumed abort when the coordinator
+// has no commit record).
+//
+// Client side — RpcParticipant: registered with an action the first time it
+// touches a given remote node; forwards the action kernel's termination
+// callbacks to that node, and at commit time propagates itself to the heir
+// actions so inherited state is eventually resolved at the server.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/atomic_action.h"
+#include "dist/rpc.h"
+#include "dist/wire.h"
+
+namespace mca {
+
+class DistNode;
+
+// Reserved type names for protocol records kept in object stores.
+inline constexpr const char* kPreparedMarkerType = "__mca_prepared__";
+inline constexpr const char* kCoordinatorLogType = "__mca_coordlog__";
+
+class ParticipantTable {
+ public:
+  using ObjectResolver = std::function<LockManaged*(const Uid&)>;
+
+  ParticipantTable(Runtime& rt, ObjectResolver resolve);
+
+  // Returns the mirror for `action`, creating + beginning it when new, and
+  // folds in any newly revealed colours. Shared ownership: an in-flight
+  // operation keeps its mirror alive even if a concurrent coordinator
+  // abort/commit (or crash) removes it from the table; the operation then
+  // fails cleanly on the terminated action instead of touching freed state.
+  std::shared_ptr<AtomicAction> mirror_for(const Uid& action, const std::vector<Uid>& path,
+                                           const ColourSet& colours);
+
+  [[nodiscard]] bool has_mirror(const Uid& action) const;
+
+  // Phase one. Returns false (veto) when the mirror is missing (e.g. lost in
+  // a crash) or a shadow write fails.
+  bool prepare(const Uid& action, const std::vector<Colour>& permanent,
+               NodeId coordinator);
+
+  // Phase two. Missing mirrors fall back to marker-driven recovery
+  // (promote the prepared shadows and nothing else).
+  void commit(const Uid& action, const std::vector<wire::HeirInfo>& heirs);
+
+  void abort(const Uid& action);
+
+  // Crash simulation: drops all mirrors and their prepared bookkeeping
+  // (stable markers and shadows survive in the store).
+  void crash();
+
+  // Stable prepared markers awaiting resolution, with their coordinators.
+  [[nodiscard]] std::vector<std::pair<Uid, NodeId>> in_doubt() const;
+
+  // Marker-driven resolution used at recovery.
+  void resolve_in_doubt(const Uid& action, bool committed);
+
+  // Recovery sweep: discards shadows not referenced by any surviving
+  // prepared marker (a crash between writing shadows and writing the marker
+  // orphans them; presumed abort applies). Returns how many were dropped.
+  std::size_t discard_unreferenced_shadows();
+
+  [[nodiscard]] std::size_t mirror_count() const;
+
+ private:
+  struct Mirror {
+    std::shared_ptr<AtomicAction> action;
+    // (object uid, colour) pairs whose shadows were written at prepare.
+    std::vector<std::pair<Uid, Colour>> prepared;
+  };
+
+  void write_marker(const Uid& action, NodeId coordinator,
+                    const std::vector<std::pair<Uid, Colour>>& prepared);
+  void drop_marker(const Uid& action);
+
+  Runtime& rt_;
+  ObjectResolver resolve_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Uid, Mirror> mirrors_;
+};
+
+// Client-side participant forwarding an action's termination to one remote
+// node. Registered under key "node:<id>" so each (action, node) pair gets
+// exactly one.
+class RpcParticipant final : public TerminationParticipant {
+ public:
+  RpcParticipant(DistNode& local, NodeId target, AtomicAction& owner);
+
+  static std::string key_for(NodeId target);
+
+  // Called after each successful invoke through this participant's node:
+  // only an armed participant has server-side state to resolve. An unarmed
+  // one (every invoke failed, e.g. the node was down) votes yes at prepare
+  // and merely sends a best-effort abort to clean any orphaned execution.
+  void note_success() { armed_.store(true); }
+  [[nodiscard]] bool armed() const { return armed_.load(); }
+
+  bool prepare(const Uid& action, const std::vector<Colour>& permanent) override;
+  void commit(const Uid& action, const std::vector<ColourDisposition>& dispositions) override;
+  void abort(const Uid& action) override;
+
+ private:
+  DistNode& local_;
+  NodeId target_;
+  AtomicAction& owner_;
+  std::atomic<bool> armed_{false};
+};
+
+// Writes the coordinator's stable commit record before any remote commit is
+// sent (registered first on the action so its commit callback runs first).
+// tx.status answers come from this record: present = committed, absent =
+// presumed abort.
+class CoordinatorLogParticipant final : public TerminationParticipant {
+ public:
+  explicit CoordinatorLogParticipant(Runtime& rt) : rt_(rt) {}
+
+  bool prepare(const Uid&, const std::vector<Colour>&) override { return true; }
+  void commit(const Uid& action, const std::vector<ColourDisposition>&) override;
+  void abort(const Uid&) override {}
+
+  // True when `action` committed according to this coordinator's log.
+  static bool committed(Runtime& rt, const Uid& action);
+
+ private:
+  Runtime& rt_;
+};
+
+}  // namespace mca

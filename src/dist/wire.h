@@ -1,0 +1,108 @@
+// Wire encoding helpers shared by the RPC services of the distributed
+// layer. Colours travel by name (interning is per-process; names identify
+// colours across simulated nodes).
+#pragma once
+
+#include <vector>
+
+#include "common/buffer.h"
+#include "core/atomic_action.h"
+
+namespace mca::wire {
+
+inline void pack_colour(ByteBuffer& out, Colour c) { out.pack_string(c.name()); }
+
+inline Colour unpack_colour(ByteBuffer& in) { return Colour::named(in.unpack_string()); }
+
+inline void pack_colour_set(ByteBuffer& out, const ColourSet& set) {
+  out.pack_u32(static_cast<std::uint32_t>(set.size()));
+  for (const Colour c : set) pack_colour(out, c);
+}
+
+inline ColourSet unpack_colour_set(ByteBuffer& in) {
+  const std::uint32_t n = in.unpack_u32();
+  std::vector<Colour> colours;
+  colours.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) colours.push_back(unpack_colour(in));
+  return ColourSet(std::move(colours));
+}
+
+inline void pack_path(ByteBuffer& out, const std::vector<Uid>& path) {
+  out.pack_u32(static_cast<std::uint32_t>(path.size()));
+  for (const Uid& u : path) out.pack_uid(u);
+}
+
+inline std::vector<Uid> unpack_path(ByteBuffer& in) {
+  const std::uint32_t n = in.unpack_u32();
+  std::vector<Uid> path;
+  path.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) path.push_back(in.unpack_uid());
+  return path;
+}
+
+inline void pack_plan(ByteBuffer& out, const LockPlan& plan) {
+  auto pack_pairs = [&](const std::vector<std::pair<LockMode, Colour>>& pairs) {
+    out.pack_u32(static_cast<std::uint32_t>(pairs.size()));
+    for (const auto& [mode, colour] : pairs) {
+      out.pack_u8(static_cast<std::uint8_t>(mode));
+      pack_colour(out, colour);
+    }
+  };
+  pack_pairs(plan.for_write);
+  pack_pairs(plan.for_read);
+  pack_colour(out, plan.undo_colour);
+}
+
+inline LockPlan unpack_plan(ByteBuffer& in) {
+  auto unpack_pairs = [&] {
+    const std::uint32_t n = in.unpack_u32();
+    std::vector<std::pair<LockMode, Colour>> pairs;
+    pairs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto mode = static_cast<LockMode>(in.unpack_u8());
+      pairs.emplace_back(mode, unpack_colour(in));
+    }
+    return pairs;
+  };
+  LockPlan plan;
+  plan.for_write = unpack_pairs();
+  plan.for_read = unpack_pairs();
+  plan.undo_colour = unpack_colour(in);
+  return plan;
+}
+
+// A disposition extended with what a remote participant needs to build the
+// heir's mirror: its ancestry path and colour set.
+struct HeirInfo {
+  Colour colour = Colour::plain();
+  Uid heir = Uid::nil();
+  std::vector<Uid> heir_path;
+  ColourSet heir_colours;
+};
+
+inline void pack_heirs(ByteBuffer& out, const std::vector<HeirInfo>& heirs) {
+  out.pack_u32(static_cast<std::uint32_t>(heirs.size()));
+  for (const HeirInfo& h : heirs) {
+    pack_colour(out, h.colour);
+    out.pack_uid(h.heir);
+    pack_path(out, h.heir_path);
+    pack_colour_set(out, h.heir_colours);
+  }
+}
+
+inline std::vector<HeirInfo> unpack_heirs(ByteBuffer& in) {
+  const std::uint32_t n = in.unpack_u32();
+  std::vector<HeirInfo> heirs;
+  heirs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HeirInfo h;
+    h.colour = unpack_colour(in);
+    h.heir = in.unpack_uid();
+    h.heir_path = unpack_path(in);
+    h.heir_colours = unpack_colour_set(in);
+    heirs.push_back(std::move(h));
+  }
+  return heirs;
+}
+
+}  // namespace mca::wire

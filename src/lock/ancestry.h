@@ -1,0 +1,51 @@
+// Action-ancestry lookup used by the lock grant rules.
+//
+// Both the classical (Moss) and the coloured grant rules are phrased in
+// terms of "all holders are ancestors of the requesting action". The lock
+// manager is decoupled from the action kernel through this interface; the
+// kernel registers each action's path (root..self) when it begins, and the
+// RPC layer registers the shipped path of remote callers, so a server-side
+// lock manager can answer ancestry questions about client actions it has
+// never run locally.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/uid.h"
+
+namespace mca {
+
+using ActionUid = Uid;
+
+class Ancestry {
+ public:
+  virtual ~Ancestry() = default;
+
+  // True when `ancestor` is `action` itself or a (transitive) parent of it.
+  [[nodiscard]] virtual bool is_ancestor_or_same(const ActionUid& ancestor,
+                                                 const ActionUid& action) const = 0;
+};
+
+// Path-table implementation: each registered action maps to its ancestor
+// path [root, ..., self]. Thread safe.
+class PathAncestry final : public Ancestry {
+ public:
+  // Registers `action` with the given path, which must end with `action`.
+  void register_action(const ActionUid& action, std::vector<ActionUid> path);
+  void deregister_action(const ActionUid& action);
+
+  [[nodiscard]] bool is_ancestor_or_same(const ActionUid& ancestor,
+                                         const ActionUid& action) const override;
+
+  // The registered path of `action` (empty if unknown); used when shipping
+  // call contexts to remote nodes.
+  [[nodiscard]] std::vector<ActionUid> path_of(const ActionUid& action) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<ActionUid, std::vector<ActionUid>> paths_;
+};
+
+}  // namespace mca

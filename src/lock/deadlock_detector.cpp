@@ -1,0 +1,43 @@
+#include "lock/deadlock_detector.h"
+
+namespace mca {
+
+void DeadlockDetector::set_waits_for(const Uid& waiter, const std::vector<Uid>& holders) {
+  const std::scoped_lock lock(mutex_);
+  auto& out = edges_[waiter];
+  out.clear();
+  out.insert(holders.begin(), holders.end());
+}
+
+void DeadlockDetector::clear_waits_for(const Uid& waiter) {
+  const std::scoped_lock lock(mutex_);
+  edges_.erase(waiter);
+}
+
+bool DeadlockDetector::on_cycle(const Uid& waiter) const {
+  const std::scoped_lock lock(mutex_);
+  // Iterative DFS from `waiter`, looking for a path back to it.
+  std::unordered_set<Uid> visited;
+  std::vector<Uid> stack;
+  stack.push_back(waiter);
+  while (!stack.empty()) {
+    const Uid node = stack.back();
+    stack.pop_back();
+    auto it = edges_.find(node);
+    if (it == edges_.end()) continue;
+    for (const Uid& next : it->second) {
+      if (next == waiter) return true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::size_t DeadlockDetector::edge_count() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [from, to] : edges_) n += to.size();
+  return n;
+}
+
+}  // namespace mca

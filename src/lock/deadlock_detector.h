@@ -1,0 +1,37 @@
+// Wait-for-graph deadlock detection.
+//
+// Each blocked lock request registers edges (waiter -> every blocking
+// holder). Before a requester sleeps, the detector checks whether its new
+// edges close a cycle; if so the request is refused with Deadlock and the
+// application aborts the action (the paper's model resolves deadlocks by
+// aborting, §2).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/uid.h"
+
+namespace mca {
+
+class DeadlockDetector {
+ public:
+  // Replaces the out-edges of `waiter` with edges to `holders`.
+  void set_waits_for(const Uid& waiter, const std::vector<Uid>& holders);
+
+  // Removes `waiter`'s out-edges (granted, refused, or timed out).
+  void clear_waits_for(const Uid& waiter);
+
+  // True when `waiter` can reach itself through the wait-for graph.
+  [[nodiscard]] bool on_cycle(const Uid& waiter) const;
+
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<Uid, std::unordered_set<Uid>> edges_;
+};
+
+}  // namespace mca

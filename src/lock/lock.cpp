@@ -1,0 +1,141 @@
+#include "lock/lock.h"
+
+#include <algorithm>
+
+namespace mca {
+namespace {
+
+bool anc(const LockEntry& e, const ActionUid& requester, const Ancestry& ancestry) {
+  return ancestry.is_ancestor_or_same(e.owner, requester);
+}
+
+}  // namespace
+
+GrantVerdict LockRecord::evaluate(const ActionUid& requester, LockMode mode, Colour colour,
+                                  const Ancestry& ancestry) const {
+  switch (mode) {
+    case LockMode::Read:
+      // READ in colour a: every WRITE/XR holder must be an ancestor (or the
+      // requester). READ holders never block a READ. The colour of the
+      // request plays no part (§5.2).
+      for (const LockEntry& e : entries_) {
+        if (is_exclusive(e.mode) && !anc(e, requester, ancestry)) return GrantVerdict::MustWait;
+      }
+      return GrantVerdict::Granted;
+
+    case LockMode::ExclusiveRead:
+      // XR in colour a: every holder, of any colour and mode, must be an
+      // ancestor (or the requester).
+      for (const LockEntry& e : entries_) {
+        if (!anc(e, requester, ancestry)) return GrantVerdict::MustWait;
+      }
+      return GrantVerdict::Granted;
+
+    case LockMode::Write: {
+      // WRITE in colour a: every holder must be an ancestor AND every WRITE
+      // lock on the object must itself be coloured a. A differently-coloured
+      // WRITE held by an ancestor (or by the requester itself) can never be
+      // released while the requester runs, so that case is unresolvable
+      // rather than waitable.
+      bool ancestor_colour_clash = false;
+      for (const LockEntry& e : entries_) {
+        if (!anc(e, requester, ancestry)) return GrantVerdict::MustWait;
+        if (e.mode == LockMode::Write && e.colour != colour) ancestor_colour_clash = true;
+      }
+      return ancestor_colour_clash ? GrantVerdict::Unresolvable : GrantVerdict::Granted;
+    }
+  }
+  return GrantVerdict::MustWait;
+}
+
+GrantVerdict LockRecord::evaluate_classical(const ActionUid& requester, LockMode mode,
+                                            const Ancestry& ancestry) const {
+  switch (mode) {
+    case LockMode::Read:
+      for (const LockEntry& e : entries_) {
+        if (is_exclusive(e.mode) && !anc(e, requester, ancestry)) return GrantVerdict::MustWait;
+      }
+      return GrantVerdict::Granted;
+    case LockMode::Write:
+    case LockMode::ExclusiveRead:
+      for (const LockEntry& e : entries_) {
+        if (!anc(e, requester, ancestry)) return GrantVerdict::MustWait;
+      }
+      return GrantVerdict::Granted;
+  }
+  return GrantVerdict::MustWait;
+}
+
+void LockRecord::add(const ActionUid& owner, LockMode mode, Colour colour) {
+  for (LockEntry& e : entries_) {
+    if (e.owner == owner && e.mode == mode && e.colour == colour) {
+      ++e.count;
+      return;
+    }
+  }
+  entries_.push_back(LockEntry{owner, mode, colour, 1});
+}
+
+std::size_t LockRecord::drop_owner(const ActionUid& owner) {
+  const auto before = entries_.size();
+  std::erase_if(entries_, [&](const LockEntry& e) { return e.owner == owner; });
+  return before - entries_.size();
+}
+
+void LockRecord::inherit(const ActionUid& owner, Colour colour, const ActionUid& heir) {
+  // Collect the entries being passed up, then merge them into the heir's.
+  std::vector<LockEntry> moving;
+  std::erase_if(entries_, [&](const LockEntry& e) {
+    if (e.owner == owner && e.colour == colour) {
+      moving.push_back(e);
+      return true;
+    }
+    return false;
+  });
+  for (const LockEntry& m : moving) {
+    bool merged = false;
+    for (LockEntry& e : entries_) {
+      if (e.owner == heir && e.mode == m.mode && e.colour == m.colour) {
+        e.count += m.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) entries_.push_back(LockEntry{heir, m.mode, m.colour, m.count});
+  }
+}
+
+void LockRecord::release_colour(const ActionUid& owner, Colour colour) {
+  std::erase_if(entries_,
+                [&](const LockEntry& e) { return e.owner == owner && e.colour == colour; });
+}
+
+void LockRecord::release_entries(const ActionUid& owner, Colour colour, LockMode mode) {
+  std::erase_if(entries_, [&](const LockEntry& e) {
+    return e.owner == owner && e.colour == colour && e.mode == mode;
+  });
+}
+
+std::vector<ActionUid> LockRecord::blockers(const ActionUid& requester, LockMode mode,
+                                            Colour colour, const Ancestry& ancestry) const {
+  (void)colour;  // colour clashes with ancestors are unresolvable, not waitable
+  std::vector<ActionUid> out;
+  for (const LockEntry& e : entries_) {
+    const bool relevant = (mode == LockMode::Read) ? is_exclusive(e.mode) : true;
+    if (relevant && !anc(e, requester, ancestry)) out.push_back(e.owner);
+  }
+  return out;
+}
+
+bool LockRecord::holds(const ActionUid& owner, LockMode mode, Colour colour) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const LockEntry& e) {
+    return e.owner == owner && e.mode == mode && e.colour == colour;
+  });
+}
+
+bool LockRecord::holds_any(const ActionUid& owner) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const LockEntry& e) { return e.owner == owner; });
+}
+
+}  // namespace mca

@@ -1,0 +1,91 @@
+// Lock entries and the per-object lock record.
+//
+// An object's lock record holds the set of granted lock entries
+// (owner action, mode, colour) plus grant-rule evaluation. The grant rules
+// implement both regimes of §5.2:
+//
+//   * classical (Moss) rules — what a single-coloured system obeys;
+//   * coloured rules — identical except that a WRITE in colour `a`
+//     additionally requires every existing WRITE lock on the object to be
+//     coloured `a`.
+//
+// Because the coloured rules with one global colour degenerate to exactly
+// the classical ones, the lock manager always evaluates the coloured rules;
+// a dedicated classical evaluator is kept for cross-validation in tests.
+#pragma once
+
+#include <vector>
+
+#include "core/colour.h"
+#include "lock/ancestry.h"
+#include "lock/lock_mode.h"
+
+namespace mca {
+
+struct LockEntry {
+  ActionUid owner = ActionUid::nil();
+  LockMode mode = LockMode::Read;
+  Colour colour = Colour::plain();
+  // Recursive acquisitions by the same (owner, mode, colour).
+  unsigned count = 1;
+};
+
+// Why a request cannot be granted right now.
+enum class GrantVerdict {
+  Granted,
+  // Conflicts with locks held by non-ancestors: waiting may succeed once
+  // those actions finish.
+  MustWait,
+  // Conflicts only with locks held by the requester itself or its ancestors
+  // (e.g. a differently-coloured WRITE lock). Those locks cannot be released
+  // while the requester runs, so waiting would block forever; the request is
+  // refused outright.
+  Unresolvable,
+};
+
+class LockRecord {
+ public:
+  // Evaluates the coloured grant rules of §5.2 for `requester` asking for
+  // (`mode`, `colour`).
+  [[nodiscard]] GrantVerdict evaluate(const ActionUid& requester, LockMode mode, Colour colour,
+                                      const Ancestry& ancestry) const;
+
+  // Classical Moss rules (colour-blind); used by tests to check that a
+  // single-coloured run of the coloured rules agrees with them.
+  [[nodiscard]] GrantVerdict evaluate_classical(const ActionUid& requester, LockMode mode,
+                                                const Ancestry& ancestry) const;
+
+  // Adds a granted entry, merging with an identical existing one.
+  void add(const ActionUid& owner, LockMode mode, Colour colour);
+
+  // Removes every entry owned by `owner` (all modes/colours). Returns the
+  // number of entries removed.
+  std::size_t drop_owner(const ActionUid& owner);
+
+  // Moves every entry of `owner` with colour `colour` to `heir`, merging
+  // with the heir's identical entries (commit-time inheritance, §5.2).
+  void inherit(const ActionUid& owner, Colour colour, const ActionUid& heir);
+
+  // Removes every entry of `owner` with colour `colour` (outermost-in-colour
+  // commit: the updates become permanent and the locks are released).
+  void release_colour(const ActionUid& owner, Colour colour);
+
+  // Removes `owner`'s entries of colour `colour` on behalf of structure
+  // actions that relinquish transfer locks early (glued-action unglue).
+  void release_entries(const ActionUid& owner, Colour colour, LockMode mode);
+
+  // Owners whose locks currently block the given request (for the wait-for
+  // graph).
+  [[nodiscard]] std::vector<ActionUid> blockers(const ActionUid& requester, LockMode mode,
+                                                Colour colour, const Ancestry& ancestry) const;
+
+  [[nodiscard]] const std::vector<LockEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool holds(const ActionUid& owner, LockMode mode, Colour colour) const;
+  [[nodiscard]] bool holds_any(const ActionUid& owner) const;
+
+ private:
+  std::vector<LockEntry> entries_;
+};
+
+}  // namespace mca

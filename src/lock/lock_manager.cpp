@@ -1,0 +1,180 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mca {
+
+void PathAncestry::register_action(const ActionUid& action, std::vector<ActionUid> path) {
+  const std::scoped_lock lock(mutex_);
+  paths_[action] = std::move(path);
+}
+
+void PathAncestry::deregister_action(const ActionUid& action) {
+  const std::scoped_lock lock(mutex_);
+  paths_.erase(action);
+}
+
+bool PathAncestry::is_ancestor_or_same(const ActionUid& ancestor, const ActionUid& action) const {
+  if (ancestor == action) return true;
+  const std::scoped_lock lock(mutex_);
+  auto it = paths_.find(action);
+  if (it == paths_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), ancestor) != it->second.end();
+}
+
+std::vector<ActionUid> PathAncestry::path_of(const ActionUid& action) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = paths_.find(action);
+  return it == paths_.end() ? std::vector<ActionUid>{} : it->second;
+}
+
+LockOutcome LockManager::acquire(const ActionUid& requester, const Uid& object, LockMode mode,
+                                 Colour colour, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mutex_);
+  bool waited = false;
+  const auto wait_started = std::chrono::steady_clock::now();
+
+  for (;;) {
+    LockRecord& record = records_[object];
+    switch (record.evaluate(requester, mode, colour, ancestry_)) {
+      case GrantVerdict::Granted: {
+        record.add(requester, mode, colour);
+        ++stats_.grants;
+        if (!waited) {
+          ++stats_.immediate_grants;
+        } else {
+          detector_.clear_waits_for(requester);
+          stats_.total_wait_micros += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - wait_started)
+                  .count());
+        }
+        MCA_LOG(Trace, "lock") << "granted " << to_string(mode) << '/' << colour.name() << " on "
+                               << object << " to " << requester;
+        trace_event(TraceKind::LockGranted, requester, object,
+                    std::string(to_string(mode)) + "/" + colour.name());
+        return LockOutcome::Granted;
+      }
+      case GrantVerdict::Unresolvable: {
+        if (waited) detector_.clear_waits_for(requester);
+        ++stats_.refusals;
+        MCA_LOG(Debug, "lock") << "refused " << to_string(mode) << '/' << colour.name() << " on "
+                               << object << " to " << requester
+                               << " (ancestor holds differently-coloured write)";
+        trace_event(TraceKind::LockRefused, requester, object,
+                    std::string(to_string(mode)) + "/" + colour.name());
+        return LockOutcome::Refused;
+      }
+      case GrantVerdict::MustWait:
+        break;
+    }
+
+    detector_.set_waits_for(requester, record.blockers(requester, mode, colour, ancestry_));
+    if (detector_.on_cycle(requester)) {
+      detector_.clear_waits_for(requester);
+      ++stats_.deadlocks;
+      MCA_LOG(Debug, "lock") << "deadlock: " << requester << " requesting " << to_string(mode)
+                             << " on " << object;
+      trace_event(TraceKind::LockDeadlock, requester, object, std::string(to_string(mode)));
+      return LockOutcome::Deadlock;
+    }
+    if (!waited) {
+      waited = true;
+      ++stats_.waits;
+      trace_event(TraceKind::LockWait, requester, object,
+                  std::string(to_string(mode)) + "/" + colour.name());
+    }
+    if (changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      detector_.clear_waits_for(requester);
+      ++stats_.timeouts;
+      return LockOutcome::Timeout;
+    }
+  }
+}
+
+void LockManager::on_commit_inherit(const ActionUid& owner, Colour colour, const ActionUid& heir) {
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto it = records_.begin(); it != records_.end();) {
+      it->second.inherit(owner, colour, heir);
+      it = it->second.empty() ? records_.erase(it) : std::next(it);
+    }
+  }
+  changed_.notify_all();
+}
+
+void LockManager::on_commit_release(const ActionUid& owner, Colour colour) {
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto it = records_.begin(); it != records_.end();) {
+      it->second.release_colour(owner, colour);
+      it = it->second.empty() ? records_.erase(it) : std::next(it);
+    }
+  }
+  changed_.notify_all();
+}
+
+void LockManager::on_abort(const ActionUid& owner) {
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto it = records_.begin(); it != records_.end();) {
+      it->second.drop_owner(owner);
+      it = it->second.empty() ? records_.erase(it) : std::next(it);
+    }
+    detector_.clear_waits_for(owner);
+  }
+  changed_.notify_all();
+}
+
+void LockManager::release_early(const ActionUid& owner, const Uid& object, Colour colour,
+                                LockMode mode) {
+  {
+    const std::scoped_lock lock(mutex_);
+    auto it = records_.find(object);
+    if (it == records_.end()) return;
+    it->second.release_entries(owner, colour, mode);
+    if (it->second.empty()) records_.erase(it);
+  }
+  changed_.notify_all();
+}
+
+void LockManager::clear() {
+  {
+    const std::scoped_lock lock(mutex_);
+    records_.clear();
+  }
+  changed_.notify_all();
+}
+
+std::vector<LockEntry> LockManager::entries(const Uid& object) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = records_.find(object);
+  return it == records_.end() ? std::vector<LockEntry>{} : it->second.entries();
+}
+
+bool LockManager::holds(const ActionUid& owner, const Uid& object, LockMode mode,
+                        Colour colour) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = records_.find(object);
+  return it != records_.end() && it->second.holds(owner, mode, colour);
+}
+
+std::size_t LockManager::locked_object_count() const {
+  const std::scoped_lock lock(mutex_);
+  return records_.size();
+}
+
+LockManager::Stats LockManager::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void LockManager::reset_stats() {
+  const std::scoped_lock lock(mutex_);
+  stats_ = Stats{};
+}
+
+}  // namespace mca

@@ -1,0 +1,114 @@
+// The (per-node) lock manager.
+//
+// Grants read / write / exclusive-read locks on object Uids to actions under
+// the coloured rules of §5.2 (which, for single-coloured systems, coincide
+// with the classical Moss rules — see lock/lock.h). Acquisition blocks, with
+// wait-for-graph deadlock detection and a timeout backstop. Commit-time lock
+// inheritance and release are driven by the action kernel, per colour.
+//
+// A single manager instance serves one node; in the distributed layer each
+// simulated node owns one, and remote callers appear through ancestry paths
+// registered by the RPC server.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/event_trace.h"
+#include "lock/deadlock_detector.h"
+#include "lock/lock.h"
+
+namespace mca {
+
+enum class LockOutcome {
+  Granted,
+  // The request conflicts with a lock the requester (or an ancestor) holds
+  // in a different colour; waiting can never help (§5.2 write rule).
+  Refused,
+  Deadlock,
+  Timeout,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(LockOutcome o) {
+  switch (o) {
+    case LockOutcome::Granted: return "granted";
+    case LockOutcome::Refused: return "refused";
+    case LockOutcome::Deadlock: return "deadlock";
+    case LockOutcome::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+class LockManager {
+ public:
+  struct Stats {
+    std::uint64_t grants = 0;
+    std::uint64_t immediate_grants = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t deadlocks = 0;
+    std::uint64_t refusals = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t total_wait_micros = 0;
+  };
+
+  static constexpr std::chrono::milliseconds kDefaultTimeout{10'000};
+
+  explicit LockManager(const Ancestry& ancestry) : ancestry_(ancestry) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Blocks until the lock is granted, the request is refused or deadlocked,
+  // or `timeout` expires.
+  [[nodiscard]] LockOutcome acquire(const ActionUid& requester, const Uid& object, LockMode mode,
+                                    Colour colour,
+                                    std::chrono::milliseconds timeout = kDefaultTimeout);
+
+  // Commit processing for one colour of a committing action (§5.2):
+  // inherit moves the locks to the closest same-coloured ancestor, release
+  // drops them (outermost-in-colour commit).
+  void on_commit_inherit(const ActionUid& owner, Colour colour, const ActionUid& heir);
+  void on_commit_release(const ActionUid& owner, Colour colour);
+
+  // Abort processing: every lock of every colour/mode is discarded.
+  void on_abort(const ActionUid& owner);
+
+  // Early release of transfer locks by structure actions (glued-action
+  // "unglue", fig. 9). `owner` must be a read-only structure action; this is
+  // outside plain two-phase locking and is documented as such.
+  void release_early(const ActionUid& owner, const Uid& object, Colour colour, LockMode mode);
+
+  // Crash simulation: drops every lock and wait-for edge (volatile state of
+  // a failed node) and wakes all waiters so blocked callers re-evaluate.
+  void clear();
+
+  // -- introspection ---------------------------------------------------------
+
+  [[nodiscard]] std::vector<LockEntry> entries(const Uid& object) const;
+  [[nodiscard]] bool holds(const ActionUid& owner, const Uid& object, LockMode mode,
+                           Colour colour) const;
+  [[nodiscard]] std::size_t locked_object_count() const;
+  [[nodiscard]] Stats stats() const;
+  void reset_stats();
+
+  // Optional event tracing (owned by the Runtime).
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+ private:
+  void trace_event(TraceKind kind, const ActionUid& action, const Uid& object,
+                   std::string detail) {
+    if (trace_ != nullptr) trace_->record(kind, action, object, std::move(detail));
+  }
+
+  EventTrace* trace_ = nullptr;
+  const Ancestry& ancestry_;
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::unordered_map<Uid, LockRecord> records_;
+  DeadlockDetector detector_;
+  Stats stats_;
+};
+
+}  // namespace mca

@@ -1,0 +1,29 @@
+// Lock modes (paper §5.2).
+//
+// Three modes: READ (shared), WRITE (exclusive), and EXCLUSIVE-READ — a mode
+// the paper introduces "purely to enable a coloured system to implement the
+// action structures of section 3": it lets a structure action retain an
+// object exclusively (nobody outside may read or write it) without itself
+// writing, which is how locks are carried across the gap between glued or
+// serialized constituents.
+#pragma once
+
+#include <string_view>
+
+namespace mca {
+
+enum class LockMode { Read, Write, ExclusiveRead };
+
+[[nodiscard]] constexpr std::string_view to_string(LockMode m) {
+  switch (m) {
+    case LockMode::Read: return "read";
+    case LockMode::Write: return "write";
+    case LockMode::ExclusiveRead: return "xread";
+  }
+  return "?";
+}
+
+// True for the modes that exclude all other holders (WRITE and XR).
+[[nodiscard]] constexpr bool is_exclusive(LockMode m) { return m != LockMode::Read; }
+
+}  // namespace mca

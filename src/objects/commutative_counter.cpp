@@ -1,0 +1,121 @@
+#include "objects/commutative_counter.h"
+
+#include "common/logging.h"
+
+namespace mca {
+
+// Per-action tally: a TerminationParticipant that compensates on abort and
+// folds/forwards on commit.
+class CommutativeCounter::Tally final : public TerminationParticipant {
+ public:
+  Tally(CommutativeCounter& counter, AtomicAction& owner, Colour colour)
+      : counter_(counter), owner_(owner), colour_(colour) {}
+
+  void accumulate(std::int64_t delta) { delta_ += delta; }
+  [[nodiscard]] std::int64_t delta() const { return delta_; }
+  [[nodiscard]] Colour colour() const { return colour_; }
+
+  bool prepare(const Uid&, const std::vector<Colour>&) override { return true; }
+
+  void commit(const Uid& action, const std::vector<ColourDisposition>& dispositions) override {
+    for (const ColourDisposition& d : dispositions) {
+      if (d.colour != colour_) continue;
+      if (d.heir.is_nil()) {
+        counter_.fold_into_committed(action, delta_);
+      } else if (AtomicAction* heir = owner_.nearest_ancestor_with(colour_)) {
+        counter_.transfer_tally(action, *heir, colour_, delta_);
+      } else {
+        MCA_LOG(Error, "counter") << "heir action for colour " << colour_.name()
+                                  << " not reachable; folding tally";
+        counter_.fold_into_committed(action, delta_);
+      }
+      return;
+    }
+    // The tally's colour was not among the action's dispositions — cannot
+    // happen for a well-formed action, but fold rather than lose the delta.
+    counter_.fold_into_committed(action, delta_);
+  }
+
+  void abort(const Uid& action) override {
+    // Type-specific recovery: compensate by discarding the tally (the
+    // semantic equivalent of running subtract(delta)).
+    counter_.drop_tally(action);
+  }
+
+ private:
+  CommutativeCounter& counter_;
+  AtomicAction& owner_;
+  Colour colour_;
+  std::int64_t delta_ = 0;
+};
+
+std::int64_t CommutativeCounter::value() const {
+  setlock_throw(LockMode::Read);
+  const Uid self = ActionContext::require().uid();
+  const std::scoped_lock lock(value_mutex_);
+  return committed_ + tally_of(self);
+}
+
+std::int64_t CommutativeCounter::committed_value() const {
+  setlock_throw(LockMode::Read);
+  const std::scoped_lock lock(value_mutex_);
+  return committed_;
+}
+
+void CommutativeCounter::add(std::int64_t delta) {
+  // Shared lock: concurrent adders do not conflict; exclusive readers and
+  // snapshot writers (Write/XR holders) still exclude us via the lock rules.
+  setlock_throw(LockMode::Read);
+  AtomicAction& action = ActionContext::require();
+  auto tally = tally_for(action, action.lock_plan().undo_colour);
+  const std::scoped_lock lock(value_mutex_);
+  tally->accumulate(delta);
+}
+
+std::size_t CommutativeCounter::pending_actions() const {
+  const std::scoped_lock lock(value_mutex_);
+  return pending_.size();
+}
+
+std::shared_ptr<CommutativeCounter::Tally> CommutativeCounter::tally_for(AtomicAction& action,
+                                                                         Colour colour) {
+  const std::scoped_lock lock(value_mutex_);
+  auto it = pending_.find(action.uid());
+  if (it == pending_.end()) {
+    auto tally = std::make_shared<Tally>(*this, action, colour);
+    action.add_participant(tally, "counter:" + uid().to_string());
+    it = pending_.emplace(action.uid(), std::move(tally)).first;
+  }
+  return it->second;
+}
+
+std::int64_t CommutativeCounter::tally_of(const Uid& action) const {
+  auto it = pending_.find(action);
+  return it == pending_.end() ? 0 : it->second->delta();
+}
+
+void CommutativeCounter::fold_into_committed(const Uid& action, std::int64_t delta) {
+  const std::scoped_lock lock(value_mutex_);
+  committed_ += delta;
+  pending_.erase(action);
+  // Permanence: write the committed value straight to the store. The
+  // snapshot/shadow protocol is bypassed deliberately — concurrent tallies
+  // must not be captured — which is exactly the paper's point about type
+  // specific recovery replacing state-based recovery.
+  store().write(make_object_state());
+}
+
+void CommutativeCounter::transfer_tally(const Uid& from, AtomicAction& heir, Colour colour,
+                                        std::int64_t delta) {
+  auto heir_tally = tally_for(heir, colour);
+  const std::scoped_lock lock(value_mutex_);
+  heir_tally->accumulate(delta);
+  pending_.erase(from);
+}
+
+void CommutativeCounter::drop_tally(const Uid& action) {
+  const std::scoped_lock lock(value_mutex_);
+  pending_.erase(action);
+}
+
+}  // namespace mca

@@ -1,0 +1,30 @@
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+LockOutcome LockManaged::setlock(LockMode logical) const {
+  // Lock acquisition mutates only kernel bookkeeping, never the object's
+  // logical state, so it is offered const; the kernel API takes a mutable
+  // reference because a grant may trigger activation (state load).
+  return ActionContext::require().lock_for(const_cast<LockManaged&>(*this), logical);
+}
+
+LockOutcome LockManaged::setlock(LockMode mode, Colour colour) const {
+  return ActionContext::require().lock_explicit(const_cast<LockManaged&>(*this), mode, colour);
+}
+
+void LockManaged::setlock_throw(LockMode logical) const {
+  if (const LockOutcome o = setlock(logical); o != LockOutcome::Granted) {
+    throw LockFailure(o, uid());
+  }
+}
+
+void LockManaged::setlock_throw(LockMode mode, Colour colour) const {
+  if (const LockOutcome o = setlock(mode, colour); o != LockOutcome::Granted) {
+    throw LockFailure(o, uid());
+  }
+}
+
+void LockManaged::modified() { ActionContext::require().note_modified(*this); }
+
+}  // namespace mca

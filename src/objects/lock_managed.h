@@ -1,0 +1,67 @@
+// LockManaged: persistent objects under (coloured) lock control.
+//
+// Concrete object methods follow the Arjuna idiom:
+//
+//   void Counter::increment() {
+//     setlock_throw(LockMode::Write);   // acquire per the action's LockPlan
+//     modified();                       // file the undo record, then mutate
+//     ++value_;
+//   }
+//   int Counter::value() const {
+//     setlock_throw(LockMode::Read);
+//     return value_;
+//   }
+//
+// Locks are charged to the current action of the calling thread; which
+// colours are used is decided by that action's LockPlan (so the same object
+// code works unchanged inside plain, serializing, glued or independent
+// actions). Explicit-colour variants exist for hand-coloured systems
+// (paper fig. 10).
+#pragma once
+
+#include <stdexcept>
+
+#include "core/atomic_action.h"
+#include "objects/state_manager.h"
+
+namespace mca {
+
+// Thrown by the _throw acquisition helpers when a lock is not granted.
+class LockFailure : public std::runtime_error {
+ public:
+  LockFailure(LockOutcome outcome, const Uid& object)
+      : std::runtime_error(std::string("lock not granted (") +
+                           std::string(to_string(outcome)) + ") on object " +
+                           object.to_string()),
+        outcome_(outcome) {}
+
+  [[nodiscard]] LockOutcome outcome() const { return outcome_; }
+
+ private:
+  LockOutcome outcome_;
+};
+
+class LockManaged : public StateManager {
+ public:
+  using StateManager::StateManager;
+
+  // Acquires the lock(s) the current action's plan maps `logical`
+  // (Read/Write) to. Requires a running action on this thread. Locking is
+  // logically const: read-locking inside a const observer is fine.
+  [[nodiscard]] LockOutcome setlock(LockMode logical) const;
+
+  // Acquires exactly (mode, colour) for the current action.
+  [[nodiscard]] LockOutcome setlock(LockMode mode, Colour colour) const;
+
+  // As above but throwing LockFailure instead of returning a non-granted
+  // outcome; convenient inside object methods.
+  void setlock_throw(LockMode logical) const;
+  void setlock_throw(LockMode mode, Colour colour) const;
+
+ protected:
+  // Files this object's undo record with the current action; call after a
+  // granted write lock and before the first mutation.
+  void modified();
+};
+
+}  // namespace mca

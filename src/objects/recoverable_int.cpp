@@ -1,0 +1,22 @@
+#include "objects/recoverable_int.h"
+
+namespace mca {
+
+std::int64_t RecoverableInt::value() const {
+  setlock_throw(LockMode::Read);
+  return value_;
+}
+
+void RecoverableInt::set(std::int64_t v) {
+  setlock_throw(LockMode::Write);
+  modified();
+  value_ = v;
+}
+
+void RecoverableInt::add(std::int64_t delta) {
+  setlock_throw(LockMode::Write);
+  modified();
+  value_ += delta;
+}
+
+}  // namespace mca

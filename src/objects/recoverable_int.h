@@ -1,0 +1,32 @@
+// A persistent, lock-managed integer — the "bank balance" workhorse of the
+// tests, examples and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class RecoverableInt final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  RecoverableInt(Runtime& rt, std::int64_t initial) : LockManaged(rt), value_(initial) {}
+
+  // Observers (read lock).
+  [[nodiscard]] std::int64_t value() const;
+
+  // Mutators (write lock + undo record).
+  void set(std::int64_t v);
+  void add(std::int64_t delta);
+
+  [[nodiscard]] std::string type_name() const override { return "RecoverableInt"; }
+  void save_state(ByteBuffer& out) const override { out.pack_i64(value_); }
+  void restore_state(ByteBuffer& in) override { value_ = in.unpack_i64(); }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace mca

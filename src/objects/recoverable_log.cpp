@@ -1,0 +1,33 @@
+#include "objects/recoverable_log.h"
+
+namespace mca {
+
+std::vector<std::string> RecoverableLog::entries() const {
+  setlock_throw(LockMode::Read);
+  return entries_;
+}
+
+std::size_t RecoverableLog::size() const {
+  setlock_throw(LockMode::Read);
+  return entries_.size();
+}
+
+void RecoverableLog::append(const std::string& entry) {
+  setlock_throw(LockMode::Write);
+  modified();
+  entries_.push_back(entry);
+}
+
+void RecoverableLog::save_state(ByteBuffer& out) const {
+  out.pack_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) out.pack_string(e);
+}
+
+void RecoverableLog::restore_state(ByteBuffer& in) {
+  entries_.clear();
+  const std::uint32_t n = in.unpack_u32();
+  entries_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) entries_.push_back(in.unpack_string());
+}
+
+}  // namespace mca

@@ -1,0 +1,30 @@
+// A persistent, lock-managed append-only log of strings.
+//
+// Backs the bulletin board and billing examples (§4 i, iii): entries are
+// only ever appended, and reads return the whole history.
+#pragma once
+
+#include <vector>
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class RecoverableLog final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  [[nodiscard]] std::vector<std::string> entries() const;
+  [[nodiscard]] std::size_t size() const;
+
+  void append(const std::string& entry);
+
+  [[nodiscard]] std::string type_name() const override { return "RecoverableLog"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+}  // namespace mca

@@ -1,0 +1,65 @@
+#include "objects/recoverable_map.h"
+
+namespace mca {
+
+std::optional<std::string> RecoverableMap::lookup(const std::string& key) const {
+  setlock_throw(LockMode::Read);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RecoverableMap::contains(const std::string& key) const {
+  setlock_throw(LockMode::Read);
+  return entries_.contains(key);
+}
+
+std::size_t RecoverableMap::size() const {
+  setlock_throw(LockMode::Read);
+  return entries_.size();
+}
+
+std::vector<std::string> RecoverableMap::keys() const {
+  setlock_throw(LockMode::Read);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) out.push_back(key);
+  return out;
+}
+
+void RecoverableMap::insert(const std::string& key, const std::string& value) {
+  setlock_throw(LockMode::Write);
+  modified();
+  entries_[key] = value;
+}
+
+bool RecoverableMap::erase(const std::string& key) {
+  setlock_throw(LockMode::Write);
+  modified();
+  return entries_.erase(key) > 0;
+}
+
+void RecoverableMap::clear() {
+  setlock_throw(LockMode::Write);
+  modified();
+  entries_.clear();
+}
+
+void RecoverableMap::save_state(ByteBuffer& out) const {
+  out.pack_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [key, value] : entries_) {
+    out.pack_string(key);
+    out.pack_string(value);
+  }
+}
+
+void RecoverableMap::restore_state(ByteBuffer& in) {
+  entries_.clear();
+  const std::uint32_t n = in.unpack_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string key = in.unpack_string();
+    entries_[std::move(key)] = in.unpack_string();
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,39 @@
+// A persistent, lock-managed string->string map ("directory object", §2).
+//
+// Operations lock the whole map; the paper's discussion of type-specific
+// concurrency control (finer per-entry locking) is realised in the apps
+// layer by composing many small objects (e.g. one Diary slot per object)
+// rather than by per-entry lock modes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class RecoverableMap final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  void insert(const std::string& key, const std::string& value);
+  // Returns false (after locking) when the key was absent.
+  bool erase(const std::string& key);
+  void clear();
+
+  [[nodiscard]] std::string type_name() const override { return "RecoverableMap"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace mca

@@ -1,0 +1,43 @@
+#include "objects/recoverable_set.h"
+
+namespace mca {
+
+bool RecoverableSet::contains(const std::string& element) const {
+  setlock_throw(LockMode::Read);
+  return elements_.contains(element);
+}
+
+std::size_t RecoverableSet::size() const {
+  setlock_throw(LockMode::Read);
+  return elements_.size();
+}
+
+std::vector<std::string> RecoverableSet::elements() const {
+  setlock_throw(LockMode::Read);
+  return {elements_.begin(), elements_.end()};
+}
+
+bool RecoverableSet::insert(const std::string& element) {
+  setlock_throw(LockMode::Write);
+  modified();
+  return elements_.insert(element).second;
+}
+
+bool RecoverableSet::erase(const std::string& element) {
+  setlock_throw(LockMode::Write);
+  modified();
+  return elements_.erase(element) > 0;
+}
+
+void RecoverableSet::save_state(ByteBuffer& out) const {
+  out.pack_u32(static_cast<std::uint32_t>(elements_.size()));
+  for (const auto& e : elements_) out.pack_string(e);
+}
+
+void RecoverableSet::restore_state(ByteBuffer& in) {
+  elements_.clear();
+  const std::uint32_t n = in.unpack_u32();
+  for (std::uint32_t i = 0; i < n; ++i) elements_.insert(in.unpack_string());
+}
+
+}  // namespace mca

@@ -1,0 +1,31 @@
+// A persistent, lock-managed set of strings.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class RecoverableSet final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  [[nodiscard]] bool contains(const std::string& element) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> elements() const;
+
+  // Returns false (after locking) when the element was already present.
+  bool insert(const std::string& element);
+  bool erase(const std::string& element);
+
+  [[nodiscard]] std::string type_name() const override { return "RecoverableSet"; }
+  void save_state(ByteBuffer& out) const override;
+  void restore_state(ByteBuffer& in) override;
+
+ private:
+  std::set<std::string> elements_;
+};
+
+}  // namespace mca

@@ -1,0 +1,22 @@
+#include "objects/recoverable_string.h"
+
+namespace mca {
+
+std::string RecoverableString::value() const {
+  setlock_throw(LockMode::Read);
+  return value_;
+}
+
+void RecoverableString::set(std::string v) {
+  setlock_throw(LockMode::Write);
+  modified();
+  value_ = std::move(v);
+}
+
+void RecoverableString::append(std::string_view suffix) {
+  setlock_throw(LockMode::Write);
+  modified();
+  value_.append(suffix);
+}
+
+}  // namespace mca

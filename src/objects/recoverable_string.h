@@ -1,0 +1,27 @@
+// A persistent, lock-managed string.
+#pragma once
+
+#include "objects/lock_managed.h"
+
+namespace mca {
+
+class RecoverableString final : public LockManaged {
+ public:
+  using LockManaged::LockManaged;
+
+  RecoverableString(Runtime& rt, std::string initial)
+      : LockManaged(rt), value_(std::move(initial)) {}
+
+  [[nodiscard]] std::string value() const;
+  void set(std::string v);
+  void append(std::string_view suffix);
+
+  [[nodiscard]] std::string type_name() const override { return "RecoverableString"; }
+  void save_state(ByteBuffer& out) const override { out.pack_string(value_); }
+  void restore_state(ByteBuffer& in) override { value_ = in.unpack_string(); }
+
+ private:
+  std::string value_;
+};
+
+}  // namespace mca

@@ -1,0 +1,50 @@
+#include "objects/state_manager.h"
+
+namespace mca {
+
+StateManager::StateManager(Runtime& rt) : rt_(rt), store_(rt.default_store()) {}
+
+StateManager::StateManager(Runtime& rt, ObjectStore& store) : rt_(rt), store_(store) {}
+
+StateManager::StateManager(Runtime& rt, const Uid& uid)
+    : rt_(rt), store_(rt.default_store()), uid_(uid) {}
+
+StateManager::StateManager(Runtime& rt, const Uid& uid, ObjectStore& store)
+    : rt_(rt), store_(store), uid_(uid) {}
+
+void StateManager::ensure_activated() {
+  const std::scoped_lock lock(activation_mutex_);
+  if (activated_) return;
+  if (auto committed = store_.read(uid_)) {
+    ByteBuffer state = committed->state();
+    restore_state(state);
+  }
+  activated_ = true;
+}
+
+bool StateManager::activated() const {
+  const std::scoped_lock lock(activation_mutex_);
+  return activated_;
+}
+
+ByteBuffer StateManager::snapshot_state() const {
+  ByteBuffer out;
+  save_state(out);
+  return out;
+}
+
+void StateManager::apply_state(const ByteBuffer& snapshot) {
+  ByteBuffer copy = snapshot;
+  restore_state(copy);
+}
+
+ObjectState StateManager::make_object_state() const {
+  return ObjectState(uid_, type_name(), snapshot_state());
+}
+
+void StateManager::invalidate_activation() {
+  const std::scoped_lock lock(activation_mutex_);
+  activated_ = false;
+}
+
+}  // namespace mca

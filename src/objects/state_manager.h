@@ -1,0 +1,79 @@
+// StateManager: base class of persistent, recoverable objects.
+//
+// Mirrors Arjuna's class of the same name (§2, §6). A concrete object
+// derives from LockManaged (below StateManager in the hierarchy), provides
+// save_state/restore_state/type_name, and brackets every mutator with a
+// write lock plus modified(), every observer with a read lock. The action
+// kernel then gives the object the serializability, failure atomicity and
+// permanence properties of whatever (coloured) action system it is used in.
+//
+// An object is bound to an object store; its committed state is loaded from
+// the store on first access ("activation") and new states are written back
+// when an outermost-in-colour action commits.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "core/runtime.h"
+#include "storage/object_state.h"
+
+namespace mca {
+
+class StateManager {
+ public:
+  // A brand-new persistent object, stored in the runtime's default store.
+  explicit StateManager(Runtime& rt);
+
+  // A brand-new persistent object in an explicit store (not owned).
+  StateManager(Runtime& rt, ObjectStore& store);
+
+  // Re-binds to an existing persistent object; its committed state is loaded
+  // from the store on first access.
+  StateManager(Runtime& rt, const Uid& uid);
+  StateManager(Runtime& rt, const Uid& uid, ObjectStore& store);
+
+  virtual ~StateManager() = default;
+  StateManager(const StateManager&) = delete;
+  StateManager& operator=(const StateManager&) = delete;
+
+  [[nodiscard]] const Uid& uid() const { return uid_; }
+  [[nodiscard]] Runtime& runtime() const { return rt_; }
+  [[nodiscard]] ObjectStore& store() const { return store_; }
+
+  // -- state mapping provided by concrete classes ------------------------------
+
+  [[nodiscard]] virtual std::string type_name() const = 0;
+  virtual void save_state(ByteBuffer& out) const = 0;
+  virtual void restore_state(ByteBuffer& in) = 0;
+
+  // -- kernel services ---------------------------------------------------------
+
+  // Loads the committed state from the store the first time the object is
+  // touched (no-op when the store has none: the object keeps its
+  // constructed state).
+  void ensure_activated();
+  [[nodiscard]] bool activated() const;
+
+  // Serialises the current in-memory state.
+  [[nodiscard]] ByteBuffer snapshot_state() const;
+
+  // Overwrites the in-memory state from a snapshot (undo).
+  void apply_state(const ByteBuffer& snapshot);
+
+  // The current state packaged for a store write.
+  [[nodiscard]] ObjectState make_object_state() const;
+
+  // Drops the activation flag so the next access reloads from the store —
+  // used by crash simulation to model loss of volatile memory.
+  void invalidate_activation();
+
+ private:
+  Runtime& rt_;
+  ObjectStore& store_;
+  Uid uid_;
+  mutable std::mutex activation_mutex_;
+  bool activated_ = false;
+};
+
+}  // namespace mca

@@ -1,0 +1,88 @@
+#include "replication/replica_group.h"
+
+#include "common/logging.h"
+
+namespace mca {
+
+ReplicatedMap::ReplicatedMap(std::vector<RemoteMap> replicas)
+    : replicas_(std::move(replicas)),
+      stale_(replicas_.size(), false),
+      quorum_(replicas_.size()) {
+  if (replicas_.empty()) throw std::invalid_argument("replica group must not be empty");
+}
+
+void ReplicatedMap::set_write_quorum(std::size_t quorum) {
+  if (quorum == 0 || quorum > replicas_.size()) {
+    throw std::invalid_argument("write quorum out of range");
+  }
+  quorum_ = quorum;
+}
+
+std::optional<std::string> ReplicatedMap::lookup(const std::string& key) const {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (stale_[i]) continue;
+    try {
+      return replicas_[i].lookup(key);
+    } catch (const NodeUnreachable&) {
+      MCA_LOG(Debug, "replication") << "lookup failover past replica " << i;
+    }
+  }
+  throw ReplicaUnavailable("no reachable replica for lookup");
+}
+
+template <typename Fn>
+void ReplicatedMap::write_all(Fn&& op) {
+  std::size_t reached = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (stale_[i]) continue;
+    try {
+      op(replicas_[i]);
+      ++reached;
+    } catch (const NodeUnreachable&) {
+      stale_[i] = true;
+      MCA_LOG(Info, "replication") << "replica " << i << " unreachable; marked stale";
+    }
+  }
+  if (reached < quorum_) {
+    throw ReplicaUnavailable("write reached " + std::to_string(reached) + " replicas, quorum " +
+                             std::to_string(quorum_));
+  }
+}
+
+void ReplicatedMap::insert(const std::string& key, const std::string& value) {
+  write_all([&](RemoteMap& r) { r.insert(key, value); });
+}
+
+void ReplicatedMap::erase(const std::string& key) {
+  write_all([&](RemoteMap& r) { (void)r.erase(key); });
+}
+
+void ReplicatedMap::resync(std::size_t replica_index) {
+  if (replica_index >= replicas_.size()) throw std::invalid_argument("bad replica index");
+  // Find a healthy source.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == replica_index || stale_[i]) continue;
+    try {
+      RemoteMap& source = replicas_[i];
+      RemoteMap& target = replicas_[replica_index];
+      for (const std::string& key : source.keys()) {
+        if (auto value = source.lookup(key)) target.insert(key, *value);
+      }
+      // Remove keys the source no longer has.
+      for (const std::string& key : target.keys()) {
+        if (!source.contains(key)) (void)target.erase(key);
+      }
+      stale_[replica_index] = false;
+      return;
+    } catch (const NodeUnreachable&) {
+      continue;
+    }
+  }
+  throw ReplicaUnavailable("no healthy source replica for resync");
+}
+
+bool ReplicatedMap::stale(std::size_t replica_index) const {
+  return stale_.at(replica_index);
+}
+
+}  // namespace mca

@@ -1,0 +1,64 @@
+// Replica management (paper §2: "the availability of objects can be
+// increased by replicating them ... managed through appropriate
+// replica-consistency protocols").
+//
+// ReplicatedMap keeps k copies of a map on k nodes and applies
+// read-one / write-all inside the calling action:
+//
+//   * updates go to every reachable replica; because all writes of one
+//     action commit atomically (the action's 2PC spans the replica nodes),
+//     copies remain mutually consistent;
+//   * lookups try replicas in order and return the first answer, so reads
+//     survive up to k-1 crashed replicas;
+//   * a replica that was down during updates must be re-synchronised before
+//     rejoining (resync()), the usual recovery step of a read-one/write-all
+//     scheme. Writes issued while a replica is down throw
+//     ReplicaUnavailable unless the group is told to tolerate it
+//     (set_write_quorum), in which case the action continues with the
+//     reachable copies and the unavailable one is marked stale.
+#pragma once
+
+#include <vector>
+
+#include "dist/remote.h"
+
+namespace mca {
+
+class ReplicaUnavailable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ReplicatedMap {
+ public:
+  // `replicas` are proxies for the same logical map on distinct nodes.
+  explicit ReplicatedMap(std::vector<RemoteMap> replicas);
+
+  // Minimum number of replicas a write must reach (default: all).
+  void set_write_quorum(std::size_t quorum);
+
+  // Read-one: first reachable replica answers.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+
+  // Write-all (down to the quorum): replicas that cannot be reached are
+  // marked stale and skipped until resynced.
+  void insert(const std::string& key, const std::string& value);
+  void erase(const std::string& key);
+
+  // Copies the full contents of a healthy replica onto `replica_index` and
+  // clears its stale mark. Call inside an action.
+  void resync(std::size_t replica_index);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] bool stale(std::size_t replica_index) const;
+
+ private:
+  template <typename Fn>
+  void write_all(Fn&& op);
+
+  std::vector<RemoteMap> replicas_;
+  mutable std::vector<bool> stale_;
+  std::size_t quorum_;
+};
+
+}  // namespace mca

@@ -1,0 +1,47 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+namespace mca {
+
+FaultSchedule::FaultSchedule(std::vector<Event> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+}
+
+FaultSchedule FaultSchedule::periodic(DistNode& node, std::chrono::milliseconds period,
+                                      std::chrono::milliseconds downtime, int cycles) {
+  std::vector<Event> events;
+  auto t = period;
+  for (int i = 0; i < cycles; ++i) {
+    events.push_back(Event{t, &node, Event::What::Crash});
+    events.push_back(Event{t + downtime, &node, Event::What::Restart});
+    t += period;
+  }
+  return FaultSchedule(std::move(events));
+}
+
+void FaultSchedule::start() {
+  runner_ = std::thread([this] {
+    const auto start_time = std::chrono::steady_clock::now();
+    for (const Event& event : events_) {
+      std::this_thread::sleep_until(start_time + event.at);
+      if (event.what == Event::What::Crash) {
+        event.node->crash();
+        ++crashes_;
+      } else {
+        event.node->restart();
+      }
+    }
+  });
+}
+
+void FaultSchedule::finish() {
+  if (runner_.joinable()) runner_.join();
+  // Leave every touched node healthy.
+  for (const Event& event : events_) {
+    if (!event.node->up()) event.node->restart();
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,47 @@
+// Scripted crash/restart schedules for DistNodes.
+//
+// The chaos tests and benchmarks need nodes to fail *while* work is in
+// flight, repeatedly and reproducibly. A FaultSchedule runs on its own
+// thread and executes a list of (delay, node, crash|restart) events; a
+// convenience constructor builds periodic crash-restart cycles.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dist/node.h"
+
+namespace mca {
+
+class FaultSchedule {
+ public:
+  struct Event {
+    std::chrono::milliseconds at;  // relative to start()
+    DistNode* node;
+    enum class What { Crash, Restart } what;
+  };
+
+  explicit FaultSchedule(std::vector<Event> events);
+
+  // Periodic schedule: every `period`, crash `node` and restart it after
+  // `downtime`, for `cycles` cycles.
+  static FaultSchedule periodic(DistNode& node, std::chrono::milliseconds period,
+                                std::chrono::milliseconds downtime, int cycles);
+
+  // Starts executing the schedule on a background thread.
+  void start();
+
+  // Blocks until every event has run (and restarts any node the schedule
+  // left crashed, so the system quiesces healthy).
+  void finish();
+
+  [[nodiscard]] int crashes_executed() const { return crashes_; }
+
+ private:
+  std::vector<Event> events_;
+  std::thread runner_;
+  int crashes_ = 0;
+};
+
+}  // namespace mca

@@ -1,0 +1,109 @@
+#include "sim/network.h"
+
+namespace mca {
+
+Network::Network(NetworkConfig config)
+    : config_(config), rng_(config.seed), delivery_thread_([this] { delivery_loop(); }) {}
+
+Network::~Network() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+}
+
+void Network::attach(NodeId id, Handler handler) {
+  const std::scoped_lock lock(mutex_);
+  handlers_[id] = std::move(handler);
+  up_[id] = true;
+}
+
+void Network::detach(NodeId id) {
+  const std::scoped_lock lock(mutex_);
+  handlers_.erase(id);
+  up_.erase(id);
+}
+
+void Network::set_up(NodeId id, bool up) {
+  const std::scoped_lock lock(mutex_);
+  up_[id] = up;
+}
+
+bool Network::is_up(NodeId id) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = up_.find(id);
+  return it != up_.end() && it->second;
+}
+
+std::chrono::steady_clock::time_point Network::delay_from_now_locked() {
+  const auto span = config_.max_delay - config_.min_delay;
+  const auto jitter = span.count() > 0
+                          ? std::chrono::microseconds(std::uniform_int_distribution<long long>(
+                                0, span.count())(rng_))
+                          : std::chrono::microseconds(0);
+  return std::chrono::steady_clock::now() + config_.min_delay + jitter;
+}
+
+void Network::enqueue_locked(Datagram d, std::chrono::steady_clock::time_point at) {
+  queue_.push(Pending{at, std::move(d)});
+}
+
+void Network::send(Datagram d) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.sent;
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < config_.loss_probability) {
+      ++stats_.lost;
+      return;
+    }
+    if (coin(rng_) < config_.duplication_probability) {
+      ++stats_.duplicated;
+      enqueue_locked(d, delay_from_now_locked());
+    }
+    enqueue_locked(std::move(d), delay_from_now_locked());
+  }
+  wake_.notify_all();
+}
+
+Network::Stats Network::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+void Network::delivery_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const auto next_at = queue_.top().at;
+    if (std::chrono::steady_clock::now() < next_at) {
+      wake_.wait_until(lock, next_at);
+      continue;
+    }
+    Datagram d = queue_.top().datagram;
+    queue_.pop();
+    auto up_it = up_.find(d.to);
+    if (up_it == up_.end() || !up_it->second) {
+      ++stats_.dropped_down;
+      continue;
+    }
+    auto handler_it = handlers_.find(d.to);
+    if (handler_it == handlers_.end()) {
+      ++stats_.dropped_down;
+      continue;
+    }
+    Handler handler = handler_it->second;  // copy: handler may detach itself
+    ++stats_.delivered;
+    lock.unlock();
+    handler(std::move(d));
+    lock.lock();
+  }
+}
+
+}  // namespace mca

@@ -1,0 +1,103 @@
+// Simulated communication subsystem (paper §2).
+//
+// The paper's failure model for the network is "lost, duplicated or
+// corrupted messages", handled by protocol-level retransmission; nodes are
+// fail-silent. This Network delivers datagrams between in-process nodes
+// through a single delivery thread, injecting configurable message loss,
+// duplication and delay from a seeded RNG so failure scenarios are
+// reproducible. Messages to a crashed (down) node are dropped silently —
+// fail-silence as seen from the wire.
+//
+// Handlers run on the delivery thread and must not block; nodes hand real
+// work to their own thread pools.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <random>
+#include <thread>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "common/uid.h"
+
+namespace mca {
+
+using NodeId = std::uint32_t;
+
+struct Datagram {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string service;
+  Uid request_id = Uid::nil();
+  bool is_reply = false;
+  ByteBuffer payload;
+};
+
+struct NetworkConfig {
+  double loss_probability = 0.0;
+  double duplication_probability = 0.0;
+  std::chrono::microseconds min_delay{50};
+  std::chrono::microseconds max_delay{500};
+  std::uint64_t seed = 42;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Datagram)>;
+
+  explicit Network(NetworkConfig config = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers/replaces the delivery handler for `id` and marks it up.
+  void attach(NodeId id, Handler handler);
+  void detach(NodeId id);
+
+  // Crash / restart from the network's point of view: a down node receives
+  // nothing (messages already in flight to it are dropped at delivery).
+  void set_up(NodeId id, bool up);
+  [[nodiscard]] bool is_up(NodeId id) const;
+
+  void send(Datagram d);
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t dropped_down = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point at;
+    Datagram datagram;
+    bool operator>(const Pending& other) const { return at > other.at; }
+  };
+
+  void delivery_loop();
+  void enqueue_locked(Datagram d, std::chrono::steady_clock::time_point at);
+  [[nodiscard]] std::chrono::steady_clock::time_point delay_from_now_locked();
+
+  NetworkConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, bool> up_;
+  std::mt19937_64 rng_;
+  Stats stats_;
+  bool stopping_ = false;
+  std::thread delivery_thread_;
+};
+
+}  // namespace mca

@@ -1,0 +1,136 @@
+#include "storage/file_store.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mca {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kShadowSuffix = ".shadow";
+
+std::string uid_filename(const Uid& uid) {
+  std::ostringstream os;
+  os << std::hex << uid.hi() << '_' << uid.lo();
+  return os.str();
+}
+
+std::optional<Uid> parse_uid_filename(const std::string& stem) {
+  const auto sep = stem.find('_');
+  if (sep == std::string::npos) return std::nullopt;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  try {
+    hi = std::stoull(stem.substr(0, sep), nullptr, 16);
+    lo = std::stoull(stem.substr(sep + 1), nullptr, 16);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return Uid(hi, lo);
+}
+
+std::optional<ObjectState> read_state_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::byte> raw;
+  in.seekg(0, std::ios::end);
+  raw.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+  if (!in) return std::nullopt;
+  ByteBuffer buf(std::move(raw));
+  try {
+    return ObjectState::decode(buf);
+  } catch (const BufferUnderflow&) {
+    return std::nullopt;  // torn write of a shadow: treat as absent
+  }
+}
+
+void write_state_file_atomically(const fs::path& path, const ObjectState& state) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const auto encoded = state.encode();
+    out.write(reinterpret_cast<const char*>(encoded.data().data()),
+              static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("FileStore: failed writing " + tmp.string());
+  }
+  fs::rename(tmp, path);  // atomic commit point
+}
+
+}  // namespace
+
+FileStore::FileStore(fs::path directory) : dir_(std::move(directory)) {
+  fs::create_directories(dir_);
+}
+
+fs::path FileStore::committed_path(const Uid& uid) const { return dir_ / uid_filename(uid); }
+
+fs::path FileStore::shadow_path(const Uid& uid) const {
+  return dir_ / (uid_filename(uid) + kShadowSuffix);
+}
+
+std::optional<ObjectState> FileStore::read(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  return read_state_file(committed_path(uid));
+}
+
+void FileStore::write(const ObjectState& state) {
+  const std::scoped_lock lock(mutex_);
+  write_state_file_atomically(committed_path(state.uid()), state);
+}
+
+bool FileStore::remove(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  return fs::remove(committed_path(uid));
+}
+
+std::vector<Uid> FileStore::uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    if (name.ends_with(kShadowSuffix) || name.ends_with(".tmp")) continue;
+    if (auto uid = parse_uid_filename(name)) out.push_back(*uid);
+  }
+  return out;
+}
+
+void FileStore::write_shadow(const ObjectState& state) {
+  const std::scoped_lock lock(mutex_);
+  write_state_file_atomically(shadow_path(state.uid()), state);
+}
+
+std::optional<ObjectState> FileStore::read_shadow(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  return read_state_file(shadow_path(uid));
+}
+
+bool FileStore::commit_shadow(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  const fs::path shadow = shadow_path(uid);
+  if (!fs::exists(shadow)) return false;
+  fs::rename(shadow, committed_path(uid));
+  return true;
+}
+
+bool FileStore::discard_shadow(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  return fs::remove(shadow_path(uid));
+}
+
+std::vector<Uid> FileStore::shadow_uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    if (!name.ends_with(kShadowSuffix)) continue;
+    if (auto uid = parse_uid_filename(name.substr(0, name.size() - std::strlen(kShadowSuffix))))
+      out.push_back(*uid);
+  }
+  return out;
+}
+
+}  // namespace mca

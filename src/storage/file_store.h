@@ -1,0 +1,49 @@
+// File-backed stable object store.
+//
+// One file per object under the store directory; committed states are
+// written via write-to-temp + atomic rename so a crash never leaves a
+// half-written committed state. Shadows live alongside with a ".shadow"
+// suffix; `commit_shadow` is a rename, which is the atomic commit point.
+// Because state lives on disk, `crash()` is a no-op: a new FileStore opened
+// on the same directory sees everything, exactly like a rebooted diskfull
+// workstation.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "storage/object_store.h"
+
+namespace mca {
+
+class FileStore final : public ObjectStore {
+ public:
+  // Creates the directory if needed. Throws std::filesystem::filesystem_error
+  // when the directory cannot be created.
+  explicit FileStore(std::filesystem::path directory);
+
+  [[nodiscard]] std::optional<ObjectState> read(const Uid& uid) const override;
+  void write(const ObjectState& state) override;
+  bool remove(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> uids() const override;
+
+  void write_shadow(const ObjectState& state) override;
+  [[nodiscard]] std::optional<ObjectState> read_shadow(const Uid& uid) const override;
+  bool commit_shadow(const Uid& uid) override;
+  bool discard_shadow(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> shadow_uids() const override;
+
+  void crash() override {}
+  [[nodiscard]] StorageClass storage_class() const override { return StorageClass::Stable; }
+
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path committed_path(const Uid& uid) const;
+  [[nodiscard]] std::filesystem::path shadow_path(const Uid& uid) const;
+
+  mutable std::mutex mutex_;
+  std::filesystem::path dir_;
+};
+
+}  // namespace mca

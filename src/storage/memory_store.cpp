@@ -1,0 +1,74 @@
+#include "storage/memory_store.h"
+
+namespace mca {
+
+std::optional<ObjectState> MemoryStore::read(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = committed_.find(uid);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemoryStore::write(const ObjectState& state) {
+  const std::scoped_lock lock(mutex_);
+  committed_[state.uid()] = state;
+}
+
+bool MemoryStore::remove(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  return committed_.erase(uid) > 0;
+}
+
+std::vector<Uid> MemoryStore::uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  out.reserve(committed_.size());
+  for (const auto& [uid, state] : committed_) out.push_back(uid);
+  return out;
+}
+
+void MemoryStore::write_shadow(const ObjectState& state) {
+  const std::scoped_lock lock(mutex_);
+  shadows_[state.uid()] = state;
+}
+
+std::optional<ObjectState> MemoryStore::read_shadow(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = shadows_.find(uid);
+  if (it == shadows_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryStore::commit_shadow(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  auto it = shadows_.find(uid);
+  if (it == shadows_.end()) return false;
+  committed_[uid] = std::move(it->second);
+  shadows_.erase(it);
+  return true;
+}
+
+bool MemoryStore::discard_shadow(const Uid& uid) {
+  const std::scoped_lock lock(mutex_);
+  return shadows_.erase(uid) > 0;
+}
+
+std::vector<Uid> MemoryStore::shadow_uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  out.reserve(shadows_.size());
+  for (const auto& [uid, state] : shadows_) out.push_back(uid);
+  return out;
+}
+
+void MemoryStore::crash() {
+  const std::scoped_lock lock(mutex_);
+  if (class_ == StorageClass::Volatile) {
+    committed_.clear();
+    shadows_.clear();
+  }
+  // Stable: everything, including shadows, survives — a recovering node's
+  // commit protocol decides what to do with the shadows.
+}
+
+}  // namespace mca

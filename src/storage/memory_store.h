@@ -1,0 +1,41 @@
+// In-memory object store, stable or volatile, thread safe.
+//
+// The stable variant models a diskfull workstation for simulation purposes:
+// its contents deliberately survive `crash()`. The volatile variant models a
+// diskless one and is emptied by `crash()`.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "storage/object_store.h"
+
+namespace mca {
+
+class MemoryStore final : public ObjectStore {
+ public:
+  explicit MemoryStore(StorageClass storage_class = StorageClass::Stable)
+      : class_(storage_class) {}
+
+  [[nodiscard]] std::optional<ObjectState> read(const Uid& uid) const override;
+  void write(const ObjectState& state) override;
+  bool remove(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> uids() const override;
+
+  void write_shadow(const ObjectState& state) override;
+  [[nodiscard]] std::optional<ObjectState> read_shadow(const Uid& uid) const override;
+  bool commit_shadow(const Uid& uid) override;
+  bool discard_shadow(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> shadow_uids() const override;
+
+  void crash() override;
+  [[nodiscard]] StorageClass storage_class() const override { return class_; }
+
+ private:
+  mutable std::mutex mutex_;
+  StorageClass class_;
+  std::map<Uid, ObjectState> committed_;
+  std::map<Uid, ObjectState> shadows_;
+};
+
+}  // namespace mca

@@ -1,0 +1,21 @@
+#include "storage/object_state.h"
+
+namespace mca {
+
+ByteBuffer ObjectState::encode() const {
+  ByteBuffer out;
+  out.pack_uid(uid_);
+  out.pack_string(type_name_);
+  out.pack_bytes(state_.data());
+  return out;
+}
+
+ObjectState ObjectState::decode(ByteBuffer& in) {
+  ObjectState s;
+  s.uid_ = in.unpack_uid();
+  s.type_name_ = in.unpack_string();
+  s.state_ = ByteBuffer(in.unpack_bytes());
+  return s;
+}
+
+}  // namespace mca

@@ -1,0 +1,42 @@
+// ObjectState: a named, serialised snapshot of a persistent object.
+//
+// This is the unit of permanence in the paper's model (§2): when a top-level
+// (or outermost-in-colour) action commits, the new states of the objects it
+// modified are written to an object store as ObjectStates; on abort the
+// previous snapshot is restored instead.
+#pragma once
+
+#include <string>
+
+#include "common/buffer.h"
+#include "common/uid.h"
+
+namespace mca {
+
+class ObjectState {
+ public:
+  ObjectState() = default;
+  ObjectState(Uid uid, std::string type_name, ByteBuffer state)
+      : uid_(uid), type_name_(std::move(type_name)), state_(std::move(state)) {}
+
+  [[nodiscard]] const Uid& uid() const { return uid_; }
+  [[nodiscard]] const std::string& type_name() const { return type_name_; }
+  [[nodiscard]] const ByteBuffer& state() const { return state_; }
+  [[nodiscard]] ByteBuffer& state() { return state_; }
+
+  // Flat encoding used by file stores and by the RPC layer when shipping
+  // states between nodes.
+  [[nodiscard]] ByteBuffer encode() const;
+  static ObjectState decode(ByteBuffer& in);
+
+  friend bool operator==(const ObjectState& a, const ObjectState& b) {
+    return a.uid_ == b.uid_ && a.type_name_ == b.type_name_ && a.state_ == b.state_;
+  }
+
+ private:
+  Uid uid_ = Uid::nil();
+  std::string type_name_;
+  ByteBuffer state_;
+};
+
+}  // namespace mca

@@ -1,0 +1,47 @@
+// ObjectStore: where persistent objects live (§2 of the paper).
+//
+// A store holds committed states and, to support two-phase commit, *shadow*
+// states written during the prepare phase. `commit_shadow` atomically
+// promotes a shadow to the committed state; `discard_shadow` drops it.
+//
+// Stores model the paper's storage classes: a *stable* store survives a node
+// crash (diskfull workstation); a *volatile* store loses everything
+// (diskless). `crash()` simulates the loss; recovery code then replays or
+// discards shadows according to the commit protocol's stable log.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "storage/object_state.h"
+
+namespace mca {
+
+enum class StorageClass { Stable, Volatile };
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Committed states.
+  [[nodiscard]] virtual std::optional<ObjectState> read(const Uid& uid) const = 0;
+  virtual void write(const ObjectState& state) = 0;
+  virtual bool remove(const Uid& uid) = 0;
+  [[nodiscard]] virtual std::vector<Uid> uids() const = 0;
+
+  // Shadow (prepared-but-uncommitted) states.
+  virtual void write_shadow(const ObjectState& state) = 0;
+  [[nodiscard]] virtual std::optional<ObjectState> read_shadow(const Uid& uid) const = 0;
+  virtual bool commit_shadow(const Uid& uid) = 0;
+  virtual bool discard_shadow(const Uid& uid) = 0;
+  [[nodiscard]] virtual std::vector<Uid> shadow_uids() const = 0;
+
+  // Simulates the effect of the owning node crashing. Stable stores keep
+  // their contents (including shadows, which a recovering participant needs
+  // in order to finish an in-doubt commit); volatile stores are emptied.
+  virtual void crash() = 0;
+
+  [[nodiscard]] virtual StorageClass storage_class() const = 0;
+};
+
+}  // namespace mca

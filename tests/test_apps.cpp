@@ -1,0 +1,361 @@
+// Tests for the §4 example applications: meeting scheduler (glued actions),
+// bulletin board (independent actions + compensation), billing, and the
+// replicated name server.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/bboard/bulletin_board.h"
+#include "apps/billing/billing.h"
+#include "apps/diary/scheduler.h"
+#include "apps/names/name_server.h"
+#include "objects/recoverable_map.h"
+
+namespace mca {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(200);
+  return c;
+}
+
+bool slot_booked(Runtime& rt, Diary& d, std::size_t t) {
+  AtomicAction a(rt);
+  a.begin();
+  const bool b = d.slot(t).booked();
+  a.commit();
+  return b;
+}
+
+void book_slot(Runtime& rt, Diary& d, std::size_t t, const std::string& title) {
+  AtomicAction a(rt);
+  a.begin();
+  d.slot(t).book(title);
+  a.commit();
+}
+
+// --- Meeting scheduler (fig. 9) ----------------------------------------------
+
+TEST(Scheduler, BooksCommonFreeSlotForEveryone) {
+  Runtime rt;
+  Diary alice(rt, "alice", 8);
+  Diary bob(rt, "bob", 8);
+  book_slot(rt, alice, 0, "dentist");
+  book_slot(rt, bob, 1, "gym");
+
+  MeetingScheduler scheduler(rt, {&alice, &bob});
+  ScheduleResult r = scheduler.schedule("design meeting", 3);
+  ASSERT_TRUE(r.scheduled) << r.error;
+  EXPECT_GE(r.chosen_time, 2u);  // 0 and 1 are taken
+  EXPECT_TRUE(slot_booked(rt, alice, r.chosen_time));
+  EXPECT_TRUE(slot_booked(rt, bob, r.chosen_time));
+}
+
+TEST(Scheduler, GluedFootprintShrinksEachRound) {
+  Runtime rt;
+  Diary a(rt, "a", 16);
+  Diary b(rt, "b", 16);
+  MeetingScheduler scheduler(rt, {&a, &b});
+  ScheduleResult r = scheduler.schedule("m", 4);
+  ASSERT_TRUE(r.scheduled) << r.error;
+  ASSERT_GE(r.glued_after_round.size(), 2u);
+  for (std::size_t i = 1; i < r.glued_after_round.size(); ++i) {
+    EXPECT_LE(r.glued_after_round[i], r.glued_after_round[i - 1]) << "round " << i;
+  }
+  // Everything is released at the end.
+  EXPECT_EQ(r.glued_after_round.back(), 0u);
+}
+
+TEST(Scheduler, FailsWhenNoCommonSlot) {
+  Runtime rt;
+  Diary a(rt, "a", 2);
+  Diary b(rt, "b", 2);
+  book_slot(rt, a, 0, "x");
+  book_slot(rt, b, 1, "y");
+  MeetingScheduler scheduler(rt, {&a, &b});
+  ScheduleResult r = scheduler.schedule("m", 3);
+  EXPECT_FALSE(r.scheduled);
+  EXPECT_FALSE(slot_booked(rt, a, 1));
+  EXPECT_FALSE(slot_booked(rt, b, 0));
+}
+
+TEST(Scheduler, ReleasedSlotsAreBookableByOthersMidProtocol) {
+  // The point of glued actions here: rejected slots become available to
+  // other users before the scheduling protocol finishes. We verify post-run
+  // that non-chosen slots are free.
+  Runtime rt;
+  Diary a(rt, "a", 8);
+  MeetingScheduler scheduler(rt, {&a});
+  ScheduleResult r = scheduler.schedule("m", 3);
+  ASSERT_TRUE(r.scheduled);
+  for (std::size_t t = 0; t < 8; ++t) {
+    if (t == r.chosen_time) continue;
+    EXPECT_FALSE(slot_booked(rt, a, t));
+    // And they are lockable right now.
+    AtomicAction probe(rt, nullptr, {});
+    probe.begin(AtomicAction::ContextPolicy::Detached);
+    EXPECT_EQ(probe.lock_for(a.slot(t), LockMode::Write), LockOutcome::Granted);
+    probe.abort();
+  }
+}
+
+TEST(Scheduler, CustomNarrowingPolicyIsHonoured) {
+  Runtime rt;
+  Diary a(rt, "a", 8);
+  MeetingScheduler scheduler(rt, {&a});
+  // Always prefer the highest time.
+  auto narrow = [](const std::vector<std::size_t>& c, std::size_t) {
+    return std::vector<std::size_t>{c.back()};
+  };
+  ScheduleResult r = scheduler.schedule("m", 3, narrow);
+  ASSERT_TRUE(r.scheduled);
+  EXPECT_EQ(r.chosen_time, 7u);
+}
+
+TEST(Scheduler, ThreeWayMeeting) {
+  Runtime rt;
+  Diary a(rt, "a", 6);
+  Diary b(rt, "b", 6);
+  Diary c(rt, "c", 6);
+  book_slot(rt, a, 0, "x");
+  book_slot(rt, b, 2, "y");
+  book_slot(rt, c, 4, "z");
+  MeetingScheduler scheduler(rt, {&a, &b, &c});
+  ScheduleResult r = scheduler.schedule("sync", 4);
+  ASSERT_TRUE(r.scheduled) << r.error;
+  for (Diary* d : {&a, &b, &c}) EXPECT_TRUE(slot_booked(rt, *d, r.chosen_time));
+}
+
+// --- Bulletin board (§4 i) ----------------------------------------------------
+
+TEST(BulletinBoardTest, PostSurvivesApplicationAbort) {
+  Runtime rt;
+  BulletinBoard board(rt);
+  {
+    AtomicAction app(rt);
+    app.begin();
+    auto id = BulletinBoard::post_independent(rt, board, "alice", "for sale");
+    ASSERT_TRUE(id.has_value());
+    app.abort();
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(board.active_count(), 1u);
+  check.commit();
+}
+
+TEST(BulletinBoardTest, CompensationRetractsAfterAbort) {
+  // "if the invoking action aborts it may well be necessary to invoke a
+  // compensating top-level action."
+  Runtime rt;
+  BulletinBoard board(rt);
+  std::optional<std::uint64_t> id;
+  {
+    AtomicAction app(rt);
+    app.begin();
+    id = BulletinBoard::post_independent(rt, board, "bob", "roommate wanted");
+    app.abort();
+  }
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(BulletinBoard::retract_independent(rt, board, *id));
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(board.active_count(), 0u);
+  EXPECT_EQ(board.postings().size(), 1u);  // tombstone remains
+  check.commit();
+}
+
+TEST(BulletinBoardTest, RetractUnknownIdFails) {
+  Runtime rt;
+  BulletinBoard board(rt);
+  EXPECT_FALSE(BulletinBoard::retract_independent(rt, board, 999));
+}
+
+TEST(BulletinBoardTest, BoardNotHeldLockedByLongApplication) {
+  // The failure mode the paper warns about: posting nested inside a long
+  // action keeps the board locked. Independent posting must leave the board
+  // free immediately.
+  Runtime rt;
+  BulletinBoard board(rt);
+  AtomicAction long_app(rt, nullptr, {});
+  long_app.begin(AtomicAction::ContextPolicy::Detached);
+  {
+    ActionContext::push(long_app);
+    BulletinBoard::post_independent(rt, board, "carol", "meeting notes");
+    ActionContext::pop(long_app);
+  }
+  // While long_app is still running, another user can read and post.
+  {
+    AtomicAction reader(rt, nullptr, {});
+    reader.begin(AtomicAction::ContextPolicy::Detached);
+    reader.set_lock_timeout(std::chrono::milliseconds(100));
+    ActionContext::push(reader);
+    EXPECT_EQ(board.active_count(), 1u);
+    ActionContext::pop(reader);
+    reader.commit();
+  }
+  long_app.abort();
+}
+
+TEST(BulletinBoardTest, StatePersistsAcrossReload) {
+  Runtime rt;
+  Uid uid;
+  {
+    BulletinBoard board(rt);
+    uid = board.uid();
+    BulletinBoard::post_independent(rt, board, "dave", "old news");
+  }
+  BulletinBoard reloaded(rt, uid);
+  AtomicAction check(rt);
+  check.begin();
+  ASSERT_EQ(reloaded.postings().size(), 1u);
+  EXPECT_EQ(reloaded.postings().front().body, "old news");
+  check.commit();
+}
+
+// --- Billing (§4 iii) ----------------------------------------------------------
+
+TEST(Billing, ChargesSurviveServiceActionAbort) {
+  Runtime rt;
+  RecoverableInt balance(rt, 0);
+  RecoverableLog audit(rt);
+  BillingMeter meter(rt, balance, audit);
+  {
+    AtomicAction service(rt);
+    service.begin();
+    EXPECT_TRUE(meter.charge("alice", 25));
+    EXPECT_TRUE(meter.charge("alice", 10));
+    service.abort();  // the service work is undone; the charges are not
+  }
+  EXPECT_EQ(meter.total(), 35);
+  EXPECT_EQ(meter.audit_trail(),
+            (std::vector<std::string>{"alice:25", "alice:10"}));
+}
+
+TEST(Billing, ChargesVisibleImmediately) {
+  Runtime rt;
+  RecoverableInt balance(rt, 0);
+  RecoverableLog audit(rt);
+  BillingMeter meter(rt, balance, audit);
+  AtomicAction service(rt);
+  service.begin();
+  meter.charge("bob", 5);
+  // A concurrent auditor (different action) can see the charge already.
+  std::int64_t seen = 0;
+  std::jthread auditor([&] {
+    AtomicAction a(rt);
+    a.begin();
+    seen = balance.value();
+    a.commit();
+  });
+  auditor.join();
+  EXPECT_EQ(seen, 5);
+  service.commit();
+}
+
+// --- Replicated name server (§4 ii) --------------------------------------------
+
+class NameServerTest : public ::testing::Test {
+ protected:
+  NameServerTest() : net_(fast_config()), client_(net_, 1) {
+    for (NodeId id = 2; id <= 4; ++id) {
+      nodes_.push_back(std::make_unique<DistNode>(net_, id));
+      maps_.push_back(std::make_unique<RecoverableMap>(nodes_.back()->runtime()));
+      nodes_.back()->host(*maps_.back());
+    }
+    std::vector<RemoteMap> proxies;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      proxies.emplace_back(client_, nodes_[i]->id(), maps_[i]->uid());
+    }
+    replicas_ = std::make_unique<ReplicatedMap>(std::move(proxies));
+    server_ = std::make_unique<NameServer>(client_.runtime(), *replicas_);
+    client_.set_invoke_timeout(std::chrono::milliseconds(500));
+  }
+
+  Network net_;
+  DistNode client_;
+  std::vector<std::unique_ptr<DistNode>> nodes_;
+  std::vector<std::unique_ptr<RecoverableMap>> maps_;
+  std::unique_ptr<ReplicatedMap> replicas_;
+  std::unique_ptr<NameServer> server_;
+};
+
+TEST_F(NameServerTest, AddAndLookup) {
+  EXPECT_TRUE(server_->add("printer", "node-9"));
+  EXPECT_EQ(server_->lookup("printer"), "node-9");
+  EXPECT_EQ(server_->lookup("absent"), std::nullopt);
+}
+
+TEST_F(NameServerTest, AllReplicasReceiveWrites) {
+  ASSERT_TRUE(server_->add("svc", "addr"));
+  for (std::size_t i = 0; i < maps_.size(); ++i) {
+    AtomicAction a(nodes_[i]->runtime());
+    a.begin();
+    EXPECT_EQ(maps_[i]->lookup("svc"), "addr") << "replica " << i;
+    a.commit();
+  }
+}
+
+TEST_F(NameServerTest, UpdateSurvivesApplicationAbort) {
+  {
+    AtomicAction app(client_.runtime());
+    app.begin();
+    EXPECT_TRUE(server_->add("obj", "moved-here"));
+    app.abort();
+  }
+  EXPECT_EQ(server_->lookup("obj"), "moved-here");
+}
+
+TEST_F(NameServerTest, AsynchronousUpdate) {
+  AtomicAction app(client_.runtime());
+  app.begin();
+  auto pending = server_->add_async("async-name", "somewhere");
+  // Carry on with the main computation... then join.
+  EXPECT_EQ(pending.join(), Outcome::Committed);
+  app.commit();
+  EXPECT_EQ(server_->lookup("async-name"), "somewhere");
+}
+
+TEST_F(NameServerTest, LookupSurvivesReplicaCrashes) {
+  ASSERT_TRUE(server_->add("durable", "yes"));
+  nodes_[0]->crash();
+  nodes_[1]->crash();
+  EXPECT_EQ(server_->lookup("durable"), "yes");  // read-one failover
+  nodes_[0]->restart();
+  nodes_[1]->restart();
+}
+
+TEST_F(NameServerTest, QuorumWriteToleratesCrashedReplicaAndResyncs) {
+  replicas_->set_write_quorum(2);
+  nodes_[2]->crash();
+  EXPECT_TRUE(server_->add("k", "v1"));
+  EXPECT_TRUE(replicas_->stale(2));
+  nodes_[2]->restart();
+  // Resync the stale copy inside an action, then verify it caught up.
+  {
+    AtomicAction a(client_.runtime());
+    a.begin();
+    replicas_->resync(2);
+    a.commit();
+  }
+  EXPECT_FALSE(replicas_->stale(2));
+  AtomicAction check(nodes_[2]->runtime());
+  check.begin();
+  EXPECT_EQ(maps_[2]->lookup("k"), "v1");
+  check.commit();
+}
+
+TEST_F(NameServerTest, WriteBelowQuorumAborts) {
+  nodes_[0]->crash();
+  nodes_[1]->crash();
+  nodes_[2]->crash();
+  EXPECT_FALSE(server_->add("k", "v"));  // independent action aborts
+  nodes_[0]->restart();
+  nodes_[1]->restart();
+  nodes_[2]->restart();
+}
+
+}  // namespace
+}  // namespace mca

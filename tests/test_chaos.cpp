@@ -1,0 +1,139 @@
+// Chaos test: distributed transfers while a scripted fault schedule
+// repeatedly crashes and restarts a participant node.
+//
+// Invariant under any interleaving of crashes: every transfer is atomic —
+// after the dust settles, the stable states on the two nodes sum to the
+// initial total, and equal the client's tally of committed transfers.
+#include <gtest/gtest.h>
+
+#include "dist/remote.h"
+#include "objects/recoverable_int.h"
+#include "sim/fault_injector.h"
+
+namespace mca {
+namespace {
+
+NetworkConfig chaos_config() {
+  NetworkConfig c;
+  c.loss_probability = 0.05;
+  c.duplication_probability = 0.05;
+  c.min_delay = std::chrono::microseconds(20);
+  c.max_delay = std::chrono::microseconds(300);
+  return c;
+}
+
+std::int64_t stable_value(DistNode& node, const Uid& uid) {
+  auto state = node.runtime().default_store().read(uid);
+  if (!state) return 0;
+  ByteBuffer b = state->state();
+  return b.unpack_i64();
+}
+
+TEST(Chaos, TransfersStayAtomicAcrossCrashes) {
+  Network net(chaos_config());
+  DistNode client(net, 1);
+  DistNode stable_branch(net, 2);
+  DistNode flaky_branch(net, 3);
+
+  constexpr std::int64_t kInitial = 10'000;
+  RecoverableInt account_a(stable_branch.runtime(), kInitial);
+  RecoverableInt account_b(flaky_branch.runtime(), kInitial);
+  stable_branch.host(account_a);
+  flaky_branch.host(account_b);
+  RemoteInt remote_a(client, 2, account_a.uid());
+  RemoteInt remote_b(client, 3, account_b.uid());
+  client.set_invoke_timeout(std::chrono::milliseconds(700));
+
+  // Crash the flaky branch every 300 ms for 150 ms, 4 times, while
+  // transfers run.
+  FaultSchedule faults = FaultSchedule::periodic(
+      flaky_branch, std::chrono::milliseconds(300), std::chrono::milliseconds(150), 4);
+  faults.start();
+
+  std::int64_t committed_delta = 0;
+  int committed = 0;
+  int aborted = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(1'700);
+  while (std::chrono::steady_clock::now() < deadline) {
+    AtomicAction transfer(client.runtime());
+    transfer.begin();
+    const std::int64_t amount = 10;
+    try {
+      remote_a.add(-amount);
+      remote_b.add(amount);
+    } catch (const std::exception&) {
+      transfer.abort();
+      ++aborted;
+      continue;
+    }
+    if (transfer.commit() == Outcome::Committed) {
+      committed_delta += amount;
+      ++committed;
+    } else {
+      ++aborted;
+    }
+  }
+  faults.finish();
+  ASSERT_GE(faults.crashes_executed(), 1);
+
+  // Let recovery settle, then check atomicity of the stable states.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  flaky_branch.restart();  // idempotent; re-runs recovery
+
+  const std::int64_t stable_a = committed > 0 ? stable_value(stable_branch, account_a.uid())
+                                              : kInitial;
+  const std::int64_t stable_b = committed > 0 ? stable_value(flaky_branch, account_b.uid())
+                                              : kInitial;
+  EXPECT_EQ(stable_a + stable_b, 2 * kInitial) << "money created or destroyed";
+  EXPECT_EQ(stable_a, kInitial - committed_delta);
+  EXPECT_EQ(stable_b, kInitial + committed_delta);
+  // The run must have exercised both fates.
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(aborted, 0);
+}
+
+TEST(Chaos, RepeatedCrashesOfBothServersNeverWedgeTheClient) {
+  Network net(chaos_config());
+  DistNode client(net, 1);
+  DistNode s1(net, 2);
+  DistNode s2(net, 3);
+  RecoverableInt x(s1.runtime(), 0);
+  RecoverableInt y(s2.runtime(), 0);
+  s1.host(x);
+  s2.host(y);
+  RemoteInt rx(client, 2, x.uid());
+  RemoteInt ry(client, 3, y.uid());
+  client.set_invoke_timeout(std::chrono::milliseconds(400));
+
+  FaultSchedule f1 = FaultSchedule::periodic(s1, std::chrono::milliseconds(200),
+                                             std::chrono::milliseconds(100), 3);
+  FaultSchedule f2 = FaultSchedule::periodic(s2, std::chrono::milliseconds(350),
+                                             std::chrono::milliseconds(100), 2);
+  f1.start();
+  f2.start();
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    AtomicAction a(client.runtime());
+    a.begin();
+    try {
+      rx.add(1);
+      ry.add(1);
+    } catch (const std::exception&) {
+      a.abort();
+      continue;
+    }
+    if (a.commit() == Outcome::Committed) ++completed;
+  }
+  f1.finish();
+  f2.finish();
+
+  // Whatever committed is identical on both nodes (each add is mirrored).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s1.restart();
+  s2.restart();
+  EXPECT_EQ(stable_value(s1, x.uid()), stable_value(s2, y.uid()));
+  EXPECT_EQ(stable_value(s1, x.uid()), completed);
+}
+
+}  // namespace
+}  // namespace mca

@@ -1,0 +1,453 @@
+// Tests of multi-coloured action semantics against the paper's own worked
+// figures: fig. 10 (basic coloured behaviour), fig. 11 (serializing via
+// colours, hand-coloured), fig. 12 (glued via colours), fig. 13 (independent
+// via colours + deadlock comparison) and fig. 15 (n-level independence).
+#include <gtest/gtest.h>
+
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+const Colour kRed = Colour::named("red");
+const Colour kBlue = Colour::named("blue");
+const Colour kGreen = Colour::named("green");
+
+std::int64_t stored_value(Runtime& rt, const LockManaged& obj) {
+  auto s = rt.default_store().read(obj.uid());
+  EXPECT_TRUE(s.has_value());
+  if (!s) return -1;
+  ByteBuffer b = s->state();
+  return b.unpack_i64();
+}
+
+// Fig. 10: A{blue} encloses B{red,blue}. B writes O_r in red and O_b in
+// blue. After B commits, the red locks are released and the red effects are
+// permanent; the blue locks are retained by A. If A then aborts, only the
+// blue effects are undone.
+TEST(Fig10, RedEffectsSurviveEnclosingAbort) {
+  Runtime rt;
+  RecoverableInt o_r(rt, 0);
+  RecoverableInt o_b(rt, 0);
+
+  AtomicAction a(rt, ColourSet{kBlue});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed, kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(o_r, LockMode::Write, kRed), LockOutcome::Granted);
+    b.note_modified(o_r);
+    o_r.apply_state([] {
+      ByteBuffer s;
+      s.pack_i64(111);
+      return s;
+    }());
+    ASSERT_EQ(b.lock_explicit(o_b, LockMode::Write, kBlue), LockOutcome::Granted);
+    b.note_modified(o_b);
+    o_b.apply_state([] {
+      ByteBuffer s;
+      s.pack_i64(222);
+      return s;
+    }());
+    EXPECT_EQ(b.commit(), Outcome::Committed);
+  }
+  // Red effects are already stable; blue's fate rides on A.
+  EXPECT_EQ(stored_value(rt, o_r), 111);
+  EXPECT_FALSE(rt.default_store().read(o_b.uid()).has_value());
+  // A retains the blue lock B held.
+  EXPECT_TRUE(rt.lock_manager().holds(a.uid(), o_b.uid(), LockMode::Write, kBlue));
+  // Red lock is gone.
+  EXPECT_TRUE(rt.lock_manager().entries(o_r.uid()).empty());
+
+  a.abort();
+  // Only the blue effect was undone.
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(o_r.value(), 111);
+  EXPECT_EQ(o_b.value(), 0);
+  check.commit();
+}
+
+TEST(Fig10, BothColoursStableWhenEnclosingCommits) {
+  Runtime rt;
+  RecoverableInt o_r(rt, 0);
+  RecoverableInt o_b(rt, 0);
+  AtomicAction a(rt, ColourSet{kBlue});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed, kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(o_r, LockMode::Write, kRed), LockOutcome::Granted);
+    b.note_modified(o_r);
+    ByteBuffer s1;
+    s1.pack_i64(1);
+    o_r.apply_state(s1);
+    ASSERT_EQ(b.lock_explicit(o_b, LockMode::Write, kBlue), LockOutcome::Granted);
+    b.note_modified(o_b);
+    ByteBuffer s2;
+    s2.pack_i64(2);
+    o_b.apply_state(s2);
+    b.commit();
+  }
+  a.commit();
+  EXPECT_EQ(stored_value(rt, o_r), 1);
+  EXPECT_EQ(stored_value(rt, o_b), 2);
+}
+
+TEST(Fig10, AbortOfColouredActionUndoesAllItsColours) {
+  // Failure atomicity spans every colour of the aborting action (§5.1
+  // property 1).
+  Runtime rt;
+  RecoverableInt o_r(rt, 5);
+  RecoverableInt o_b(rt, 6);
+  AtomicAction a(rt, ColourSet{kBlue});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed, kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(o_r, LockMode::Write, kRed), LockOutcome::Granted);
+    b.note_modified(o_r);
+    ByteBuffer s1;
+    s1.pack_i64(50);
+    o_r.apply_state(s1);
+    ASSERT_EQ(b.lock_explicit(o_b, LockMode::Write, kBlue), LockOutcome::Granted);
+    b.note_modified(o_b);
+    ByteBuffer s2;
+    s2.pack_i64(60);
+    o_b.apply_state(s2);
+    b.abort();
+  }
+  AtomicAction inner(rt, ColourSet{kRed, kBlue});
+  inner.begin();
+  ASSERT_EQ(inner.lock_explicit(o_r, LockMode::Read, kRed), LockOutcome::Granted);
+  ASSERT_EQ(inner.lock_explicit(o_b, LockMode::Read, kBlue), LockOutcome::Granted);
+  EXPECT_EQ(o_r.value(), 5);
+  EXPECT_EQ(o_b.value(), 6);
+  inner.commit();
+  a.commit();
+}
+
+// Fig. 11: the serializing structure hand-built from colours.
+// A{red} encloses B{red,blue} then C{red,blue}. B writes W-objects with
+// blue WRITE + red XR, reads R-objects with red READ. After B commits its
+// effects are stable; A retains red XR on W and red READ on R; outside
+// actions are excluded; C can acquire blue writes on W.
+TEST(Fig11, HandColouredSerializing) {
+  Runtime rt;
+  RecoverableInt w(rt, 0);   // updated by B, then C
+  RecoverableInt r(rt, 10);  // only read
+
+  AtomicAction a(rt, ColourSet{kRed});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed, kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(r, LockMode::Read, kRed), LockOutcome::Granted);
+    ASSERT_EQ(b.lock_explicit(w, LockMode::Write, kBlue), LockOutcome::Granted);
+    ASSERT_EQ(b.lock_explicit(w, LockMode::ExclusiveRead, kRed), LockOutcome::Granted);
+    b.note_modified(w);
+    ByteBuffer s;
+    s.pack_i64(100);
+    w.apply_state(s);
+    EXPECT_EQ(b.commit(), Outcome::Committed);
+  }
+  // B's effect on W is stable (B was outermost blue).
+  EXPECT_EQ(stored_value(rt, w), 100);
+  // A retains the red XR on W and red READ on R.
+  EXPECT_TRUE(rt.lock_manager().holds(a.uid(), w.uid(), LockMode::ExclusiveRead, kRed));
+  EXPECT_TRUE(rt.lock_manager().holds(a.uid(), r.uid(), LockMode::Read, kRed));
+
+  // An outside top-level action cannot touch W while A lives.
+  {
+    AtomicAction outsider(rt, nullptr, ColourSet{Colour::plain()});
+    outsider.begin(AtomicAction::ContextPolicy::Detached);
+    outsider.set_lock_timeout(std::chrono::milliseconds(50));
+    EXPECT_EQ(outsider.lock_for(w, LockMode::Read), LockOutcome::Timeout);
+    outsider.abort();
+  }
+
+  {
+    AtomicAction c(rt, ColourSet{kRed, kBlue});
+    c.begin();
+    // C acquires a blue write on W "without possibility of blocking": A's
+    // red XR is ancestor-held and there are no write locks.
+    ASSERT_EQ(c.lock_explicit(w, LockMode::Write, kBlue), LockOutcome::Granted);
+    c.note_modified(w);
+    ByteBuffer s;
+    s.pack_i64(200);
+    w.apply_state(s);
+    EXPECT_EQ(c.commit(), Outcome::Committed);
+  }
+  EXPECT_EQ(stored_value(rt, w), 200);
+
+  // A aborts; both B's and C's effects survive (serializing semantics).
+  a.abort();
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(w.value(), 200);
+  check.commit();
+}
+
+// Fig. 12: glued actions hand-built from colours. G{red} encloses
+// A{red,blue} then B{blue}. A writes all of O in blue; the subset P also
+// gets red XR. After A commits: O-P fully released, P carried by G; B writes
+// P in blue.
+TEST(Fig12, HandColouredGlue) {
+  Runtime rt;
+  RecoverableInt p(rt, 0);        // passed on
+  RecoverableInt not_p(rt, 0);    // released at A's commit
+
+  AtomicAction g(rt, ColourSet{kRed});
+  g.begin();
+  {
+    AtomicAction a(rt, ColourSet{kRed, kBlue});
+    a.begin();
+    ASSERT_EQ(a.lock_explicit(p, LockMode::Write, kBlue), LockOutcome::Granted);
+    a.note_modified(p);
+    ByteBuffer s1;
+    s1.pack_i64(1);
+    p.apply_state(s1);
+    ASSERT_EQ(a.lock_explicit(p, LockMode::ExclusiveRead, kRed), LockOutcome::Granted);
+    ASSERT_EQ(a.lock_explicit(not_p, LockMode::Write, kBlue), LockOutcome::Granted);
+    a.note_modified(not_p);
+    ByteBuffer s2;
+    s2.pack_i64(2);
+    not_p.apply_state(s2);
+    EXPECT_EQ(a.commit(), Outcome::Committed);
+  }
+  // A's effects are stable; not_p completely unlocked; p carried by G.
+  EXPECT_EQ(stored_value(rt, p), 1);
+  EXPECT_EQ(stored_value(rt, not_p), 2);
+  EXPECT_TRUE(rt.lock_manager().entries(not_p.uid()).empty());
+  EXPECT_TRUE(rt.lock_manager().holds(g.uid(), p.uid(), LockMode::ExclusiveRead, kRed));
+
+  // Outsiders can use not_p immediately...
+  {
+    AtomicAction outsider(rt, nullptr, ColourSet{Colour::plain()});
+    outsider.begin(AtomicAction::ContextPolicy::Detached);
+    EXPECT_EQ(outsider.lock_for(not_p, LockMode::Write), LockOutcome::Granted);
+    outsider.abort();
+  }
+  // ...but not p.
+  {
+    AtomicAction outsider(rt, nullptr, ColourSet{Colour::plain()});
+    outsider.begin(AtomicAction::ContextPolicy::Detached);
+    outsider.set_lock_timeout(std::chrono::milliseconds(50));
+    EXPECT_EQ(outsider.lock_for(p, LockMode::Write), LockOutcome::Timeout);
+    outsider.abort();
+  }
+
+  {
+    AtomicAction b(rt, ColourSet{kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(p, LockMode::Write, kBlue), LockOutcome::Granted);
+    b.note_modified(p);
+    ByteBuffer s;
+    s.pack_i64(10);
+    p.apply_state(s);
+    EXPECT_EQ(b.commit(), Outcome::Committed);
+  }
+  EXPECT_EQ(stored_value(rt, p), 10);
+  g.commit();
+  EXPECT_TRUE(rt.lock_manager().entries(p.uid()).empty());
+}
+
+// Fig. 13: a top-level independent action is a nested action with a disjoint
+// colour. Its commit is permanent even though the invoker aborts.
+TEST(Fig13, IndependentCommitSurvivesInvokerAbort) {
+  Runtime rt;
+  RecoverableInt invoker_obj(rt, 0);
+  RecoverableInt indep_obj(rt, 0);
+
+  AtomicAction a(rt, ColourSet{kRed});
+  a.begin();
+  ASSERT_EQ(a.lock_explicit(invoker_obj, LockMode::Write, kRed), LockOutcome::Granted);
+  a.note_modified(invoker_obj);
+  ByteBuffer s1;
+  s1.pack_i64(1);
+  invoker_obj.apply_state(s1);
+  {
+    AtomicAction b(rt, ColourSet{kBlue});
+    b.begin();
+    ASSERT_EQ(b.lock_explicit(indep_obj, LockMode::Write, kBlue), LockOutcome::Granted);
+    b.note_modified(indep_obj);
+    ByteBuffer s2;
+    s2.pack_i64(2);
+    indep_obj.apply_state(s2);
+    EXPECT_EQ(b.commit(), Outcome::Committed);
+  }
+  EXPECT_EQ(stored_value(rt, indep_obj), 2);
+  a.abort();
+  // B's effect survives; A's own is gone.
+  EXPECT_EQ(stored_value(rt, indep_obj), 2);
+  EXPECT_FALSE(rt.default_store().read(invoker_obj.uid()).has_value());
+}
+
+// Fig. 13 caveat: in the plain system, B (a separate top-level action
+// invoked synchronously from A) deadlocks if it needs A's objects; in the
+// coloured system the structurally-nested B can read them (ancestor rule) —
+// but is then, as the paper notes, no longer strictly independent.
+TEST(Fig13, ColouredSystemAvoidsSelfDeadlock) {
+  Runtime rt;
+  RecoverableInt shared(rt, 7);
+
+  // Plain-system shape: B is a root action, A holds the write lock. B's
+  // request can only time out (deadlock-by-wait).
+  {
+    AtomicAction a(rt, nullptr, ColourSet{kRed});
+    a.begin(AtomicAction::ContextPolicy::Detached);
+    ASSERT_EQ(a.lock_explicit(shared, LockMode::Write, kRed), LockOutcome::Granted);
+    AtomicAction b(rt, nullptr, ColourSet{kBlue});
+    b.begin(AtomicAction::ContextPolicy::Detached);
+    b.set_lock_timeout(std::chrono::milliseconds(50));
+    EXPECT_EQ(b.lock_explicit(shared, LockMode::Read, kBlue), LockOutcome::Timeout);
+    b.abort();
+    a.abort();
+  }
+  // Coloured shape: B nested inside A; the read is granted because the
+  // write holder is an ancestor.
+  {
+    AtomicAction a(rt, nullptr, ColourSet{kRed});
+    a.begin(AtomicAction::ContextPolicy::Detached);
+    ASSERT_EQ(a.lock_explicit(shared, LockMode::Write, kRed), LockOutcome::Granted);
+    AtomicAction b(rt, &a, ColourSet{kBlue});
+    b.begin(AtomicAction::ContextPolicy::Detached);
+    EXPECT_EQ(b.lock_explicit(shared, LockMode::Read, kBlue), LockOutcome::Granted);
+    b.commit();
+    a.abort();
+  }
+}
+
+// Fig. 14/15: n-level independence. A{red,blue}; B{red}; C{green};
+// D{red}; E{blue}; F{green}. C and F are top-level independent; E is
+// second-level independent: it survives B's abort but dies with A.
+TEST(Fig15, NLevelIndependence) {
+  Runtime rt;
+  RecoverableInt oc(rt, 0);
+  RecoverableInt od(rt, 0);
+  RecoverableInt oe(rt, 0);
+  RecoverableInt of(rt, 0);
+
+  auto write = [&](AtomicAction& act, RecoverableInt& obj, Colour colour, std::int64_t v) {
+    ASSERT_EQ(act.lock_explicit(obj, LockMode::Write, colour), LockOutcome::Granted);
+    act.note_modified(obj);
+    ByteBuffer s;
+    s.pack_i64(v);
+    obj.apply_state(s);
+  };
+
+  AtomicAction a(rt, ColourSet{kRed, kBlue});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed});
+    b.begin();
+    {
+      AtomicAction c(rt, ColourSet{kGreen});
+      c.begin();
+      write(c, oc, kGreen, 1);
+      c.commit();  // top-level independent: stable now
+    }
+    {
+      AtomicAction d(rt, ColourSet{kRed});
+      d.begin();
+      write(d, od, kRed, 2);
+      d.commit();  // ordinary nested commit: rides on B then A
+    }
+    {
+      AtomicAction e(rt, ColourSet{kBlue});
+      e.begin();
+      write(e, oe, kBlue, 3);
+      e.commit();  // blue skips B (no blue there) and lands on A
+    }
+    b.abort();  // E's effect must survive this
+  }
+  {
+    AtomicAction f(rt, ColourSet{kGreen});
+    f.begin();
+    write(f, of, kGreen, 4);
+    f.commit();
+  }
+  // C and F stable; D undone by B's abort; E still pending on A.
+  EXPECT_EQ(stored_value(rt, oc), 1);
+  EXPECT_EQ(stored_value(rt, of), 4);
+  EXPECT_FALSE(rt.default_store().read(od.uid()).has_value());
+  EXPECT_FALSE(rt.default_store().read(oe.uid()).has_value());
+  EXPECT_EQ(a.undo_record_count(), 1u);  // E's record, adopted past B
+
+  a.abort();  // undoes E (and would undo D/B had they not aborted already)
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(oc.value(), 1);
+  EXPECT_EQ(od.value(), 0);
+  EXPECT_EQ(oe.value(), 0);
+  EXPECT_EQ(of.value(), 4);
+  check.commit();
+}
+
+TEST(Fig15, EffectsOfESurviveBAbortButNotAAbortViaCommitPath) {
+  // Same structure, but A commits: E's effect becomes stable despite B's
+  // abort.
+  Runtime rt;
+  RecoverableInt oe(rt, 0);
+  AtomicAction a(rt, ColourSet{kRed, kBlue});
+  a.begin();
+  {
+    AtomicAction b(rt, ColourSet{kRed});
+    b.begin();
+    {
+      AtomicAction e(rt, ColourSet{kBlue});
+      e.begin();
+      ASSERT_EQ(e.lock_explicit(oe, LockMode::Write, kBlue), LockOutcome::Granted);
+      e.note_modified(oe);
+      ByteBuffer s;
+      s.pack_i64(33);
+      oe.apply_state(s);
+      e.commit();
+    }
+    b.abort();
+  }
+  a.commit();
+  EXPECT_EQ(stored_value(rt, oe), 33);
+}
+
+TEST(PrivateColours, PrivateColourIsStableAndUnique) {
+  Runtime rt;
+  AtomicAction a(rt);
+  a.begin();
+  const Colour p1 = a.private_colour();
+  EXPECT_EQ(p1, a.private_colour());
+  EXPECT_TRUE(a.has_colour(p1));
+  AtomicAction b(rt, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+  EXPECT_NE(b.private_colour(), p1);
+  b.abort();
+  a.commit();
+}
+
+TEST(SingleColourDegeneration, WholeSystemWithOneColourIsClassical) {
+  // §5.1: colours all equal -> plain nested action semantics. Run the
+  // fig. 2 scenario single-coloured and observe classical (not serializing)
+  // behaviour: the enclosing abort undoes the committed inner action.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    AtomicAction a(rt);  // plain colour
+    a.begin();
+    {
+      AtomicAction b(rt);
+      b.begin();
+      obj.set(5);
+      b.commit();
+    }
+    a.abort();
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), 0);
+  check.commit();
+  EXPECT_FALSE(rt.default_store().read(obj.uid()).has_value());
+}
+
+}  // namespace
+}  // namespace mca

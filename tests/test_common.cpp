@@ -1,0 +1,113 @@
+// Unit tests for src/common: Uid uniqueness/ordering and ByteBuffer
+// round-trips.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/buffer.h"
+#include "common/uid.h"
+
+namespace mca {
+namespace {
+
+TEST(Uid, FreshUidsAreUnique) {
+  std::set<Uid> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(seen.insert(Uid()).second);
+  }
+}
+
+TEST(Uid, UniqueAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::vector<Uid>> per_thread(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&per_thread, t] {
+        for (int i = 0; i < kPerThread; ++i) per_thread[static_cast<std::size_t>(t)].emplace_back();
+      });
+    }
+  }
+  std::set<Uid> all;
+  for (const auto& v : per_thread) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(Uid, NilIsNilAndComparable) {
+  EXPECT_TRUE(Uid::nil().is_nil());
+  EXPECT_FALSE(Uid().is_nil());
+  EXPECT_EQ(Uid::nil(), Uid(0, 0));
+  EXPECT_NE(Uid(), Uid());
+}
+
+TEST(Uid, RoundTripsThroughHalves) {
+  const Uid u;
+  EXPECT_EQ(u, Uid(u.hi(), u.lo()));
+}
+
+TEST(Uid, ToStringIsStable) {
+  const Uid u(0xAB, 0xCD);
+  EXPECT_EQ(u.to_string(), "ab:cd");
+}
+
+TEST(ByteBuffer, PrimitivesRoundTrip) {
+  ByteBuffer b;
+  b.pack_u8(7);
+  b.pack_u32(123456);
+  b.pack_u64(0xDEADBEEFCAFEF00DULL);
+  b.pack_i64(-42);
+  b.pack_bool(true);
+  b.pack_double(3.25);
+  b.pack_string("hello");
+  const Uid uid;
+  b.pack_uid(uid);
+
+  EXPECT_EQ(b.unpack_u8(), 7);
+  EXPECT_EQ(b.unpack_u32(), 123456u);
+  EXPECT_EQ(b.unpack_u64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(b.unpack_i64(), -42);
+  EXPECT_TRUE(b.unpack_bool());
+  EXPECT_DOUBLE_EQ(b.unpack_double(), 3.25);
+  EXPECT_EQ(b.unpack_string(), "hello");
+  EXPECT_EQ(b.unpack_uid(), uid);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(ByteBuffer, EmptyStringRoundTrips) {
+  ByteBuffer b;
+  b.pack_string("");
+  EXPECT_EQ(b.unpack_string(), "");
+}
+
+TEST(ByteBuffer, BytesRoundTrip) {
+  ByteBuffer b;
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{255}};
+  b.pack_bytes(payload);
+  EXPECT_EQ(b.unpack_bytes(), payload);
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteBuffer b;
+  b.pack_u8(1);
+  (void)b.unpack_u8();
+  EXPECT_THROW((void)b.unpack_u8(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteBuffer b;
+  b.pack_u32(1000);  // claims 1000 bytes follow; none do
+  EXPECT_THROW((void)b.unpack_string(), BufferUnderflow);
+}
+
+TEST(ByteBuffer, RewindAllowsRereading) {
+  ByteBuffer b;
+  b.pack_u32(99);
+  EXPECT_EQ(b.unpack_u32(), 99u);
+  b.rewind();
+  EXPECT_EQ(b.unpack_u32(), 99u);
+}
+
+}  // namespace
+}  // namespace mca

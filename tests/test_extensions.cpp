@@ -1,0 +1,441 @@
+// Tests for the extension modules that realise the paper's "enhancements"
+// and future work: compensation scopes (§3.4), type-specific concurrency
+// control + recovery (§2, CommutativeCounter), and the automatic colour
+// planner (§6).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "core/structures/colour_plan.h"
+#include "core/structures/compensating_action.h"
+#include "objects/commutative_counter.h"
+#include "objects/recoverable_int.h"
+#include "objects/recoverable_log.h"
+
+namespace mca {
+namespace {
+
+std::int64_t read_counter(Runtime& rt, const CommutativeCounter& c) {
+  AtomicAction a(rt);
+  a.begin();
+  const std::int64_t v = c.committed_value();
+  a.commit();
+  return v;
+}
+
+// --- CompensationScope (§3.4) -------------------------------------------------
+
+TEST(Compensation, CompleteDiscardsCompensators) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  CompensationScope scope(rt);
+  EXPECT_EQ(scope.step([&] { obj.add(5); }, [&] { obj.add(-5); }), Outcome::Committed);
+  EXPECT_EQ(scope.pending_compensations(), 1u);
+  scope.complete();
+  EXPECT_EQ(scope.pending_compensations(), 0u);
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), 5);
+  check.commit();
+}
+
+TEST(Compensation, AbandonRunsCompensatorsInReverse) {
+  Runtime rt;
+  RecoverableLog trace(rt);
+  CompensationScope scope(rt);
+  scope.step([&] { trace.append("do-a"); }, [&] { trace.append("undo-a"); });
+  scope.step([&] { trace.append("do-b"); }, [&] { trace.append("undo-b"); });
+  EXPECT_EQ(scope.abandon(), 2u);
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(trace.entries(),
+            (std::vector<std::string>{"do-a", "do-b", "undo-b", "undo-a"}));
+  check.commit();
+}
+
+TEST(Compensation, AbortedForwardStepRegistersNothing) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  CompensationScope scope(rt);
+  EXPECT_EQ(scope.step(
+                [&]() -> void {
+                  obj.add(5);
+                  throw std::runtime_error("forward fails");
+                },
+                [&] { obj.add(-5); }),
+            Outcome::Aborted);
+  EXPECT_EQ(scope.pending_compensations(), 0u);
+  EXPECT_EQ(scope.abandon(), 0u);
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), 0);
+  check.commit();
+}
+
+TEST(Compensation, DestructorCompensatesUnsettledScope) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    CompensationScope scope(rt);
+    scope.step([&] { obj.add(7); }, [&] { obj.add(-7); });
+    // scope destroyed without complete(): must compensate
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), 0);
+  check.commit();
+}
+
+TEST(Compensation, FailingCompensatorDoesNotStopOthers) {
+  Runtime rt;
+  RecoverableInt a(rt, 0);
+  RecoverableInt b(rt, 0);
+  CompensationScope scope(rt);
+  scope.step([&] { a.add(1); }, [&] { a.add(-1); });
+  scope.step([&] { b.add(1); },
+             [&]() -> void { throw std::runtime_error("compensator fails"); });
+  EXPECT_EQ(scope.abandon(), 1u);  // only a's compensator committed
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);  // its compensation failed; caller must escalate
+  check.commit();
+}
+
+TEST(Compensation, StepAfterSettleThrows) {
+  Runtime rt;
+  CompensationScope scope(rt);
+  scope.complete();
+  EXPECT_THROW(scope.step([] {}, [] {}), std::logic_error);
+}
+
+TEST(Compensation, WorksInsideAnApplicationAction) {
+  // The §4(i) pattern: a long application action posts independently; if
+  // the application fails, the scope compensates — all while the
+  // application action itself simply aborts.
+  Runtime rt;
+  RecoverableInt board_posts(rt, 0);
+  {
+    AtomicAction app(rt);
+    app.begin();
+    CompensationScope scope(rt);
+    scope.step([&] { board_posts.add(1); }, [&] { board_posts.add(-1); });
+    app.abort();  // application fails...
+    EXPECT_EQ(scope.abandon(), 1u);  // ...so the posting is compensated
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(board_posts.value(), 0);
+  check.commit();
+}
+
+// --- CommutativeCounter (§2 type-specific CC + recovery) ------------------------
+
+TEST(CommutativeCounterTest, AddCommitsAndPersists) {
+  Runtime rt;
+  CommutativeCounter counter(rt, 100);
+  {
+    AtomicAction a(rt);
+    a.begin();
+    counter.add(5);
+    EXPECT_EQ(counter.value(), 105);           // own tally visible
+    EXPECT_EQ(counter.committed_value(), 100);  // not committed yet
+    a.commit();
+  }
+  EXPECT_EQ(read_counter(rt, counter), 105);
+  auto stored = rt.default_store().read(counter.uid());
+  ASSERT_TRUE(stored.has_value());
+  ByteBuffer b = stored->state();
+  EXPECT_EQ(b.unpack_i64(), 105);
+}
+
+TEST(CommutativeCounterTest, AbortCompensatesInsteadOfRestoring) {
+  Runtime rt;
+  CommutativeCounter counter(rt, 10);
+  {
+    AtomicAction a(rt);
+    a.begin();
+    counter.add(7);
+    a.abort();
+  }
+  EXPECT_EQ(read_counter(rt, counter), 10);
+  EXPECT_EQ(counter.pending_actions(), 0u);
+}
+
+TEST(CommutativeCounterTest, ConcurrentAddersDoNotBlockEachOther) {
+  // The whole point: two actions add simultaneously; with an ordinary
+  // RecoverableInt the second would wait for the first's commit.
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+
+  AtomicAction a(rt, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction b(rt, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+
+  ActionContext::push(a);
+  counter.add(5);
+  ActionContext::pop(a);
+  // b's add proceeds immediately even though a holds its shared lock.
+  ActionContext::push(b);
+  counter.add(3);
+  ActionContext::pop(b);
+  EXPECT_EQ(counter.pending_actions(), 2u);
+
+  a.commit();
+  EXPECT_EQ(read_counter(rt, counter), 5);  // b still pending
+  b.commit();
+  EXPECT_EQ(read_counter(rt, counter), 8);
+}
+
+TEST(CommutativeCounterTest, OneAbortDoesNotClobberConcurrentAdd) {
+  // The scenario state-based recovery gets wrong: a's snapshot would
+  // capture (and its abort would erase) b's concurrent addition.
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+  AtomicAction a(rt, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction b(rt, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+  ActionContext::push(a);
+  counter.add(100);
+  ActionContext::pop(a);
+  ActionContext::push(b);
+  counter.add(1);
+  ActionContext::pop(b);
+  a.abort();  // compensates -100 only
+  b.commit();
+  EXPECT_EQ(read_counter(rt, counter), 1);
+}
+
+TEST(CommutativeCounterTest, NestedTallyPassesToParent) {
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+  {
+    AtomicAction parent(rt);
+    parent.begin();
+    {
+      AtomicAction child(rt);
+      child.begin();
+      counter.add(4);
+      child.commit();
+    }
+    // Child's tally now rides on the parent.
+    EXPECT_EQ(read_counter(rt, counter), 0);
+    EXPECT_EQ(counter.pending_actions(), 1u);
+    parent.abort();
+  }
+  EXPECT_EQ(read_counter(rt, counter), 0);
+  EXPECT_EQ(counter.pending_actions(), 0u);
+}
+
+TEST(CommutativeCounterTest, NestedTallyCommitsThroughParent) {
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+  {
+    AtomicAction parent(rt);
+    parent.begin();
+    {
+      AtomicAction child(rt);
+      child.begin();
+      counter.add(4);
+      child.commit();
+    }
+    counter.add(2);  // parent's own addition merges into the same tally
+    parent.commit();
+  }
+  EXPECT_EQ(read_counter(rt, counter), 6);
+}
+
+TEST(CommutativeCounterTest, ManyConcurrentThreads) {
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 25;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&rt, &counter, t] {
+        for (int i = 0; i < kAddsPerThread; ++i) {
+          AtomicAction a(rt);
+          a.begin();
+          counter.add(1);
+          if (t % 2 == 0 && i % 5 == 0) {
+            a.abort();  // sprinkle compensations through the run
+          } else {
+            a.commit();
+          }
+        }
+      });
+    }
+  }
+  // Threads 0,2,4,6 aborted 5 of 25 adds each.
+  const std::int64_t expected = kThreads * kAddsPerThread - 4 * 5;
+  EXPECT_EQ(read_counter(rt, counter), expected);
+  EXPECT_EQ(counter.pending_actions(), 0u);
+}
+
+TEST(CommutativeCounterTest, WriterStillExcludesAdders) {
+  // Type-specific does not mean lawless: an exclusive (Write) holder blocks
+  // adders, since add uses a READ lock.
+  Runtime rt;
+  CommutativeCounter counter(rt, 0);
+  AtomicAction writer(rt, nullptr, {});
+  writer.begin(AtomicAction::ContextPolicy::Detached);
+  ASSERT_EQ(writer.lock_for(counter, LockMode::Write), LockOutcome::Granted);
+
+  AtomicAction adder(rt, nullptr, {});
+  adder.begin(AtomicAction::ContextPolicy::Detached);
+  adder.set_lock_timeout(std::chrono::milliseconds(50));
+  ActionContext::push(adder);
+  EXPECT_THROW(counter.add(1), LockFailure);
+  ActionContext::pop(adder);
+  adder.abort();
+  writer.abort();
+}
+
+// --- ColourPlan (§6) -----------------------------------------------------------
+
+TEST(ColourPlanTest, SerializingSpecMatchesFig11Shape) {
+  auto spec = StructureSpec::serializing(
+      "A", {StructureSpec::plain("B"), StructureSpec::plain("C")});
+  ColourPlan plan = ColourPlan::plan(spec);
+  ASSERT_EQ(plan.assignments().size(), 3u);
+
+  const auto& a = plan.assignment_of("A");
+  const auto& b = plan.assignment_of("B");
+  const auto& c = plan.assignment_of("C");
+  EXPECT_EQ(a.colours.size(), 1u);
+  EXPECT_EQ(b.colours.size(), 2u);
+  EXPECT_EQ(b.colours, c.colours);  // constituents share {ser, work}
+  EXPECT_TRUE(b.colours.contains(a.colours.primary()));
+  // The constituent write plan is write-in-work + XR-in-ser.
+  ASSERT_EQ(b.lock_plan.for_write.size(), 2u);
+  EXPECT_EQ(b.lock_plan.for_write[0].first, LockMode::Write);
+  EXPECT_EQ(b.lock_plan.for_write[1].first, LockMode::ExclusiveRead);
+  EXPECT_EQ(b.lock_plan.for_write[1].second, a.colours.primary());
+  EXPECT_NE(b.lock_plan.undo_colour, a.colours.primary());
+  EXPECT_TRUE(ColourPlan::validate(spec, plan.assignments()).empty());
+}
+
+TEST(ColourPlanTest, GluedSpecMatchesFig12Shape) {
+  auto spec = StructureSpec::glued("G", {StructureSpec::plain("A"), StructureSpec::plain("B")});
+  ColourPlan plan = ColourPlan::plan(spec);
+  const auto& g = plan.assignment_of("G");
+  const auto& a = plan.assignment_of("A");
+  EXPECT_EQ(g.colours.size(), 1u);
+  EXPECT_TRUE(a.colours.contains(g.colours.primary()));
+  EXPECT_EQ(a.lock_plan.for_write.size(), 1u);  // plain writes in work colour
+  EXPECT_NE(a.lock_plan.undo_colour, g.colours.primary());
+  EXPECT_TRUE(plan.validate(spec).empty());
+}
+
+TEST(ColourPlanTest, NLevelIndependenceMatchesFig15) {
+  // A > B > {C indep(0), D plain, E indep(2)}; F indep(0) under A.
+  auto spec = StructureSpec::plain(
+      "A", {StructureSpec::plain("B", {StructureSpec::independent("C", 0),
+                                       StructureSpec::plain("D"),
+                                       StructureSpec::independent("E", 2)}),
+            StructureSpec::independent("F", 0)});
+  ColourPlan plan = ColourPlan::plan(spec);
+  const auto& a = plan.assignment_of("A");
+  const auto& b = plan.assignment_of("B");
+  const auto& c = plan.assignment_of("C");
+  const auto& d = plan.assignment_of("D");
+  const auto& e = plan.assignment_of("E");
+  const auto& f = plan.assignment_of("F");
+
+  // D inherits B's colours (classical nesting).
+  EXPECT_EQ(d.colours, b.colours);
+  // C and F are fresh singletons, distinct from everyone.
+  EXPECT_EQ(c.colours.size(), 1u);
+  EXPECT_EQ(f.colours.size(), 1u);
+  EXPECT_NE(c.colours.primary(), f.colours.primary());
+  EXPECT_FALSE(a.colours.contains(c.colours.primary()));
+  // E's single colour is A's private colour: in A's set, not in B's.
+  EXPECT_EQ(e.colours.size(), 1u);
+  EXPECT_TRUE(a.colours.contains(e.colours.primary()));
+  EXPECT_FALSE(b.colours.contains(e.colours.primary()));
+  EXPECT_TRUE(plan.validate(spec).empty());
+}
+
+TEST(ColourPlanTest, LevelBeyondAncestryThrows) {
+  auto spec = StructureSpec::plain("A", {StructureSpec::independent("X", 5)});
+  EXPECT_THROW(ColourPlan::plan(spec), std::invalid_argument);
+}
+
+TEST(ColourPlanTest, StructureChildOfStructureMustBeWrapped) {
+  auto bad = StructureSpec::serializing(
+      "S", {StructureSpec::glued("G", {StructureSpec::plain("X")})});
+  EXPECT_THROW(ColourPlan::plan(bad), std::invalid_argument);
+  // Wrapping the inner structure in a Plain node is the supported shape.
+  auto good = StructureSpec::serializing(
+      "S", {StructureSpec::plain(
+               "wrapper", {StructureSpec::glued("G", {StructureSpec::plain("X")})})});
+  EXPECT_NO_THROW(ColourPlan::plan(good));
+}
+
+TEST(ColourPlanTest, ValidatorCatchesBrokenAssignments) {
+  auto spec = StructureSpec::serializing("A", {StructureSpec::plain("B")});
+  ColourPlan plan = ColourPlan::plan(spec);
+  auto assignments = plan.assignments();
+
+  // Sabotage 1: give the encloser the work colour too.
+  auto broken = assignments;
+  for (auto& a : broken) {
+    if (a.name == "A") a.colours = broken[1].colours;  // = {ser, work}
+  }
+  EXPECT_FALSE(ColourPlan::validate(spec, broken).empty());
+
+  // Sabotage 2: constituent loses the transfer colour.
+  broken = assignments;
+  for (auto& a : broken) {
+    if (a.name == "B") a.colours = ColourSet{Colour::fresh("rogue")};
+  }
+  EXPECT_FALSE(ColourPlan::validate(spec, broken).empty());
+
+  // The untouched plan stays valid.
+  EXPECT_TRUE(ColourPlan::validate(spec, assignments).empty());
+}
+
+TEST(ColourPlanTest, PlanDrivesARunnableColouredSystem) {
+  // End-to-end: execute the planned serializing colours by hand and observe
+  // serializing semantics.
+  auto spec = StructureSpec::serializing("A", {StructureSpec::plain("B")});
+  ColourPlan plan = ColourPlan::plan(spec);
+  const auto& pa = plan.assignment_of("A");
+  const auto& pb = plan.assignment_of("B");
+
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt, nullptr, pa.colours);
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  {
+    AtomicAction b(rt, &a, pb.colours);
+    b.set_lock_plan(pb.lock_plan);
+    b.begin(AtomicAction::ContextPolicy::Detached);
+    ActionContext::push(b);
+    obj.set(42);
+    ActionContext::pop(b);
+    b.commit();
+  }
+  a.abort();  // serializing: B's work survives
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), 42);
+  check.commit();
+}
+
+TEST(ColourPlanTest, ToStringListsEveryNode) {
+  auto spec = StructureSpec::serializing(
+      "root", {StructureSpec::plain("one"), StructureSpec::plain("two")});
+  const std::string table = ColourPlan::plan(spec).to_string();
+  EXPECT_NE(table.find("root"), std::string::npos);
+  EXPECT_NE(table.find("one"), std::string::npos);
+  EXPECT_NE(table.find("two"), std::string::npos);
+  EXPECT_NE(table.find("serializing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mca

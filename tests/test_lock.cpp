@@ -1,0 +1,346 @@
+// Unit tests for src/lock: grant rules (classical and coloured, §5.2),
+// blocking acquisition, deadlock detection, inheritance and release.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace mca {
+namespace {
+
+const Colour kRed = Colour::named("red");
+const Colour kBlue = Colour::named("blue");
+
+// Ancestry stub: parent edges are declared explicitly.
+class StubAncestry final : public Ancestry {
+ public:
+  void set_parent(const Uid& child, const Uid& parent) { parent_[child] = parent; }
+
+  bool is_ancestor_or_same(const Uid& ancestor, const Uid& action) const override {
+    Uid cursor = action;
+    while (true) {
+      if (cursor == ancestor) return true;
+      auto it = parent_.find(cursor);
+      if (it == parent_.end()) return false;
+      cursor = it->second;
+    }
+  }
+
+ private:
+  std::unordered_map<Uid, Uid> parent_;
+};
+
+class LockRecordTest : public ::testing::Test {
+ protected:
+  StubAncestry ancestry_;
+  LockRecord record_;
+  Uid parent_;
+  Uid child_;
+  Uid stranger_;
+
+  void SetUp() override { ancestry_.set_parent(child_, parent_); }
+};
+
+TEST_F(LockRecordTest, UnlockedObjectGrantsEverything) {
+  for (LockMode m : {LockMode::Read, LockMode::Write, LockMode::ExclusiveRead}) {
+    EXPECT_EQ(record_.evaluate(stranger_, m, kRed, ancestry_), GrantVerdict::Granted);
+  }
+}
+
+TEST_F(LockRecordTest, ReadersShareReads) {
+  record_.add(parent_, LockMode::Read, kRed);
+  EXPECT_EQ(record_.evaluate(stranger_, LockMode::Read, kBlue, ancestry_),
+            GrantVerdict::Granted);
+}
+
+TEST_F(LockRecordTest, WriterBlocksStrangerReads) {
+  record_.add(parent_, LockMode::Write, kRed);
+  EXPECT_EQ(record_.evaluate(stranger_, LockMode::Read, kRed, ancestry_),
+            GrantVerdict::MustWait);
+}
+
+TEST_F(LockRecordTest, AncestorWriteAllowsDescendantRead) {
+  record_.add(parent_, LockMode::Write, kRed);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Read, kRed, ancestry_), GrantVerdict::Granted);
+}
+
+TEST_F(LockRecordTest, ExclusiveReadBlocksStrangerReads) {
+  record_.add(parent_, LockMode::ExclusiveRead, kRed);
+  EXPECT_EQ(record_.evaluate(stranger_, LockMode::Read, kRed, ancestry_),
+            GrantVerdict::MustWait);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Read, kRed, ancestry_), GrantVerdict::Granted);
+}
+
+TEST_F(LockRecordTest, StrangerReaderBlocksWrite) {
+  record_.add(stranger_, LockMode::Read, kRed);
+  EXPECT_EQ(record_.evaluate(parent_, LockMode::Write, kRed, ancestry_),
+            GrantVerdict::MustWait);
+}
+
+TEST_F(LockRecordTest, DescendantWriteSameColourOverAncestorWrite) {
+  record_.add(parent_, LockMode::Write, kRed);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Write, kRed, ancestry_), GrantVerdict::Granted);
+}
+
+// The distinctive coloured rule: a WRITE over an ancestor's
+// differently-coloured WRITE is not waitable — it is refused outright.
+TEST_F(LockRecordTest, DescendantWriteDifferentColourOverAncestorWriteIsUnresolvable) {
+  record_.add(parent_, LockMode::Write, kRed);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Write, kBlue, ancestry_),
+            GrantVerdict::Unresolvable);
+}
+
+TEST_F(LockRecordTest, DescendantWriteOverAncestorXrIsGrantedAnyColour) {
+  // The serializing/glued transfer pattern: the structure action retains XR
+  // in its own colour; the next constituent writes in the work colour.
+  record_.add(parent_, LockMode::ExclusiveRead, kRed);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Write, kBlue, ancestry_),
+            GrantVerdict::Granted);
+}
+
+TEST_F(LockRecordTest, StrangerWriteOverXrMustWait) {
+  record_.add(parent_, LockMode::ExclusiveRead, kRed);
+  EXPECT_EQ(record_.evaluate(stranger_, LockMode::Write, kBlue, ancestry_),
+            GrantVerdict::MustWait);
+}
+
+TEST_F(LockRecordTest, SelfCanStackModes) {
+  // One action may hold WRITE in one colour plus XR in another on the same
+  // object (fig. 11: B holds blue WRITE and red XR on the objects in W).
+  record_.add(child_, LockMode::Write, kBlue);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::ExclusiveRead, kRed, ancestry_),
+            GrantVerdict::Granted);
+}
+
+TEST_F(LockRecordTest, SelfWriteDifferentColourIsUnresolvable) {
+  record_.add(child_, LockMode::Write, kBlue);
+  EXPECT_EQ(record_.evaluate(child_, LockMode::Write, kRed, ancestry_),
+            GrantVerdict::Unresolvable);
+}
+
+TEST_F(LockRecordTest, ColouredRulesWithOneColourMatchClassicalRules) {
+  // Property from §5.1: a single-coloured system reverts to a conventional
+  // atomic action system. Enumerate holder/requester mode combinations over
+  // {parent holds, stranger holds} x modes and compare verdicts.
+  const Colour c = Colour::plain();
+  for (LockMode held : {LockMode::Read, LockMode::Write, LockMode::ExclusiveRead}) {
+    for (const Uid& holder : {parent_, stranger_}) {
+      for (LockMode want : {LockMode::Read, LockMode::Write, LockMode::ExclusiveRead}) {
+        LockRecord r;
+        r.add(holder, held, c);
+        EXPECT_EQ(r.evaluate(child_, want, c, ancestry_),
+                  r.evaluate_classical(child_, want, ancestry_))
+            << "held=" << to_string(held) << " want=" << to_string(want)
+            << " holder_is_parent=" << (holder == parent_);
+      }
+    }
+  }
+}
+
+TEST_F(LockRecordTest, InheritMovesAndMerges) {
+  record_.add(child_, LockMode::Write, kRed);
+  record_.add(parent_, LockMode::Write, kRed);
+  record_.inherit(child_, kRed, parent_);
+  ASSERT_EQ(record_.entries().size(), 1u);
+  EXPECT_EQ(record_.entries().front().owner, parent_);
+  EXPECT_EQ(record_.entries().front().count, 2u);
+}
+
+TEST_F(LockRecordTest, InheritLeavesOtherColoursBehind) {
+  record_.add(child_, LockMode::Write, kRed);
+  record_.add(child_, LockMode::ExclusiveRead, kBlue);
+  record_.inherit(child_, kRed, parent_);
+  EXPECT_TRUE(record_.holds(parent_, LockMode::Write, kRed));
+  EXPECT_TRUE(record_.holds(child_, LockMode::ExclusiveRead, kBlue));
+}
+
+TEST_F(LockRecordTest, ReleaseColourDropsOnlyThatColour) {
+  record_.add(child_, LockMode::Write, kRed);
+  record_.add(child_, LockMode::Read, kBlue);
+  record_.release_colour(child_, kRed);
+  EXPECT_FALSE(record_.holds(child_, LockMode::Write, kRed));
+  EXPECT_TRUE(record_.holds(child_, LockMode::Read, kBlue));
+}
+
+TEST_F(LockRecordTest, DropOwnerRemovesEverything) {
+  record_.add(child_, LockMode::Write, kRed);
+  record_.add(child_, LockMode::Read, kBlue);
+  record_.add(parent_, LockMode::Read, kBlue);
+  EXPECT_EQ(record_.drop_owner(child_), 2u);
+  EXPECT_TRUE(record_.holds(parent_, LockMode::Read, kBlue));
+}
+
+TEST_F(LockRecordTest, BlockersListsNonAncestorHolders) {
+  record_.add(stranger_, LockMode::Write, kRed);
+  record_.add(parent_, LockMode::Write, kRed);
+  const auto blockers = record_.blockers(child_, LockMode::Write, kRed, ancestry_);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers.front(), stranger_);
+}
+
+// ---------------------------------------------------------------------------
+// LockManager: blocking behaviour, timeouts, deadlock detection.
+// ---------------------------------------------------------------------------
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  PathAncestry ancestry_;
+  LockManager lm_{ancestry_};
+  Uid a_;
+  Uid b_;
+  Uid obj1_;
+  Uid obj2_;
+
+  void SetUp() override {
+    ancestry_.register_action(a_, {a_});
+    ancestry_.register_action(b_, {b_});
+  }
+};
+
+TEST_F(LockManagerTest, GrantAndHold) {
+  EXPECT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  EXPECT_TRUE(lm_.holds(a_, obj1_, LockMode::Write, Colour::plain()));
+  EXPECT_EQ(lm_.locked_object_count(), 1u);
+}
+
+TEST_F(LockManagerTest, ConflictTimesOut) {
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  EXPECT_EQ(lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain(),
+                        std::chrono::milliseconds(50)),
+            LockOutcome::Timeout);
+  EXPECT_EQ(lm_.stats().timeouts, 1u);
+}
+
+TEST_F(LockManagerTest, WaiterWakesOnAbort) {
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  auto waiter = std::async(std::launch::async, [&] {
+    return lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain(),
+                       std::chrono::milliseconds(2000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm_.on_abort(a_);
+  EXPECT_EQ(waiter.get(), LockOutcome::Granted);
+  EXPECT_GE(lm_.stats().waits, 1u);
+}
+
+TEST_F(LockManagerTest, WaiterWakesOnColourRelease) {
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::named("red")),
+            LockOutcome::Granted);
+  auto waiter = std::async(std::launch::async, [&] {
+    return lm_.acquire(b_, obj1_, LockMode::Read, Colour::named("blue"),
+                       std::chrono::milliseconds(2000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lm_.on_commit_release(a_, Colour::named("red"));
+  EXPECT_EQ(waiter.get(), LockOutcome::Granted);
+}
+
+TEST_F(LockManagerTest, DeadlockIsDetected) {
+  // a holds obj1 and wants obj2; b holds obj2 and wants obj1.
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  ASSERT_EQ(lm_.acquire(b_, obj2_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  auto first = std::async(std::launch::async, [&] {
+    return lm_.acquire(a_, obj2_, LockMode::Write, Colour::plain(),
+                       std::chrono::milliseconds(5000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The second request closes the cycle and must be refused as a deadlock.
+  EXPECT_EQ(lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain(),
+                        std::chrono::milliseconds(5000)),
+            LockOutcome::Deadlock);
+  EXPECT_EQ(lm_.stats().deadlocks, 1u);
+  // Resolve by aborting b; a's wait then succeeds.
+  lm_.on_abort(b_);
+  EXPECT_EQ(first.get(), LockOutcome::Granted);
+}
+
+TEST_F(LockManagerTest, RefusedForAncestorColourClash) {
+  ancestry_.register_action(b_, {a_, b_});  // b is child of a
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::named("red")),
+            LockOutcome::Granted);
+  EXPECT_EQ(lm_.acquire(b_, obj1_, LockMode::Write, Colour::named("blue")),
+            LockOutcome::Refused);
+  EXPECT_EQ(lm_.stats().refusals, 1u);
+}
+
+TEST_F(LockManagerTest, InheritWakesWaiters) {
+  ancestry_.register_action(b_, {a_, b_});  // b is child of a
+  const Uid c;                              // stranger
+  ancestry_.register_action(c, {c});
+  ASSERT_EQ(lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  // c cannot read while b (a stranger to c) writes...
+  auto waiter = std::async(std::launch::async, [&] {
+    return lm_.acquire(c, obj1_, LockMode::Read, Colour::plain(),
+                       std::chrono::milliseconds(2000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...nor after the lock passes to a...
+  lm_.on_commit_inherit(b_, Colour::plain(), a_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(lm_.holds(a_, obj1_, LockMode::Write, Colour::plain()));
+  // ...until a releases it.
+  lm_.on_commit_release(a_, Colour::plain());
+  EXPECT_EQ(waiter.get(), LockOutcome::Granted);
+}
+
+TEST_F(LockManagerTest, RecursiveAcquireIsIdempotent) {
+  EXPECT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  EXPECT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  const auto entries = lm_.entries(obj1_);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.front().count, 2u);
+}
+
+TEST_F(LockManagerTest, ReleaseEarlyDropsSpecificEntry) {
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::ExclusiveRead, Colour::named("glue")),
+            LockOutcome::Granted);
+  lm_.release_early(a_, obj1_, Colour::named("glue"), LockMode::ExclusiveRead);
+  EXPECT_EQ(lm_.locked_object_count(), 0u);
+}
+
+TEST(DeadlockDetector, DirectCycle) {
+  DeadlockDetector d;
+  const Uid a;
+  const Uid b;
+  d.set_waits_for(a, {b});
+  EXPECT_FALSE(d.on_cycle(a));
+  d.set_waits_for(b, {a});
+  EXPECT_TRUE(d.on_cycle(b));
+  EXPECT_TRUE(d.on_cycle(a));
+  d.clear_waits_for(a);
+  EXPECT_FALSE(d.on_cycle(b));
+}
+
+TEST(DeadlockDetector, TransitiveCycle) {
+  DeadlockDetector d;
+  const Uid a;
+  const Uid b;
+  const Uid c;
+  d.set_waits_for(a, {b});
+  d.set_waits_for(b, {c});
+  EXPECT_FALSE(d.on_cycle(a));
+  d.set_waits_for(c, {a});
+  EXPECT_TRUE(d.on_cycle(c));
+}
+
+TEST(PathAncestry, AncestorQueries) {
+  PathAncestry anc;
+  const Uid root;
+  const Uid mid;
+  const Uid leaf;
+  anc.register_action(root, {root});
+  anc.register_action(mid, {root, mid});
+  anc.register_action(leaf, {root, mid, leaf});
+  EXPECT_TRUE(anc.is_ancestor_or_same(root, leaf));
+  EXPECT_TRUE(anc.is_ancestor_or_same(mid, leaf));
+  EXPECT_TRUE(anc.is_ancestor_or_same(leaf, leaf));
+  EXPECT_FALSE(anc.is_ancestor_or_same(leaf, root));
+  EXPECT_FALSE(anc.is_ancestor_or_same(mid, root));
+  anc.deregister_action(leaf);
+  EXPECT_FALSE(anc.is_ancestor_or_same(root, leaf));
+}
+
+}  // namespace
+}  // namespace mca

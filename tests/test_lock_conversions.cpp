@@ -1,0 +1,161 @@
+// Lock conversion/upgrade edge cases (§5.2: "in a non-coloured system, the
+// holder of an exclusive read lock on an object can always convert that
+// lock to a read lock or acquire a write lock on that object; in a coloured
+// system this is only possible subject to the read and write lock rules"),
+// plus the dynamic refusal path: a waiter whose blocker's lock is inherited
+// by the waiter's own ancestor in a clashing colour must wake up Refused.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+const Colour kRed = Colour::named("red");
+const Colour kBlue = Colour::named("blue");
+
+class ConversionTest : public ::testing::Test {
+ protected:
+  Runtime rt_;
+  RecoverableInt obj_{rt_, 0};
+};
+
+TEST_F(ConversionTest, SoleReaderUpgradesToWriter) {
+  AtomicAction a(rt_);
+  a.begin();
+  ASSERT_EQ(a.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  EXPECT_EQ(a.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+  a.abort();
+}
+
+TEST_F(ConversionTest, UpgradeBlocksOnSecondReader) {
+  AtomicAction a(rt_, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction b(rt_, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+  ASSERT_EQ(a.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  ASSERT_EQ(b.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  a.set_lock_timeout(std::chrono::milliseconds(50));
+  EXPECT_EQ(a.lock_for(obj_, LockMode::Write), LockOutcome::Timeout);
+  // Once b finishes, the upgrade succeeds.
+  b.abort();
+  a.set_lock_timeout(std::chrono::milliseconds(1'000));
+  EXPECT_EQ(a.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+  a.abort();
+}
+
+TEST_F(ConversionTest, XrHolderConvertsToReadAndWrite) {
+  // The classical conversions the paper names, in the coloured system with
+  // matching colours: always possible.
+  AtomicAction a(rt_, ColourSet{kRed});
+  a.begin();
+  ASSERT_EQ(a.lock_explicit(obj_, LockMode::ExclusiveRead, kRed), LockOutcome::Granted);
+  EXPECT_EQ(a.lock_explicit(obj_, LockMode::Read, kRed), LockOutcome::Granted);
+  EXPECT_EQ(a.lock_explicit(obj_, LockMode::Write, kRed), LockOutcome::Granted);
+  a.abort();
+}
+
+TEST_F(ConversionTest, XrHolderWritesInAnotherColourOfItsOwn) {
+  // The coloured twist: B in fig. 11 holds red XR and acquires the write in
+  // blue — allowed because no write lock of another colour exists.
+  AtomicAction a(rt_, ColourSet{kRed, kBlue});
+  a.begin();
+  ASSERT_EQ(a.lock_explicit(obj_, LockMode::ExclusiveRead, kRed), LockOutcome::Granted);
+  EXPECT_EQ(a.lock_explicit(obj_, LockMode::Write, kBlue), LockOutcome::Granted);
+  // And now the reverse colour for a write is refused (write colour rule).
+  EXPECT_EQ(a.lock_explicit(obj_, LockMode::Write, kRed), LockOutcome::Refused);
+  a.abort();
+}
+
+TEST_F(ConversionTest, WriterMayAlsoRead) {
+  AtomicAction a(rt_);
+  a.begin();
+  ASSERT_EQ(a.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+  EXPECT_EQ(a.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  a.abort();
+}
+
+TEST_F(ConversionTest, DescendantUpgradesOverAncestorsReadLock) {
+  AtomicAction parent(rt_);
+  parent.begin();
+  ASSERT_EQ(parent.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  {
+    AtomicAction child(rt_);
+    child.begin();
+    EXPECT_EQ(child.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+    child.commit();
+  }
+  // The write lock was inherited; the parent now holds both modes.
+  EXPECT_TRUE(rt_.lock_manager().holds(parent.uid(), obj_.uid(), LockMode::Write,
+                                       Colour::plain()));
+  EXPECT_TRUE(rt_.lock_manager().holds(parent.uid(), obj_.uid(), LockMode::Read,
+                                       Colour::plain()));
+  parent.abort();
+}
+
+TEST_F(ConversionTest, SiblingCannotUpgradePastSiblingsRead) {
+  AtomicAction parent(rt_, nullptr, {});
+  parent.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction c1(rt_, &parent, {});
+  c1.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction c2(rt_, &parent, {});
+  c2.begin(AtomicAction::ContextPolicy::Detached);
+  ASSERT_EQ(c1.lock_for(obj_, LockMode::Read), LockOutcome::Granted);
+  c2.set_lock_timeout(std::chrono::milliseconds(50));
+  EXPECT_EQ(c2.lock_for(obj_, LockMode::Write), LockOutcome::Timeout);
+  // After c1 commits, its read lock belongs to the parent — an ancestor of
+  // c2 — so the write goes through.
+  c1.commit();
+  c2.set_lock_timeout(std::chrono::milliseconds(1'000));
+  EXPECT_EQ(c2.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+  c2.commit();
+  parent.abort();
+}
+
+TEST_F(ConversionTest, WaiterWakesRefusedWhenClashingWriteIsInherited) {
+  // Dynamic refusal: C2 waits on sibling C1's red write; C1 commits and the
+  // lock passes to the common parent. For C2 the conflict is now with an
+  // ancestor's differently-coloured write — unresolvable — so the blocked
+  // acquire must return Refused, not hang until timeout.
+  AtomicAction parent(rt_, nullptr, ColourSet{kRed, kBlue});
+  parent.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction c1(rt_, &parent, ColourSet{kRed});
+  c1.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction c2(rt_, &parent, ColourSet{kBlue});
+  c2.begin(AtomicAction::ContextPolicy::Detached);
+
+  ASSERT_EQ(c1.lock_explicit(obj_, LockMode::Write, kRed), LockOutcome::Granted);
+  auto blocked = std::async(std::launch::async, [&] {
+    c2.set_lock_timeout(std::chrono::milliseconds(10'000));
+    return c2.lock_explicit(obj_, LockMode::Write, kBlue);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto commit_time = std::chrono::steady_clock::now();
+  c1.commit();  // red write inherited by parent
+  EXPECT_EQ(blocked.get(), LockOutcome::Refused);
+  const auto waited = std::chrono::steady_clock::now() - commit_time;
+  EXPECT_LT(waited, std::chrono::milliseconds(2'000)) << "refusal should be prompt";
+  c2.abort();
+  parent.abort();
+}
+
+TEST_F(ConversionTest, RecursiveEntriesSurviveOneRelease) {
+  // Counts merge on re-acquisition; a single abort clears them all.
+  AtomicAction a(rt_);
+  a.begin();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(a.lock_for(obj_, LockMode::Write), LockOutcome::Granted);
+  }
+  const auto entries = rt_.lock_manager().entries(obj_.uid());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.front().count, 5u);
+  a.abort();
+  EXPECT_TRUE(rt_.lock_manager().entries(obj_.uid()).empty());
+}
+
+}  // namespace
+}  // namespace mca

@@ -1,0 +1,225 @@
+// Tests for the simulated network and the RPC layer: delivery, loss,
+// duplication, at-most-once execution, crash behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dist/rpc.h"
+
+namespace mca {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(100);
+  return c;
+}
+
+TEST(Network, DeliversToAttachedHandler) {
+  Network net(fast_config());
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram d) {
+    EXPECT_EQ(d.service, "ping");
+    ++received;
+  });
+  net.send(Datagram{0, 1, "ping", Uid(), false, {}});
+  for (int i = 0; i < 100 && received == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, DropsForDownNode) {
+  Network net(fast_config());
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram) { ++received; });
+  net.set_up(1, false);
+  net.send(Datagram{0, 1, "ping", Uid(), false, {}});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.stats().dropped_down, 1u);
+  net.set_up(1, true);
+  net.send(Datagram{0, 1, "ping", Uid(), false, {}});
+  for (int i = 0; i < 100 && received == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(Network, LossRateApproximatelyHonoured) {
+  NetworkConfig c = fast_config();
+  c.loss_probability = 0.5;
+  Network net(c);
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram) { ++received; });
+  constexpr int kSent = 400;
+  for (int i = 0; i < kSent; ++i) net.send(Datagram{0, 1, "x", Uid(), false, {}});
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const auto stats = net.stats();
+  EXPECT_EQ(stats.lost + stats.delivered, static_cast<std::uint64_t>(kSent));
+  EXPECT_GT(stats.lost, kSent / 4u);
+  EXPECT_LT(stats.lost, 3u * kSent / 4);
+}
+
+TEST(Network, DuplicationDeliversTwice) {
+  NetworkConfig c = fast_config();
+  c.duplication_probability = 1.0;
+  Network net(c);
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram) { ++received; });
+  net.send(Datagram{0, 1, "x", Uid(), false, {}});
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(received.load(), 2);
+}
+
+TEST(Rpc, BasicCallRoundTrip) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("echo", [](ByteBuffer& args) {
+    ByteBuffer reply;
+    reply.pack_string("echo: " + args.unpack_string());
+    return reply;
+  });
+  ByteBuffer args;
+  args.pack_string("hello");
+  RpcResult r = client.call(1, "echo", std::move(args));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.payload.unpack_string(), "echo: hello");
+}
+
+TEST(Rpc, UnknownServiceIsAppError) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  RpcResult r = client.call(1, "nope", {});
+  EXPECT_EQ(r.status, RpcStatus::AppError);
+  EXPECT_NE(r.error.find("no such service"), std::string::npos);
+}
+
+TEST(Rpc, ServiceExceptionPropagatesAsAppError) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("boom", [](ByteBuffer&) -> ByteBuffer {
+    throw std::runtime_error("kaboom");
+  });
+  RpcResult r = client.call(1, "boom", {});
+  EXPECT_EQ(r.status, RpcStatus::AppError);
+  EXPECT_EQ(r.error, "kaboom");
+}
+
+TEST(Rpc, CallToDeadNodeTimesOut) {
+  Network net(fast_config());
+  RpcEndpoint client(net, 2);
+  RpcResult r = client.call(99, "echo", {}, CallOptions{std::chrono::milliseconds(200),
+                                                        std::chrono::milliseconds(50)});
+  EXPECT_EQ(r.status, RpcStatus::Timeout);
+}
+
+TEST(Rpc, SurvivesHeavyMessageLoss) {
+  NetworkConfig c = fast_config();
+  c.loss_probability = 0.4;
+  Network net(c);
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("inc", [](ByteBuffer& args) {
+    ByteBuffer reply;
+    reply.pack_i64(args.unpack_i64() + 1);
+    return reply;
+  });
+  for (int i = 0; i < 20; ++i) {
+    ByteBuffer args;
+    args.pack_i64(i);
+    RpcResult r = client.call(1, "inc", std::move(args),
+                              CallOptions{std::chrono::milliseconds(5'000),
+                                          std::chrono::milliseconds(20)});
+    ASSERT_TRUE(r.ok()) << "call " << i;
+    EXPECT_EQ(r.payload.unpack_i64(), i + 1);
+  }
+}
+
+TEST(Rpc, AtMostOnceUnderDuplication) {
+  // Every message is duplicated, and retransmission adds more copies; the
+  // side effect must still happen exactly once per call.
+  NetworkConfig c = fast_config();
+  c.duplication_probability = 1.0;
+  Network net(c);
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  std::atomic<int> executions{0};
+  server.register_service("effect", [&](ByteBuffer&) {
+    ++executions;
+    return ByteBuffer{};
+  });
+  for (int i = 0; i < 10; ++i) {
+    RpcResult r = client.call(1, "effect", {});
+    ASSERT_TRUE(r.ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // drain dupes
+  EXPECT_EQ(executions.load(), 10);
+}
+
+TEST(Rpc, CrashedServerStopsAnswering) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("ping", [](ByteBuffer&) { return ByteBuffer{}; });
+  ASSERT_TRUE(client.call(1, "ping", {}).ok());
+  server.crash();
+  EXPECT_EQ(client
+                .call(1, "ping", {},
+                      CallOptions{std::chrono::milliseconds(200), std::chrono::milliseconds(50)})
+                .status,
+            RpcStatus::Timeout);
+  server.restart();
+  EXPECT_TRUE(client.call(1, "ping", {}).ok());
+}
+
+TEST(Rpc, ConcurrentCallsFromManyThreads) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("double", [](ByteBuffer& args) {
+    ByteBuffer reply;
+    reply.pack_i64(args.unpack_i64() * 2);
+    return reply;
+  });
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&client, &failures, t] {
+        for (int i = 0; i < 10; ++i) {
+          ByteBuffer args;
+          args.pack_i64(t * 100 + i);
+          RpcResult r = client.call(1, "double", std::move(args));
+          if (!r.ok() || r.payload.unpack_i64() != 2 * (t * 100 + i)) ++failures;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&] { ++done; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+}  // namespace
+}  // namespace mca

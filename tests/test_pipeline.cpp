@@ -1,0 +1,187 @@
+// Tests for the staged-workflow engine (apps/pipeline): per-stage
+// permanence, glued hand-over, early release, compensation of committed
+// prefixes, audit behaviour.
+#include <gtest/gtest.h>
+
+#include "apps/pipeline/pipeline.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+std::int64_t read_value(Runtime& rt, RecoverableInt& obj) {
+  AtomicAction a(rt);
+  a.begin();
+  const std::int64_t v = obj.value();
+  a.commit();
+  return v;
+}
+
+TEST(PipelineTest, AllStagesCompleteInOrder) {
+  Runtime rt;
+  RecoverableLog audit(rt);
+  RecoverableInt order(rt, 0);
+  Pipeline pipeline(rt, &audit);
+  pipeline
+      .stage("validate",
+             [&](StageContext& ctx) {
+               order.set(1);
+               ctx.pass_on(order);
+             })
+      .stage("reserve",
+             [&](StageContext& ctx) {
+               order.add(10);
+               ctx.pass_on(order);
+             })
+      .stage("ship", [&](StageContext&) { order.add(100); });
+
+  PipelineResult result = pipeline.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.stages_run, 3u);
+  EXPECT_EQ(result.compensations_run, 0u);
+  EXPECT_EQ(read_value(rt, order), 111);
+
+  AtomicAction a(rt);
+  a.begin();
+  EXPECT_EQ(audit.entries(),
+            (std::vector<std::string>{"DONE validate", "DONE reserve", "DONE ship"}));
+  a.commit();
+}
+
+TEST(PipelineTest, CompletedStagesArePermanentBeforePipelineEnds) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  Pipeline pipeline(rt);
+  bool was_stable_mid_pipeline = false;
+  pipeline
+      .stage("first",
+             [&](StageContext& ctx) {
+               obj.set(5);
+               ctx.pass_on(obj);
+             })
+      .stage("second", [&](StageContext&) {
+        was_stable_mid_pipeline = rt.default_store().read(obj.uid()).has_value();
+        obj.add(1);
+      });
+  ASSERT_TRUE(pipeline.run().completed);
+  EXPECT_TRUE(was_stable_mid_pipeline);
+}
+
+TEST(PipelineTest, FailureCompensatesCommittedPrefixInReverse) {
+  Runtime rt;
+  RecoverableLog audit(rt);
+  RecoverableInt inventory(rt, 100);
+  RecoverableInt charged(rt, 0);
+  Pipeline pipeline(rt, &audit);
+  pipeline
+      .stage(
+          "reserve", [&](StageContext&) { inventory.add(-5); },
+          [&] { inventory.add(5); })
+      .stage(
+          "charge", [&](StageContext&) { charged.add(50); },
+          [&] { charged.add(-50); })
+      .stage("ship", [&](StageContext&) -> void {
+        throw std::runtime_error("carrier unavailable");
+      });
+
+  PipelineResult result = pipeline.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.failed_stage, "ship");
+  EXPECT_EQ(result.stages_run, 2u);
+  EXPECT_EQ(result.compensations_run, 2u);
+  EXPECT_EQ(read_value(rt, inventory), 100);
+  EXPECT_EQ(read_value(rt, charged), 0);
+
+  AtomicAction a(rt);
+  a.begin();
+  const auto entries = audit.entries();
+  a.commit();
+  // Compensations run in reverse order.
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[2], "FAILED ship: carrier unavailable");
+  EXPECT_EQ(entries[3], "COMPENSATED charge");
+  EXPECT_EQ(entries[4], "COMPENSATED reserve");
+}
+
+TEST(PipelineTest, FailedStageOwnWorkIsRolledBackByTheKernel) {
+  // The failing stage's own (uncommitted) work needs no compensator: the
+  // kernel undoes it.
+  Runtime rt;
+  RecoverableInt obj(rt, 7);
+  Pipeline pipeline(rt);
+  pipeline.stage("explode", [&](StageContext&) -> void {
+    obj.set(999);
+    throw std::runtime_error("boom");
+  });
+  PipelineResult result = pipeline.run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(read_value(rt, obj), 7);
+  EXPECT_FALSE(rt.default_store().read(obj.uid()).has_value());
+}
+
+TEST(PipelineTest, StagesWithoutCompensatorAreSkippedDuringRollback) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  Pipeline pipeline(rt);
+  int compensated = 0;
+  pipeline
+      .stage("readonly", [&](StageContext&) { (void)obj.value(); })  // no compensator
+      .stage(
+          "write", [&](StageContext&) { obj.add(1); }, [&] { ++compensated; })
+      .stage("fail", [](StageContext&) -> void { throw std::runtime_error("x"); });
+  PipelineResult result = pipeline.run();
+  EXPECT_EQ(result.compensations_run, 1u);
+  EXPECT_EQ(compensated, 1);
+}
+
+TEST(PipelineTest, PassedObjectGuardedBetweenStagesOthersReleased) {
+  Runtime rt;
+  RecoverableInt passed(rt, 0);
+  RecoverableInt released(rt, 0);
+  Pipeline pipeline(rt);
+  LockOutcome mid_released = LockOutcome::Timeout;
+  LockOutcome mid_passed = LockOutcome::Timeout;
+  pipeline
+      .stage("produce",
+             [&](StageContext& ctx) {
+               passed.set(1);
+               released.set(1);
+               ctx.pass_on(passed);
+             })
+      .stage("probe", [&](StageContext&) {
+        // Probe from an outsider's perspective while this stage runs.
+        AtomicAction outsider(rt, nullptr, {});
+        outsider.begin(AtomicAction::ContextPolicy::Detached);
+        outsider.set_lock_timeout(std::chrono::milliseconds(30));
+        mid_released = outsider.lock_for(released, LockMode::Write);
+        mid_passed = outsider.lock_for(passed, LockMode::Read);
+        outsider.abort();
+      });
+  ASSERT_TRUE(pipeline.run().completed);
+  EXPECT_EQ(mid_released, LockOutcome::Granted);
+  EXPECT_EQ(mid_passed, LockOutcome::Timeout);
+}
+
+TEST(PipelineTest, AuditEntriesFromStagesAreRecorded) {
+  Runtime rt;
+  RecoverableLog audit(rt);
+  Pipeline pipeline(rt, &audit);
+  pipeline.stage("work", [&](StageContext& ctx) { ctx.audit("did the thing"); });
+  ASSERT_TRUE(pipeline.run().completed);
+  AtomicAction a(rt);
+  a.begin();
+  EXPECT_EQ(audit.entries(),
+            (std::vector<std::string>{"DONE work", "work: did the thing"}));
+  a.commit();
+}
+
+TEST(PipelineTest, EmptyPipelineCompletesTrivially) {
+  Runtime rt;
+  Pipeline pipeline(rt);
+  PipelineResult result = pipeline.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.stages_run, 0u);
+}
+
+}  // namespace
+}  // namespace mca

@@ -1,0 +1,137 @@
+// Gluing remote objects (dist/remote_glue.h): the fig. 5/9 lock-transfer
+// semantics across simulated nodes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dist/remote_glue.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(200);
+  return c;
+}
+
+class RemoteGlueTest : public ::testing::Test {
+ protected:
+  RemoteGlueTest() : net_(fast_config()), client_(net_, 1), server_(net_, 2) {
+    client_.set_invoke_timeout(std::chrono::milliseconds(2'000));
+    for (int i = 0; i < 3; ++i) {
+      objects_.push_back(std::make_unique<RecoverableInt>(server_.runtime(), 0));
+      server_.host(*objects_.back());
+      proxies_.emplace_back(client_, server_.id(), objects_.back()->uid());
+    }
+  }
+
+  // Probe from a second client: can it write the remote object right now?
+  LockOutcome outsider_probe(std::size_t index) {
+    DistNode outsider(net_, 99);
+    outsider.set_invoke_timeout(std::chrono::milliseconds(300));
+    RemoteInt proxy(outsider, server_.id(), objects_[index]->uid());
+    AtomicAction a(outsider.runtime());
+    a.begin();
+    LockOutcome result = LockOutcome::Granted;
+    try {
+      proxy.add(0);
+    } catch (const LockFailure& f) {
+      result = f.outcome();
+    } catch (const NodeUnreachable&) {
+      result = LockOutcome::Timeout;
+    }
+    a.abort();
+    return result;
+  }
+
+  Network net_;
+  DistNode client_;
+  DistNode server_;
+  std::vector<std::unique_ptr<RecoverableInt>> objects_;
+  std::vector<RemoteInt> proxies_;
+};
+
+TEST_F(RemoteGlueTest, PassedRemoteObjectCarriesAcrossConstituents) {
+  GlueGroup glue(client_.runtime());
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    proxies_[0].set(1);  // passed on
+    proxies_[1].set(1);  // released at commit
+    pass_on_remote(glue, c, client_, proxies_[0]);
+  });
+  // Both updates are permanent (top level in the work colour)...
+  EXPECT_TRUE(server_.runtime().default_store().read(objects_[0]->uid()).has_value());
+  EXPECT_TRUE(server_.runtime().default_store().read(objects_[1]->uid()).has_value());
+  // ...object 1 is free, object 0 is carried by the group at the server.
+  EXPECT_EQ(outsider_probe(1), LockOutcome::Granted);
+  EXPECT_NE(outsider_probe(0), LockOutcome::Granted);
+
+  // The next constituent writes the carried object (over the group's XR).
+  glue.run_constituent([&](GlueGroup::Constituent&) { proxies_[0].add(10); });
+  glue.end();
+
+  // After the group's distributed commit everything is free.
+  for (int i = 0; i < 50 && outsider_probe(0) != LockOutcome::Granted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(outsider_probe(0), LockOutcome::Granted);
+
+  AtomicAction check(client_.runtime());
+  check.begin();
+  EXPECT_EQ(proxies_[0].value(), 11);
+  check.commit();
+}
+
+TEST_F(RemoteGlueTest, UnglueReleasesRemoteObjectMidGroup) {
+  GlueGroup glue(client_.runtime());
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    proxies_[0].set(1);
+    proxies_[2].set(1);
+    pass_on_remote(glue, c, client_, proxies_[0]);
+    pass_on_remote(glue, c, client_, proxies_[2]);
+  });
+  EXPECT_NE(outsider_probe(2), LockOutcome::Granted);
+  // Reject slot 2 mid-protocol (fig. 9): release it while the group lives.
+  EXPECT_TRUE(unglue_remote(glue, client_, proxies_[2]));
+  EXPECT_EQ(outsider_probe(2), LockOutcome::Granted);
+  EXPECT_NE(outsider_probe(0), LockOutcome::Granted);  // still carried
+  glue.end();
+}
+
+TEST_F(RemoteGlueTest, GroupAbortReleasesCarriedRemoteObjects) {
+  GlueGroup glue(client_.runtime());
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    proxies_[0].set(7);
+    pass_on_remote(glue, c, client_, proxies_[0]);
+  });
+  glue.abort();
+  // The committed constituent's effect survives; the carried lock is gone.
+  for (int i = 0; i < 50 && outsider_probe(0) != LockOutcome::Granted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(outsider_probe(0), LockOutcome::Granted);
+  AtomicAction check(client_.runtime());
+  check.begin();
+  EXPECT_EQ(proxies_[0].value(), 7);
+  check.commit();
+}
+
+TEST_F(RemoteGlueTest, PassOnOutsideConstituentThrows) {
+  GlueGroup glue(client_.runtime());
+  glue.begin();
+  auto c = glue.constituent();
+  // Not begun / not current: must be rejected.
+  AtomicAction unrelated(client_.runtime());
+  unrelated.begin();
+  EXPECT_THROW(pass_on_remote(glue, c, client_, proxies_[0]), std::logic_error);
+  unrelated.abort();
+  glue.abort();
+}
+
+}  // namespace
+}  // namespace mca

@@ -1,0 +1,217 @@
+// Robustness: API misuse must fail loudly and correctly; big and deep
+// workloads must hold up.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
+#include "objects/recoverable_string.h"
+
+namespace mca {
+namespace {
+
+TEST(Misuse, ContextPopMismatchThrows) {
+  Runtime rt;
+  AtomicAction a(rt, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction b(rt, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+  ActionContext::push(a);
+  EXPECT_THROW(ActionContext::pop(b), std::logic_error);
+  ActionContext::pop(a);
+  a.abort();
+  b.abort();
+}
+
+TEST(Misuse, PopOnEmptyStackThrows) {
+  Runtime rt;
+  AtomicAction a(rt, nullptr, {});
+  EXPECT_THROW(ActionContext::pop(a), std::logic_error);
+}
+
+TEST(Misuse, LockAfterTerminationThrows) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  a.commit();
+  EXPECT_THROW((void)a.lock_for(obj, LockMode::Read), std::logic_error);
+}
+
+TEST(Misuse, DoubleCommitThrows) {
+  Runtime rt;
+  AtomicAction a(rt);
+  a.begin();
+  a.commit();
+  EXPECT_THROW(a.commit(), std::logic_error);
+  EXPECT_THROW(a.abort(), std::logic_error);
+}
+
+TEST(Misuse, LockPlanWithForeignColourThrows) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt, ColourSet{Colour::named("red")});
+  LockPlan plan = LockPlan::single(Colour::named("green"));  // not a's colour
+  a.set_lock_plan(plan);
+  a.begin();
+  EXPECT_THROW((void)a.lock_for(obj, LockMode::Write), std::logic_error);
+  a.abort();
+}
+
+TEST(Misuse, ExplicitLockInForeignColourThrows) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt, ColourSet{Colour::named("red")});
+  a.begin();
+  EXPECT_THROW((void)a.lock_explicit(obj, LockMode::Write, Colour::named("green")),
+               std::logic_error);
+  a.abort();
+}
+
+TEST(Misuse, ModifiedWithoutWriteLockThrows) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt);
+  a.begin();
+  ASSERT_EQ(a.lock_for(obj, LockMode::Read), LockOutcome::Granted);
+  EXPECT_THROW(a.note_modified(obj), std::logic_error);
+  a.abort();
+}
+
+TEST(Misuse, EmptyColourSetPrimaryThrows) {
+  ColourSet empty;
+  EXPECT_THROW((void)empty.primary(), std::logic_error);
+}
+
+TEST(Scale, MegabyteStateCommitsAndRestores) {
+  Runtime rt;
+  RecoverableString blob(rt);
+  const std::string big(1 << 20, 'x');
+  {
+    AtomicAction a(rt);
+    a.begin();
+    blob.set(big);
+    a.commit();
+  }
+  {
+    AtomicAction a(rt);
+    a.begin();
+    blob.set("tiny");
+    a.abort();
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(blob.value().size(), big.size());
+  check.commit();
+  // Reload from the store too.
+  RecoverableString reloaded(rt, blob.uid());
+  AtomicAction again(rt);
+  again.begin();
+  EXPECT_EQ(reloaded.value(), big);
+  again.commit();
+}
+
+TEST(Scale, FiveHundredObjectsInOneAction) {
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < 500; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  {
+    AtomicAction a(rt);
+    a.begin();
+    for (auto& obj : objects) obj->add(1);
+    EXPECT_EQ(a.undo_record_count(), 500u);
+    a.commit();
+  }
+  EXPECT_EQ(rt.default_store().uids().size(), 500u);
+  EXPECT_EQ(rt.lock_manager().locked_object_count(), 0u);
+}
+
+TEST(Scale, DeepNestingCommitsCleanly) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  constexpr int kDepth = 200;
+  std::vector<std::unique_ptr<AtomicAction>> chain;
+  for (int i = 0; i < kDepth; ++i) {
+    chain.push_back(std::make_unique<AtomicAction>(rt));
+    chain.back()->begin();
+  }
+  obj.set(kDepth);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    ASSERT_EQ((*it)->commit(), Outcome::Committed);
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), kDepth);
+  check.commit();
+}
+
+TEST(Scale, DeepNestingAbortAtTopUndoesEverything) {
+  Runtime rt;
+  RecoverableInt obj(rt, -1);
+  constexpr int kDepth = 100;
+  {
+    std::vector<std::unique_ptr<AtomicAction>> chain;
+    for (int i = 0; i < kDepth; ++i) {
+      chain.push_back(std::make_unique<AtomicAction>(rt));
+      chain.back()->begin();
+    }
+    obj.set(7);
+    for (int i = kDepth - 1; i > 0; --i) chain[static_cast<std::size_t>(i)]->commit();
+    chain.front()->abort();
+  }
+  AtomicAction check(rt);
+  check.begin();
+  EXPECT_EQ(obj.value(), -1);
+  check.commit();
+}
+
+TEST(Scale, RepeatedActionsDoNotLeakLockState) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  for (int i = 0; i < 2'000; ++i) {
+    AtomicAction a(rt);
+    a.begin();
+    obj.add(1);
+    if (i % 3 == 0) {
+      a.abort();
+    } else {
+      a.commit();
+    }
+  }
+  EXPECT_EQ(rt.lock_manager().locked_object_count(), 0u);
+  const auto stats = rt.action_stats();
+  EXPECT_EQ(stats.active(), 0u);
+  EXPECT_EQ(stats.begun, 2'000u);
+}
+
+TEST(Scale, ManyThreadsManyObjects) {
+  Runtime rt;
+  constexpr int kThreads = 8;
+  constexpr int kObjects = 16;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  for (int i = 0; i < kObjects; ++i) objects.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&rt, &objects, t] {
+        for (int i = 0; i < 20; ++i) {
+          AtomicAction a(rt);
+          a.begin();
+          a.set_lock_timeout(std::chrono::milliseconds(5'000));
+          objects[static_cast<std::size_t>((t + i) % kObjects)]->add(1);
+          a.commit();
+        }
+      });
+    }
+  }
+  std::int64_t total = 0;
+  AtomicAction check(rt);
+  check.begin();
+  for (auto& obj : objects) total += obj->value();
+  check.commit();
+  EXPECT_EQ(total, kThreads * 20);
+}
+
+}  // namespace
+}  // namespace mca

@@ -1,0 +1,514 @@
+// Tests for the §3 structure APIs (automatic colour assignment):
+// SerializingAction, GlueGroup, IndependentAction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/structures/glued_action.h"
+#include "core/structures/independent_action.h"
+#include "core/structures/serializing_action.h"
+#include "objects/recoverable_int.h"
+#include "objects/recoverable_set.h"
+
+namespace mca {
+namespace {
+
+bool stable(Runtime& rt, const LockManaged& obj) {
+  return rt.default_store().read(obj.uid()).has_value();
+}
+
+std::int64_t read_in_action(Runtime& rt, RecoverableInt& obj) {
+  AtomicAction a(rt);
+  a.begin();
+  const std::int64_t v = obj.value();
+  a.commit();
+  return v;
+}
+
+// --- Serializing actions (fig. 3) -------------------------------------------
+
+TEST(Serializing, OutcomeII_BothConstituentsCommitAndSurviveEnd) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  EXPECT_EQ(ser.run_constituent([&] { obj.set(1); }), Outcome::Committed);
+  EXPECT_EQ(ser.run_constituent([&] { obj.add(10); }), Outcome::Committed);
+  ser.end();
+  EXPECT_EQ(read_in_action(rt, obj), 11);
+  EXPECT_TRUE(stable(rt, obj));
+}
+
+TEST(Serializing, OutcomeIII_CommittedWorkSurvivesSerializingAbort) {
+  // The headline property (§3.1): B commits, then A aborts after C fails;
+  // B's effects survive.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  EXPECT_EQ(ser.run_constituent([&] { obj.set(1); }), Outcome::Committed);
+  EXPECT_THROW(ser.run_constituent([&]() -> void {
+                 obj.set(99);
+                 throw std::runtime_error("C fails");
+               }),
+               std::runtime_error);
+  ser.abort();
+  EXPECT_EQ(read_in_action(rt, obj), 1);
+  EXPECT_TRUE(stable(rt, obj));
+}
+
+TEST(Serializing, OutcomeI_FirstConstituentAbortProducesNothing) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  EXPECT_THROW(ser.run_constituent([&]() -> void {
+                 obj.set(1);
+                 throw std::runtime_error("B fails");
+               }),
+               std::runtime_error);
+  ser.abort();
+  EXPECT_EQ(read_in_action(rt, obj), 0);
+  EXPECT_FALSE(stable(rt, obj));
+}
+
+TEST(Serializing, LocksRetainedBetweenConstituents) {
+  // Between B's commit and C's start nobody else may touch the objects —
+  // the reason the enclosing action exists (fig. 2 discussion).
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  ser.run_constituent([&] { obj.set(1); });
+
+  AtomicAction outsider(rt, nullptr, {});
+  outsider.begin(AtomicAction::ContextPolicy::Detached);
+  outsider.set_lock_timeout(std::chrono::milliseconds(50));
+  EXPECT_EQ(outsider.lock_for(obj, LockMode::Write), LockOutcome::Timeout);
+  EXPECT_EQ(outsider.lock_for(obj, LockMode::Read), LockOutcome::Timeout);
+  outsider.abort();
+
+  ser.run_constituent([&] { obj.add(1); });
+  ser.end();
+  // After the serializing action terminates the object is free.
+  EXPECT_EQ(read_in_action(rt, obj), 2);
+}
+
+TEST(Serializing, SecondConstituentSeesFirstsUpdates) {
+  Runtime rt;
+  RecoverableInt obj(rt, 5);
+  SerializingAction ser(rt);
+  ser.begin();
+  ser.run_constituent([&] { obj.set(7); });
+  std::int64_t seen = -1;
+  ser.run_constituent([&] { seen = obj.value(); });
+  ser.end();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Serializing, ConcurrentConstituentsSerialize) {
+  // Fig. 8 shape: concurrent constituents racing on a shared object must be
+  // serialized by the work-colour write locks.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  constexpr int kThreads = 6;
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&rt, &ser, &obj] {
+        auto c = ser.constituent();
+        c->begin();
+        obj.add(1);
+        c->commit();
+      });
+    }
+  }
+  ser.end();
+  EXPECT_EQ(read_in_action(rt, obj), kThreads);
+}
+
+TEST(Serializing, ReadOnlyConstituentLeavesNoStableState) {
+  Runtime rt;
+  RecoverableInt obj(rt, 3);
+  SerializingAction ser(rt);
+  ser.begin();
+  std::int64_t seen = -1;
+  ser.run_constituent([&] { seen = obj.value(); });
+  ser.end();
+  EXPECT_EQ(seen, 3);
+  EXPECT_FALSE(stable(rt, obj));
+}
+
+// --- Glued actions (figs. 5, 6, 9) -------------------------------------------
+
+TEST(Glued, PassedObjectStaysLockedOthersReleased) {
+  Runtime rt;
+  RecoverableInt passed(rt, 0);
+  RecoverableInt released(rt, 0);
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    passed.set(1);
+    released.set(2);
+    glue.pass_on(c, passed);
+  });
+  // Updates are stable at the constituent's commit (top level in w).
+  EXPECT_TRUE(stable(rt, passed));
+  EXPECT_TRUE(stable(rt, released));
+  EXPECT_EQ(glue.glued_count(), 1u);
+
+  // `released` is free; `passed` is carried by the group.
+  AtomicAction outsider(rt, nullptr, {});
+  outsider.begin(AtomicAction::ContextPolicy::Detached);
+  outsider.set_lock_timeout(std::chrono::milliseconds(50));
+  EXPECT_EQ(outsider.lock_for(released, LockMode::Write), LockOutcome::Granted);
+  EXPECT_EQ(outsider.lock_for(passed, LockMode::Read), LockOutcome::Timeout);
+  outsider.abort();
+
+  glue.run_constituent([&](GlueGroup::Constituent&) { passed.add(10); });
+  glue.end();
+  EXPECT_EQ(read_in_action(rt, passed), 11);
+}
+
+TEST(Glued, CommittedConstituentSurvivesGroupAbort) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    obj.set(42);
+    glue.pass_on(c, obj);
+  });
+  glue.abort();
+  EXPECT_EQ(read_in_action(rt, obj), 42);
+}
+
+TEST(Glued, TouchedButNotRepassedIsReleased) {
+  // Fig. 9: slots examined but rejected by I_{i+1} are freed.
+  Runtime rt;
+  RecoverableInt slot(rt, 0);
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    slot.set(1);
+    glue.pass_on(c, slot);
+  });
+  EXPECT_EQ(glue.glued_count(), 1u);
+  // Second constituent reads the slot and does not pass it on.
+  glue.run_constituent([&](GlueGroup::Constituent&) { (void)slot.value(); });
+  EXPECT_EQ(glue.glued_count(), 0u);
+
+  AtomicAction outsider(rt, nullptr, {});
+  outsider.begin(AtomicAction::ContextPolicy::Detached);
+  EXPECT_EQ(outsider.lock_for(slot, LockMode::Write), LockOutcome::Granted);
+  outsider.abort();
+  glue.end();
+}
+
+TEST(Glued, UntouchedGluedObjectStaysGlued) {
+  Runtime rt;
+  RecoverableInt a(rt, 0);
+  RecoverableInt b(rt, 0);
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    a.set(1);
+    b.set(1);
+    glue.pass_on(c, a);
+    glue.pass_on(c, b);
+  });
+  // The next constituent touches only a; b must stay glued.
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    a.add(1);
+    glue.pass_on(c, a);
+  });
+  EXPECT_EQ(glue.glued_count(), 2u);
+  glue.end();
+}
+
+TEST(Glued, AbortedConstituentLeavesGlueIntactForRetry) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    obj.set(5);
+    glue.pass_on(c, obj);
+  });
+  EXPECT_THROW(glue.run_constituent([&](GlueGroup::Constituent&) -> void {
+                 obj.set(6);
+                 throw std::runtime_error("fail");
+               }),
+               std::runtime_error);
+  // The failed constituent's write was undone; the object is still glued.
+  EXPECT_EQ(glue.glued_count(), 1u);
+  glue.run_constituent([&](GlueGroup::Constituent&) { EXPECT_EQ(obj.value(), 5); });
+  glue.end();
+  EXPECT_EQ(read_in_action(rt, obj), 5);
+}
+
+TEST(Glued, ChainAcrossThreeConstituents) {
+  // Fig. 9 diary shape: I1 locks slots, narrows, hands fewer to I2, ...
+  Runtime rt;
+  std::vector<std::unique_ptr<RecoverableInt>> slots;
+  for (int i = 0; i < 4; ++i) slots.push_back(std::make_unique<RecoverableInt>(rt, 0));
+
+  GlueGroup glue(rt);
+  glue.begin();
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    for (auto& s : slots) {
+      s->set(1);
+      glue.pass_on(c, *s);
+    }
+  });
+  EXPECT_EQ(glue.glued_count(), 4u);
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      slots[i]->add(1);                              // touch all
+      if (i < 2) glue.pass_on(c, *slots[i]);         // keep half
+    }
+  });
+  EXPECT_EQ(glue.glued_count(), 2u);
+  glue.run_constituent([&](GlueGroup::Constituent& c) {
+    slots[0]->add(1);
+    (void)slots[1]->value();  // examined and rejected
+    glue.pass_on(c, *slots[0]);
+  });
+  // slot1 was touched and not re-passed: released; slot0 still glued.
+  EXPECT_EQ(glue.glued_count(), 1u);
+  glue.end();
+  EXPECT_EQ(read_in_action(rt, *slots[0]), 3);
+  EXPECT_EQ(read_in_action(rt, *slots[1]), 2);
+  EXPECT_EQ(read_in_action(rt, *slots[2]), 2);
+  EXPECT_EQ(read_in_action(rt, *slots[3]), 2);
+}
+
+TEST(Glued, ConcurrentConstituents) {
+  // Fig. 6: A_i glued concurrently.
+  Runtime rt;
+  constexpr int kN = 5;
+  std::vector<std::unique_ptr<RecoverableInt>> objs;
+  for (int i = 0; i < kN; ++i) objs.push_back(std::make_unique<RecoverableInt>(rt, 0));
+  GlueGroup glue(rt);
+  glue.begin();
+  {
+    std::vector<std::jthread> threads;
+    for (int i = 0; i < kN; ++i) {
+      threads.emplace_back([&glue, &objs, i] {
+        auto c = glue.constituent();
+        c.begin();
+        objs[static_cast<std::size_t>(i)]->set(i + 1);
+        glue.pass_on(c, *objs[static_cast<std::size_t>(i)]);
+        c.commit();
+      });
+    }
+  }
+  EXPECT_EQ(glue.glued_count(), static_cast<std::size_t>(kN));
+  glue.end();
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(read_in_action(rt, *objs[static_cast<std::size_t>(i)]), i + 1);
+  }
+}
+
+// --- Structures nested inside larger actions -----------------------------------
+
+TEST(NestedStructures, SerializingInsideAbortingParent) {
+  // A serializing action nested in a plain application action: constituent
+  // effects are top level in the work colour, so they survive even the
+  // *application's* abort (that is what "not atomic w.r.t. failures" buys).
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    AtomicAction app(rt);
+    app.begin();
+    SerializingAction ser(rt);
+    ser.begin();
+    ser.run_constituent([&] { obj.set(9); });
+    ser.end();
+    app.abort();
+  }
+  EXPECT_EQ(read_in_action(rt, obj), 9);
+  EXPECT_TRUE(stable(rt, obj));
+}
+
+TEST(NestedStructures, ConstituentRefusedOnParentsDirtyObject) {
+  // The flip side: a constituent cannot write an object its enclosing
+  // application action has already written — making that write permanent
+  // would break the application's atomicity, and the write-colour rule
+  // refuses it outright.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  obj.set(1);  // app holds the plain write lock
+  SerializingAction ser(rt);
+  ser.begin();
+  EXPECT_THROW(ser.run_constituent([&] { obj.set(2); }), LockFailure);
+  ser.abort();
+  app.abort();
+  EXPECT_EQ(read_in_action(rt, obj), 0);
+}
+
+TEST(NestedStructures, GlueGroupInsideParentSurvivesItsAbort) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    AtomicAction app(rt);
+    app.begin();
+    GlueGroup glue(rt);
+    glue.begin();
+    glue.run_constituent([&](GlueGroup::Constituent& c) {
+      obj.set(5);
+      glue.pass_on(c, obj);
+    });
+    glue.run_constituent([&](GlueGroup::Constituent&) { obj.add(1); });
+    glue.end();
+    app.abort();
+  }
+  EXPECT_EQ(read_in_action(rt, obj), 6);
+}
+
+TEST(NestedStructures, IndependentInsideSerializingConstituent) {
+  // Composition: a constituent of a serializing action invokes a top-level
+  // independent action; all three layers keep their own fates.
+  Runtime rt;
+  RecoverableInt ser_obj(rt, 0);
+  RecoverableInt indep_obj(rt, 0);
+  SerializingAction ser(rt);
+  ser.begin();
+  EXPECT_THROW(ser.run_constituent([&]() -> void {
+                 ser_obj.set(1);
+                 IndependentAction::run(rt, [&] { indep_obj.set(2); });
+                 throw std::runtime_error("constituent fails after the post");
+               }),
+               std::runtime_error);
+  ser.abort();
+  // The constituent's own work was undone; the independent action's kept.
+  EXPECT_EQ(read_in_action(rt, ser_obj), 0);
+  EXPECT_EQ(read_in_action(rt, indep_obj), 2);
+}
+
+TEST(NestedStructures, SequentialSerializingActionsAreIndependent) {
+  // Two serializing actions over the same object, back to back.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  for (int round = 1; round <= 3; ++round) {
+    SerializingAction ser(rt);
+    ser.begin();
+    ser.run_constituent([&] { obj.add(1); });
+    ser.end();
+  }
+  EXPECT_EQ(read_in_action(rt, obj), 3);
+  EXPECT_EQ(rt.lock_manager().locked_object_count(), 0u);
+}
+
+// --- Independent actions (fig. 7) --------------------------------------------
+
+TEST(Independent, SyncCommitSurvivesInvokerAbort) {
+  Runtime rt;
+  RecoverableInt billing(rt, 0);
+  {
+    AtomicAction app(rt);
+    app.begin();
+    EXPECT_EQ(IndependentAction::run(rt, [&] { billing.add(10); }), Outcome::Committed);
+    EXPECT_TRUE(stable(rt, billing));
+    app.abort();
+  }
+  EXPECT_EQ(read_in_action(rt, billing), 10);
+}
+
+TEST(Independent, SyncAbortReportsAbortedAndUndoes) {
+  Runtime rt;
+  RecoverableInt obj(rt, 1);
+  AtomicAction app(rt);
+  app.begin();
+  EXPECT_EQ(IndependentAction::run(rt,
+                                   [&]() -> void {
+                                     obj.set(9);
+                                     throw std::runtime_error("boom");
+                                   }),
+            Outcome::Aborted);
+  app.commit();
+  EXPECT_EQ(read_in_action(rt, obj), 1);
+}
+
+TEST(Independent, InvokerContinuesAfterSyncOutcome) {
+  // Fig. 7a: subsequent activities of A can depend on B's outcome.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  const Outcome o = IndependentAction::run(rt, [&]() -> void {
+    throw std::runtime_error("server unavailable");
+  });
+  if (o == Outcome::Aborted) obj.set(-1);
+  app.commit();
+  EXPECT_EQ(read_in_action(rt, obj), -1);
+}
+
+TEST(Independent, AsyncRunsConcurrentlyWithInvoker) {
+  Runtime rt;
+  RecoverableInt board(rt, 0);
+  RecoverableInt main_obj(rt, 0);
+  AtomicAction app(rt);
+  app.begin();
+  auto async = IndependentAction::spawn(rt, [&] { board.add(1); });
+  main_obj.set(5);  // invoker carries on (fig. 7b)
+  EXPECT_EQ(async.join(), Outcome::Committed);
+  app.abort();
+  EXPECT_EQ(read_in_action(rt, board), 1);
+  EXPECT_EQ(read_in_action(rt, main_obj), 0);
+}
+
+TEST(Independent, NLevelViaUpTo) {
+  // E is independent up to A: survives B's abort, undone by A's abort.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    AtomicAction a(rt);
+    a.begin();
+    {
+      AtomicAction b(rt);
+      b.begin();
+      EXPECT_EQ(IndependentAction::run(rt, [&] { obj.set(3); }, Independence::up_to(a)),
+                Outcome::Committed);
+      b.abort();
+    }
+    // Not yet stable: rides on A.
+    EXPECT_FALSE(stable(rt, obj));
+    a.abort();
+  }
+  EXPECT_EQ(read_in_action(rt, obj), 0);
+}
+
+TEST(Independent, NLevelCommitsWithBoundary) {
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  {
+    AtomicAction a(rt);
+    a.begin();
+    {
+      AtomicAction b(rt);
+      b.begin();
+      IndependentAction::run(rt, [&] { obj.set(3); }, Independence::up_to(a));
+      b.abort();
+    }
+    a.commit();
+  }
+  EXPECT_EQ(read_in_action(rt, obj), 3);
+  EXPECT_TRUE(stable(rt, obj));
+}
+
+TEST(Independent, TopLevelFromNoAction) {
+  // Independent actions may also be invoked outside any action.
+  Runtime rt;
+  RecoverableInt obj(rt, 0);
+  EXPECT_EQ(IndependentAction::run(rt, [&] { obj.set(8); }), Outcome::Committed);
+  EXPECT_EQ(read_in_action(rt, obj), 8);
+}
+
+}  // namespace
+}  // namespace mca

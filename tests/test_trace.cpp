@@ -1,0 +1,146 @@
+// Tests for the event-trace module and its kernel/lock-manager hooks.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+TEST(EventTraceTest, DisabledByDefaultAndRecordsNothing) {
+  Runtime rt;
+  EXPECT_FALSE(rt.trace().enabled());
+  AtomicAction a(rt);
+  a.begin();
+  a.commit();
+  EXPECT_EQ(rt.trace().size(), 0u);
+}
+
+TEST(EventTraceTest, ActionLifecycleIsRecordedInOrder) {
+  Runtime rt;
+  rt.trace().enable();
+  AtomicAction a(rt);
+  a.begin();
+  a.commit();
+  const auto events = rt.trace().snapshot();
+  // begin, colour-released (plain), commit.
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_EQ(events.front().kind, TraceKind::ActionBegin);
+  EXPECT_EQ(events.front().action, a.uid());
+  EXPECT_EQ(events.back().kind, TraceKind::ActionCommit);
+  EXPECT_EQ(rt.trace().of_kind(TraceKind::ColourReleased).size(), 1u);
+}
+
+TEST(EventTraceTest, NestedCommitRecordsInheritance) {
+  Runtime rt;
+  rt.trace().enable();
+  RecoverableInt obj(rt, 0);
+  AtomicAction parent(rt);
+  parent.begin();
+  {
+    AtomicAction child(rt);
+    child.begin();
+    obj.set(1);
+    child.commit();
+  }
+  const auto inherited = rt.trace().of_kind(TraceKind::ColourInherited);
+  ASSERT_EQ(inherited.size(), 1u);
+  EXPECT_EQ(inherited.front().object, parent.uid());  // heir recorded as "object"
+  EXPECT_EQ(inherited.front().detail, "plain");
+  parent.abort();
+  EXPECT_EQ(rt.trace().of_kind(TraceKind::ActionAbort).size(), 1u);
+}
+
+TEST(EventTraceTest, LockEventsCarryModeAndColour) {
+  Runtime rt;
+  rt.trace().enable();
+  RecoverableInt obj(rt, 0);
+  AtomicAction a(rt);
+  a.begin();
+  obj.set(2);
+  a.commit();
+  const auto grants = rt.trace().of_kind(TraceKind::LockGranted);
+  ASSERT_GE(grants.size(), 1u);
+  EXPECT_EQ(grants.front().object, obj.uid());
+  EXPECT_EQ(grants.front().detail, "write/plain");
+}
+
+TEST(EventTraceTest, WaitAndDeadlockAreRecorded) {
+  Runtime rt;
+  rt.trace().enable();
+  RecoverableInt x(rt, 0);
+  RecoverableInt y(rt, 0);
+  AtomicAction a(rt, nullptr, {});
+  a.begin(AtomicAction::ContextPolicy::Detached);
+  AtomicAction b(rt, nullptr, {});
+  b.begin(AtomicAction::ContextPolicy::Detached);
+  ASSERT_EQ(a.lock_for(x, LockMode::Write), LockOutcome::Granted);
+  ASSERT_EQ(b.lock_for(y, LockMode::Write), LockOutcome::Granted);
+  std::jthread blocked([&] {
+    a.set_lock_timeout(std::chrono::milliseconds(2'000));
+    (void)a.lock_for(y, LockMode::Write);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  b.set_lock_timeout(std::chrono::milliseconds(2'000));
+  EXPECT_EQ(b.lock_for(x, LockMode::Write), LockOutcome::Deadlock);
+  b.abort();
+  blocked.join();
+  a.abort();
+  EXPECT_GE(rt.trace().of_kind(TraceKind::LockWait).size(), 1u);
+  EXPECT_EQ(rt.trace().of_kind(TraceKind::LockDeadlock).size(), 1u);
+}
+
+TEST(EventTraceTest, RefusalIsRecorded) {
+  Runtime rt;
+  rt.trace().enable();
+  RecoverableInt obj(rt, 0);
+  const Colour red = Colour::named("red");
+  const Colour blue = Colour::named("blue");
+  AtomicAction parent(rt, ColourSet{red});
+  parent.begin();
+  ASSERT_EQ(parent.lock_explicit(obj, LockMode::Write, red), LockOutcome::Granted);
+  AtomicAction child(rt, ColourSet{blue});
+  child.begin();
+  EXPECT_EQ(child.lock_explicit(obj, LockMode::Write, blue), LockOutcome::Refused);
+  child.abort();
+  parent.abort();
+  EXPECT_EQ(rt.trace().of_kind(TraceKind::LockRefused).size(), 1u);
+}
+
+TEST(EventTraceTest, CapacityIsBounded) {
+  EventTrace trace(64);
+  trace.enable();
+  for (int i = 0; i < 1'000; ++i) trace.record(TraceKind::ActionBegin, Uid());
+  EXPECT_LE(trace.size(), 64u);
+  // The newest events are retained.
+  const auto events = trace.snapshot();
+  EXPECT_FALSE(events.empty());
+}
+
+TEST(EventTraceTest, ClearEmpties) {
+  EventTrace trace;
+  trace.enable();
+  trace.record(TraceKind::ActionBegin, Uid());
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(EventTraceTest, ConcurrentRecordingIsSafe) {
+  EventTrace trace(10'000);
+  trace.enable();
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&trace] {
+        for (int i = 0; i < 500; ++i) trace.record(TraceKind::LockGranted, Uid());
+      });
+    }
+  }
+  EXPECT_EQ(trace.size(), 4'000u);
+}
+
+}  // namespace
+}  // namespace mca
