@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_2pc"
+  "../bench/bench_ablation_2pc.pdb"
+  "CMakeFiles/bench_ablation_2pc.dir/bench_ablation_2pc.cpp.o"
+  "CMakeFiles/bench_ablation_2pc.dir/bench_ablation_2pc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_colours"
+  "../bench/bench_ablation_colours.pdb"
+  "CMakeFiles/bench_ablation_colours.dir/bench_ablation_colours.cpp.o"
+  "CMakeFiles/bench_ablation_colours.dir/bench_ablation_colours.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

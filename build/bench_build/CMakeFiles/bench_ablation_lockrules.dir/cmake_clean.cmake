@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lockrules"
+  "../bench/bench_ablation_lockrules.pdb"
+  "CMakeFiles/bench_ablation_lockrules.dir/bench_ablation_lockrules.cpp.o"
+  "CMakeFiles/bench_ablation_lockrules.dir/bench_ablation_lockrules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lockrules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

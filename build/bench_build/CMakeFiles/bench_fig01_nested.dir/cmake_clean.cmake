@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_nested"
+  "../bench/bench_fig01_nested.pdb"
+  "CMakeFiles/bench_fig01_nested.dir/bench_fig01_nested.cpp.o"
+  "CMakeFiles/bench_fig01_nested.dir/bench_fig01_nested.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_independent"
+  "../bench/bench_fig07_independent.pdb"
+  "CMakeFiles/bench_fig07_independent.dir/bench_fig07_independent.cpp.o"
+  "CMakeFiles/bench_fig07_independent.dir/bench_fig07_independent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

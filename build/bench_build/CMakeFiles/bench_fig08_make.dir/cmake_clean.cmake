@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_make"
+  "../bench/bench_fig08_make.pdb"
+  "CMakeFiles/bench_fig08_make.dir/bench_fig08_make.cpp.o"
+  "CMakeFiles/bench_fig08_make.dir/bench_fig08_make.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

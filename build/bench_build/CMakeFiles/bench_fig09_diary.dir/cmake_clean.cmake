@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_diary"
+  "../bench/bench_fig09_diary.pdb"
+  "CMakeFiles/bench_fig09_diary.dir/bench_fig09_diary.cpp.o"
+  "CMakeFiles/bench_fig09_diary.dir/bench_fig09_diary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_diary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

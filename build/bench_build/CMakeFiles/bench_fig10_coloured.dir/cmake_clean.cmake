@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_coloured"
+  "../bench/bench_fig10_coloured.pdb"
+  "CMakeFiles/bench_fig10_coloured.dir/bench_fig10_coloured.cpp.o"
+  "CMakeFiles/bench_fig10_coloured.dir/bench_fig10_coloured.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_coloured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_impl_glued"
+  "../bench/bench_fig12_impl_glued.pdb"
+  "CMakeFiles/bench_fig12_impl_glued.dir/bench_fig12_impl_glued.cpp.o"
+  "CMakeFiles/bench_fig12_impl_glued.dir/bench_fig12_impl_glued.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_impl_glued.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

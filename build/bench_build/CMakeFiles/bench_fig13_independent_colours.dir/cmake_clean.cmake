@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_independent_colours"
+  "../bench/bench_fig13_independent_colours.pdb"
+  "CMakeFiles/bench_fig13_independent_colours.dir/bench_fig13_independent_colours.cpp.o"
+  "CMakeFiles/bench_fig13_independent_colours.dir/bench_fig13_independent_colours.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_independent_colours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

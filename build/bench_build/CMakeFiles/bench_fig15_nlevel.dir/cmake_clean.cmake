@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_nlevel"
+  "../bench/bench_fig15_nlevel.pdb"
+  "CMakeFiles/bench_fig15_nlevel.dir/bench_fig15_nlevel.cpp.o"
+  "CMakeFiles/bench_fig15_nlevel.dir/bench_fig15_nlevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colour_planner.dir/colour_planner.cpp.o"
+  "CMakeFiles/colour_planner.dir/colour_planner.cpp.o.d"
+  "colour_planner"
+  "colour_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colour_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

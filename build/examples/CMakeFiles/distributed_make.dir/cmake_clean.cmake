@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_make.dir/distributed_make.cpp.o"
+  "CMakeFiles/distributed_make.dir/distributed_make.cpp.o.d"
+  "distributed_make"
+  "distributed_make.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

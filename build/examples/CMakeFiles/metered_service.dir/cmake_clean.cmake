@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metered_service.dir/metered_service.cpp.o"
+  "CMakeFiles/metered_service.dir/metered_service.cpp.o.d"
+  "metered_service"
+  "metered_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metered_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_server.dir/name_server.cpp.o"
+  "CMakeFiles/name_server.dir/name_server.cpp.o.d"
+  "name_server"
+  "name_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

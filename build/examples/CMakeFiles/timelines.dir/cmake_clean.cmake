@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timelines.dir/timelines.cpp.o"
+  "CMakeFiles/timelines.dir/timelines.cpp.o.d"
+  "timelines"
+  "timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

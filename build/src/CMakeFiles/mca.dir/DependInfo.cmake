@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bboard/bulletin_board.cpp" "src/CMakeFiles/mca.dir/apps/bboard/bulletin_board.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/bboard/bulletin_board.cpp.o.d"
+  "/root/repo/src/apps/billing/billing.cpp" "src/CMakeFiles/mca.dir/apps/billing/billing.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/billing/billing.cpp.o.d"
+  "/root/repo/src/apps/diary/diary.cpp" "src/CMakeFiles/mca.dir/apps/diary/diary.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/diary/diary.cpp.o.d"
+  "/root/repo/src/apps/diary/scheduler.cpp" "src/CMakeFiles/mca.dir/apps/diary/scheduler.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/diary/scheduler.cpp.o.d"
+  "/root/repo/src/apps/make/file_object.cpp" "src/CMakeFiles/mca.dir/apps/make/file_object.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/make/file_object.cpp.o.d"
+  "/root/repo/src/apps/make/make_engine.cpp" "src/CMakeFiles/mca.dir/apps/make/make_engine.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/make/make_engine.cpp.o.d"
+  "/root/repo/src/apps/make/makefile_parser.cpp" "src/CMakeFiles/mca.dir/apps/make/makefile_parser.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/make/makefile_parser.cpp.o.d"
+  "/root/repo/src/apps/names/name_server.cpp" "src/CMakeFiles/mca.dir/apps/names/name_server.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/names/name_server.cpp.o.d"
+  "/root/repo/src/apps/pipeline/pipeline.cpp" "src/CMakeFiles/mca.dir/apps/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/mca.dir/apps/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/mca.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/mca.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/event_trace.cpp" "src/CMakeFiles/mca.dir/common/event_trace.cpp.o" "gcc" "src/CMakeFiles/mca.dir/common/event_trace.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/mca.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/mca.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/mca.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mca.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/uid.cpp" "src/CMakeFiles/mca.dir/common/uid.cpp.o" "gcc" "src/CMakeFiles/mca.dir/common/uid.cpp.o.d"
+  "/root/repo/src/core/action_context.cpp" "src/CMakeFiles/mca.dir/core/action_context.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/action_context.cpp.o.d"
+  "/root/repo/src/core/atomic_action.cpp" "src/CMakeFiles/mca.dir/core/atomic_action.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/atomic_action.cpp.o.d"
+  "/root/repo/src/core/colour.cpp" "src/CMakeFiles/mca.dir/core/colour.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/colour.cpp.o.d"
+  "/root/repo/src/core/structures/colour_plan.cpp" "src/CMakeFiles/mca.dir/core/structures/colour_plan.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/structures/colour_plan.cpp.o.d"
+  "/root/repo/src/core/structures/compensating_action.cpp" "src/CMakeFiles/mca.dir/core/structures/compensating_action.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/structures/compensating_action.cpp.o.d"
+  "/root/repo/src/core/structures/glued_action.cpp" "src/CMakeFiles/mca.dir/core/structures/glued_action.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/structures/glued_action.cpp.o.d"
+  "/root/repo/src/core/structures/independent_action.cpp" "src/CMakeFiles/mca.dir/core/structures/independent_action.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/structures/independent_action.cpp.o.d"
+  "/root/repo/src/core/structures/serializing_action.cpp" "src/CMakeFiles/mca.dir/core/structures/serializing_action.cpp.o" "gcc" "src/CMakeFiles/mca.dir/core/structures/serializing_action.cpp.o.d"
+  "/root/repo/src/dist/node.cpp" "src/CMakeFiles/mca.dir/dist/node.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/node.cpp.o.d"
+  "/root/repo/src/dist/remote.cpp" "src/CMakeFiles/mca.dir/dist/remote.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/remote.cpp.o.d"
+  "/root/repo/src/dist/remote_diary.cpp" "src/CMakeFiles/mca.dir/dist/remote_diary.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/remote_diary.cpp.o.d"
+  "/root/repo/src/dist/remote_files.cpp" "src/CMakeFiles/mca.dir/dist/remote_files.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/remote_files.cpp.o.d"
+  "/root/repo/src/dist/rpc.cpp" "src/CMakeFiles/mca.dir/dist/rpc.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/rpc.cpp.o.d"
+  "/root/repo/src/dist/tpc.cpp" "src/CMakeFiles/mca.dir/dist/tpc.cpp.o" "gcc" "src/CMakeFiles/mca.dir/dist/tpc.cpp.o.d"
+  "/root/repo/src/lock/deadlock_detector.cpp" "src/CMakeFiles/mca.dir/lock/deadlock_detector.cpp.o" "gcc" "src/CMakeFiles/mca.dir/lock/deadlock_detector.cpp.o.d"
+  "/root/repo/src/lock/lock.cpp" "src/CMakeFiles/mca.dir/lock/lock.cpp.o" "gcc" "src/CMakeFiles/mca.dir/lock/lock.cpp.o.d"
+  "/root/repo/src/lock/lock_manager.cpp" "src/CMakeFiles/mca.dir/lock/lock_manager.cpp.o" "gcc" "src/CMakeFiles/mca.dir/lock/lock_manager.cpp.o.d"
+  "/root/repo/src/objects/commutative_counter.cpp" "src/CMakeFiles/mca.dir/objects/commutative_counter.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/commutative_counter.cpp.o.d"
+  "/root/repo/src/objects/lock_managed.cpp" "src/CMakeFiles/mca.dir/objects/lock_managed.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/lock_managed.cpp.o.d"
+  "/root/repo/src/objects/recoverable_int.cpp" "src/CMakeFiles/mca.dir/objects/recoverable_int.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/recoverable_int.cpp.o.d"
+  "/root/repo/src/objects/recoverable_log.cpp" "src/CMakeFiles/mca.dir/objects/recoverable_log.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/recoverable_log.cpp.o.d"
+  "/root/repo/src/objects/recoverable_map.cpp" "src/CMakeFiles/mca.dir/objects/recoverable_map.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/recoverable_map.cpp.o.d"
+  "/root/repo/src/objects/recoverable_set.cpp" "src/CMakeFiles/mca.dir/objects/recoverable_set.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/recoverable_set.cpp.o.d"
+  "/root/repo/src/objects/recoverable_string.cpp" "src/CMakeFiles/mca.dir/objects/recoverable_string.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/recoverable_string.cpp.o.d"
+  "/root/repo/src/objects/state_manager.cpp" "src/CMakeFiles/mca.dir/objects/state_manager.cpp.o" "gcc" "src/CMakeFiles/mca.dir/objects/state_manager.cpp.o.d"
+  "/root/repo/src/replication/replica_group.cpp" "src/CMakeFiles/mca.dir/replication/replica_group.cpp.o" "gcc" "src/CMakeFiles/mca.dir/replication/replica_group.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/CMakeFiles/mca.dir/sim/fault_injector.cpp.o" "gcc" "src/CMakeFiles/mca.dir/sim/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/mca.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/mca.dir/sim/network.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "src/CMakeFiles/mca.dir/storage/file_store.cpp.o" "gcc" "src/CMakeFiles/mca.dir/storage/file_store.cpp.o.d"
+  "/root/repo/src/storage/memory_store.cpp" "src/CMakeFiles/mca.dir/storage/memory_store.cpp.o" "gcc" "src/CMakeFiles/mca.dir/storage/memory_store.cpp.o.d"
+  "/root/repo/src/storage/object_state.cpp" "src/CMakeFiles/mca.dir/storage/object_state.cpp.o" "gcc" "src/CMakeFiles/mca.dir/storage/object_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coloured.dir/test_coloured.cpp.o"
+  "CMakeFiles/test_coloured.dir/test_coloured.cpp.o.d"
+  "test_coloured"
+  "test_coloured.pdb"
+  "test_coloured[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coloured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

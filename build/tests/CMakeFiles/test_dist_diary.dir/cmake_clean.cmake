@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_diary.dir/test_dist_diary.cpp.o"
+  "CMakeFiles/test_dist_diary.dir/test_dist_diary.cpp.o.d"
+  "test_dist_diary"
+  "test_dist_diary.pdb"
+  "test_dist_diary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_diary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

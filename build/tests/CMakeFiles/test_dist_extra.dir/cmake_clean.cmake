@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_extra.dir/test_dist_extra.cpp.o"
+  "CMakeFiles/test_dist_extra.dir/test_dist_extra.cpp.o.d"
+  "test_dist_extra"
+  "test_dist_extra.pdb"
+  "test_dist_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

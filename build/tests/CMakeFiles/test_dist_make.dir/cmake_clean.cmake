@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_make.dir/test_dist_make.cpp.o"
+  "CMakeFiles/test_dist_make.dir/test_dist_make.cpp.o.d"
+  "test_dist_make"
+  "test_dist_make.pdb"
+  "test_dist_make[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_conversions.dir/test_lock_conversions.cpp.o"
+  "CMakeFiles/test_lock_conversions.dir/test_lock_conversions.cpp.o.d"
+  "test_lock_conversions"
+  "test_lock_conversions.pdb"
+  "test_lock_conversions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_conversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

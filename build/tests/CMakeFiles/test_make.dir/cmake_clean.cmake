@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_make.dir/test_make.cpp.o"
+  "CMakeFiles/test_make.dir/test_make.cpp.o.d"
+  "test_make"
+  "test_make.pdb"
+  "test_make[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_make.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

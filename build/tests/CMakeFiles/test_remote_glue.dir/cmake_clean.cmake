@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_glue.dir/test_remote_glue.cpp.o"
+  "CMakeFiles/test_remote_glue.dir/test_remote_glue.cpp.o.d"
+  "test_remote_glue"
+  "test_remote_glue.pdb"
+  "test_remote_glue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

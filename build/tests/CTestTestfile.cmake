@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_action[1]_include.cmake")
+include("/root/repo/build/tests/test_coloured[1]_include.cmake")
+include("/root/repo/build/tests/test_structures[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_dist[1]_include.cmake")
+include("/root/repo/build/tests/test_make[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_make[1]_include.cmake")
+include("/root/repo/build/tests/test_objects[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_lock_conversions[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_remote_glue[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_diary[1]_include.cmake")
