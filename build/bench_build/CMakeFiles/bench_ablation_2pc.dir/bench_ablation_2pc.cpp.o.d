@@ -236,9 +236,9 @@ bench_build/CMakeFiles/bench_ablation_2pc.dir/bench_ablation_2pc.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/lock/deadlock_detector.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/lock/ancestry.h /root/repo/src/lock/lock_mode.h \
  /root/repo/src/storage/memory_store.h \
  /root/repo/src/storage/object_store.h \
@@ -247,11 +247,13 @@ bench_build/CMakeFiles/bench_ablation_2pc.dir/bench_ablation_2pc.cpp.o: \
  /root/repo/src/objects/lock_managed.h \
  /root/repo/src/objects/state_manager.h /root/repo/src/dist/remote.h \
  /root/repo/src/dist/node.h /root/repo/src/dist/rpc.h \
- /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/sim/network.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
+ /root/repo/src/sim/network.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

@@ -238,9 +238,9 @@ src/CMakeFiles/mca.dir/dist/remote_files.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/span \
  /root/repo/src/common/uid.h /root/repo/src/core/runtime.h \
  /root/repo/src/common/event_trace.h /root/repo/src/lock/lock_manager.h \
- /root/repo/src/lock/deadlock_detector.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/lock/ancestry.h /root/repo/src/lock/lock_mode.h \
  /root/repo/src/storage/memory_store.h \
  /root/repo/src/storage/object_store.h \
@@ -249,11 +249,13 @@ src/CMakeFiles/mca.dir/dist/remote_files.cpp.o: \
  /root/repo/src/apps/make/makefile_parser.h \
  /root/repo/src/core/structures/serializing_action.h \
  /root/repo/src/dist/node.h /root/repo/src/dist/rpc.h \
- /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/sim/network.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
+ /root/repo/src/sim/network.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

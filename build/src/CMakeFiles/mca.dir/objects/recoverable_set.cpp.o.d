@@ -234,9 +234,9 @@ src/CMakeFiles/mca.dir/objects/recoverable_set.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/lock/deadlock_detector.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/lock/ancestry.h /root/repo/src/lock/lock_mode.h \
  /root/repo/src/storage/memory_store.h \
  /root/repo/src/storage/object_store.h \

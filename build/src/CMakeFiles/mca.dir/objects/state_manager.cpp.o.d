@@ -226,15 +226,15 @@ src/CMakeFiles/mca.dir/objects/state_manager.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/lock/deadlock_detector.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/core/colour.h /root/repo/src/lock/ancestry.h \
  /root/repo/src/lock/lock_mode.h /root/repo/src/storage/memory_store.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/storage/object_store.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/object_store.h \
  /root/repo/src/storage/object_state.h /root/repo/src/common/buffer.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef

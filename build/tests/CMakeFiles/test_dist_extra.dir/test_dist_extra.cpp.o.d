@@ -306,7 +306,9 @@ tests/CMakeFiles/test_dist_extra.dir/test_dist_extra.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/dist/remote.h /root/repo/src/dist/node.h \
  /root/repo/src/dist/rpc.h /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

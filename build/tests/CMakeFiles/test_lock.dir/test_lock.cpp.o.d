@@ -305,9 +305,9 @@ tests/CMakeFiles/test_lock.dir/test_lock.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/lock/lock_manager.h /usr/include/c++/12/chrono \
- /root/repo/src/common/event_trace.h /root/repo/src/common/uid.h \
- /root/repo/src/lock/deadlock_detector.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/common/event_trace.h /root/repo/src/common/uid.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/core/colour.h /root/repo/src/lock/ancestry.h \
  /root/repo/src/lock/lock_mode.h

@@ -312,9 +312,9 @@ tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/common/uid.h /root/repo/src/core/runtime.h \
  /root/repo/src/common/event_trace.h /root/repo/src/lock/lock_manager.h \
- /root/repo/src/lock/deadlock_detector.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/lock/lock.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/lock/deadlock_detector.h /root/repo/src/lock/lock.h \
  /root/repo/src/lock/ancestry.h /root/repo/src/lock/lock_mode.h \
  /root/repo/src/storage/memory_store.h \
  /root/repo/src/storage/object_store.h \

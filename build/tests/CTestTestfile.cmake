@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_storage[1]_include.cmake")
 include("/root/repo/build/tests/test_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_lock_stress[1]_include.cmake")
 include("/root/repo/build/tests/test_action[1]_include.cmake")
 include("/root/repo/build/tests/test_coloured[1]_include.cmake")
 include("/root/repo/build/tests/test_structures[1]_include.cmake")

@@ -206,13 +206,7 @@ void AtomicAction::note_modified(LockManaged& object) {
   // The undo record carries the colour of the write lock this action holds;
   // the grant rules guarantee an object carries write locks of one colour
   // only, so the lookup is unambiguous.
-  std::optional<Colour> write_colour;
-  for (const LockEntry& e : rt_.lock_manager().entries(object.uid())) {
-    if (e.owner == uid_ && e.mode == LockMode::Write) {
-      write_colour = e.colour;
-      break;
-    }
-  }
+  const std::optional<Colour> write_colour = rt_.lock_manager().write_colour(uid_, object.uid());
   if (!write_colour) {
     throw std::logic_error("modified() called without a write lock on object " +
                            object.uid().to_string());

@@ -30,10 +30,13 @@ struct ActionStats {
 class Runtime {
  public:
   // Uses an internal stable MemoryStore as the default object store.
-  Runtime();
+  // `lock_stripes` sizes the lock manager's shard array (1 = the old
+  // global-mutex behaviour, useful as a benchmark baseline).
+  explicit Runtime(std::size_t lock_stripes = LockManager::kDefaultStripes);
 
   // Uses `store` (not owned) as the default object store.
-  explicit Runtime(ObjectStore& store);
+  explicit Runtime(ObjectStore& store,
+                   std::size_t lock_stripes = LockManager::kDefaultStripes);
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -68,14 +71,15 @@ class Runtime {
   std::atomic<std::uint64_t> prepare_failures_{0};
 };
 
-inline Runtime::Runtime()
-    : lock_manager_(ancestry_),
+inline Runtime::Runtime(std::size_t lock_stripes)
+    : lock_manager_(ancestry_, lock_stripes),
       owned_store_(std::make_unique<MemoryStore>(StorageClass::Stable)),
       store_(owned_store_.get()) {
   lock_manager_.set_trace(&trace_);
 }
 
-inline Runtime::Runtime(ObjectStore& store) : lock_manager_(ancestry_), store_(&store) {
+inline Runtime::Runtime(ObjectStore& store, std::size_t lock_stripes)
+    : lock_manager_(ancestry_, lock_stripes), store_(&store) {
   lock_manager_.set_trace(&trace_);
 }
 

@@ -4,8 +4,9 @@
 
 namespace mca {
 
-RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers)
-    : network_(network), id_(id), pool_(workers) {
+RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
+                         std::size_t reply_cache_capacity)
+    : network_(network), id_(id), reply_cache_capacity_(reply_cache_capacity), pool_(workers) {
   network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
 }
 
@@ -57,6 +58,7 @@ void RpcEndpoint::crash() {
     const std::scoped_lock lock(mutex_);
     ++epoch_;
     reply_cache_.clear();
+    reply_lru_.clear();
     in_progress_.clear();
     for (auto& [request_id, call] : calls_) abandoned.push_back(call);
     calls_.clear();
@@ -72,6 +74,27 @@ void RpcEndpoint::crash() {
 void RpcEndpoint::restart() {
   up_.store(true);
   network_.set_up(id_, true);
+}
+
+void RpcEndpoint::stop_workers() { pool_.shutdown(); }
+
+std::size_t RpcEndpoint::reply_cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return reply_cache_.size();
+}
+
+std::size_t RpcEndpoint::in_progress_count() const {
+  const std::scoped_lock lock(mutex_);
+  return in_progress_.size();
+}
+
+void RpcEndpoint::cache_reply_locked(const Uid& request_id, Datagram reply) {
+  reply_lru_.push_front(request_id);
+  reply_cache_[request_id] = CachedReply{std::move(reply), reply_lru_.begin()};
+  while (reply_cache_.size() > reply_cache_capacity_) {
+    reply_cache_.erase(reply_lru_.back());
+    reply_lru_.pop_back();
+  }
 }
 
 void RpcEndpoint::on_datagram(Datagram d) {
@@ -101,20 +124,24 @@ void RpcEndpoint::on_datagram(Datagram d) {
   }
 
   // Request path: at-most-once via the reply cache.
+  const Uid request_id = d.request_id;  // `d` is moved below; keep the id
   {
     const std::scoped_lock lock(mutex_);
-    if (auto it = reply_cache_.find(d.request_id); it != reply_cache_.end()) {
-      network_.send(it->second);  // duplicate of a finished request
+    if (auto it = reply_cache_.find(request_id); it != reply_cache_.end()) {
+      // Duplicate of a finished request: answer from the cache and mark the
+      // entry most-recently-used so hot retransmits are not evicted.
+      reply_lru_.splice(reply_lru_.begin(), reply_lru_, it->second.lru_position);
+      network_.send(it->second.reply);
       return;
     }
-    if (!in_progress_.insert(d.request_id).second) {
+    if (!in_progress_.insert(request_id).second) {
       return;  // still executing; client will retry
     }
   }
   // Execute off the delivery thread: services may block on locks.
   if (!pool_.submit([this, d = std::move(d)]() mutable { serve(std::move(d)); })) {
     const std::scoped_lock lock(mutex_);
-    in_progress_.erase(d.request_id);
+    in_progress_.erase(request_id);
   }
 }
 
@@ -153,7 +180,7 @@ void RpcEndpoint::serve(Datagram d) {
       // the orphan's effects are dealt with by recovery.
       return;
     }
-    reply_cache_[d.request_id] = reply;
+    cache_reply_locked(d.request_id, reply);
   }
   network_.send(std::move(reply));
 }

@@ -9,13 +9,20 @@
 // (the client keeps retrying).
 //
 // The reply cache is volatile: a node crash clears it, exactly like a real
-// rebooted server. Orphaned executions at a crashed server are abandoned;
-// the commit protocol (dist/tpc) makes their effects recoverable.
+// rebooted server. It is also bounded: entries are evicted in LRU order past
+// a configurable capacity, so a long-lived server does not hold every reply
+// it ever sent. At-most-once therefore covers *recent* retransmits — a
+// duplicate arriving after its reply was evicted re-executes, which the
+// retry windows make vanishingly rare and which idempotent recovery
+// tolerates (the same trade every bounded-duplicate-cache RPC system makes).
+// Orphaned executions at a crashed server are abandoned; the commit
+// protocol (dist/tpc) makes their effects recoverable.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <list>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -46,7 +53,10 @@ class RpcEndpoint {
   // with the exception's what() as diagnostic.
   using Service = std::function<ByteBuffer(ByteBuffer&)>;
 
-  RpcEndpoint(Network& network, NodeId id, std::size_t workers = 8);
+  static constexpr std::size_t kDefaultReplyCacheCapacity = 1024;
+
+  RpcEndpoint(Network& network, NodeId id, std::size_t workers = 8,
+              std::size_t reply_cache_capacity = kDefaultReplyCacheCapacity);
   ~RpcEndpoint();
 
   RpcEndpoint(const RpcEndpoint&) = delete;
@@ -66,6 +76,16 @@ class RpcEndpoint {
   void restart();
   [[nodiscard]] bool up() const { return up_.load(); }
 
+  // Stops the worker pool without detaching from the network: subsequent
+  // requests hit the submit-failure path. Simulates executor exhaustion;
+  // used by robustness tests.
+  void stop_workers();
+
+  // -- introspection (tests and health checks) -------------------------------
+
+  [[nodiscard]] std::size_t reply_cache_size() const;
+  [[nodiscard]] std::size_t in_progress_count() const;
+
  private:
   void on_datagram(Datagram d);
   void serve(Datagram d);
@@ -81,10 +101,21 @@ class RpcEndpoint {
   NodeId id_;
   std::atomic<bool> up_{true};
 
-  std::mutex mutex_;
+  // Inserts `reply` into the reply cache as most-recent, evicting LRU
+  // entries past capacity. Caller holds mutex_.
+  void cache_reply_locked(const Uid& request_id, Datagram reply);
+
+  struct CachedReply {
+    Datagram reply;
+    std::list<Uid>::iterator lru_position;
+  };
+
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, Service> services_;
   std::unordered_map<Uid, std::shared_ptr<PendingCall>> calls_;
-  std::unordered_map<Uid, Datagram> reply_cache_;
+  std::unordered_map<Uid, CachedReply> reply_cache_;
+  std::list<Uid> reply_lru_;  // front = most recently used
+  std::size_t reply_cache_capacity_;
   std::unordered_set<Uid> in_progress_;
   std::uint64_t epoch_ = 0;  // bumped by crash(): stale executions are muted
 

@@ -14,6 +14,11 @@ void DeadlockDetector::clear_waits_for(const Uid& waiter) {
   edges_.erase(waiter);
 }
 
+void DeadlockDetector::clear() {
+  const std::scoped_lock lock(mutex_);
+  edges_.clear();
+}
+
 bool DeadlockDetector::on_cycle(const Uid& waiter) const {
   const std::scoped_lock lock(mutex_);
   // Iterative DFS from `waiter`, looking for a path back to it.

@@ -24,6 +24,9 @@ class DeadlockDetector {
   // Removes `waiter`'s out-edges (granted, refused, or timed out).
   void clear_waits_for(const Uid& waiter);
 
+  // Drops the whole graph (crash simulation alongside LockManager::clear).
+  void clear();
+
   // True when `waiter` can reach itself through the wait-for graph.
   [[nodiscard]] bool on_cycle(const Uid& waiter) const;
 

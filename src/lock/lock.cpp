@@ -82,7 +82,7 @@ std::size_t LockRecord::drop_owner(const ActionUid& owner) {
   return before - entries_.size();
 }
 
-void LockRecord::inherit(const ActionUid& owner, Colour colour, const ActionUid& heir) {
+std::size_t LockRecord::inherit(const ActionUid& owner, Colour colour, const ActionUid& heir) {
   // Collect the entries being passed up, then merge them into the heir's.
   std::vector<LockEntry> moving;
   std::erase_if(entries_, [&](const LockEntry& e) {
@@ -103,15 +103,16 @@ void LockRecord::inherit(const ActionUid& owner, Colour colour, const ActionUid&
     }
     if (!merged) entries_.push_back(LockEntry{heir, m.mode, m.colour, m.count});
   }
+  return moving.size();
 }
 
-void LockRecord::release_colour(const ActionUid& owner, Colour colour) {
-  std::erase_if(entries_,
-                [&](const LockEntry& e) { return e.owner == owner && e.colour == colour; });
+std::size_t LockRecord::release_colour(const ActionUid& owner, Colour colour) {
+  return std::erase_if(
+      entries_, [&](const LockEntry& e) { return e.owner == owner && e.colour == colour; });
 }
 
-void LockRecord::release_entries(const ActionUid& owner, Colour colour, LockMode mode) {
-  std::erase_if(entries_, [&](const LockEntry& e) {
+std::size_t LockRecord::release_entries(const ActionUid& owner, Colour colour, LockMode mode) {
+  return std::erase_if(entries_, [&](const LockEntry& e) {
     return e.owner == owner && e.colour == colour && e.mode == mode;
   });
 }
@@ -136,6 +137,13 @@ bool LockRecord::holds(const ActionUid& owner, LockMode mode, Colour colour) con
 bool LockRecord::holds_any(const ActionUid& owner) const {
   return std::any_of(entries_.begin(), entries_.end(),
                      [&](const LockEntry& e) { return e.owner == owner; });
+}
+
+std::optional<Colour> LockRecord::write_colour(const ActionUid& owner) const {
+  for (const LockEntry& e : entries_) {
+    if (e.owner == owner && e.mode == LockMode::Write) return e.colour;
+  }
+  return std::nullopt;
 }
 
 }  // namespace mca

@@ -14,6 +14,7 @@
 // a dedicated classical evaluator is kept for cross-validation in tests.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/colour.h"
@@ -64,15 +65,21 @@ class LockRecord {
 
   // Moves every entry of `owner` with colour `colour` to `heir`, merging
   // with the heir's identical entries (commit-time inheritance, §5.2).
-  void inherit(const ActionUid& owner, Colour colour, const ActionUid& heir);
+  // Returns the number of entries moved.
+  std::size_t inherit(const ActionUid& owner, Colour colour, const ActionUid& heir);
 
   // Removes every entry of `owner` with colour `colour` (outermost-in-colour
   // commit: the updates become permanent and the locks are released).
-  void release_colour(const ActionUid& owner, Colour colour);
+  // Returns the number of entries removed.
+  std::size_t release_colour(const ActionUid& owner, Colour colour);
 
   // Removes `owner`'s entries of colour `colour` on behalf of structure
   // actions that relinquish transfer locks early (glued-action unglue).
-  void release_entries(const ActionUid& owner, Colour colour, LockMode mode);
+  // Returns the number of entries removed.
+  std::size_t release_entries(const ActionUid& owner, Colour colour, LockMode mode);
+
+  // Drops every entry (crash simulation).
+  void clear() { entries_.clear(); }
 
   // Owners whose locks currently block the given request (for the wait-for
   // graph).
@@ -83,6 +90,10 @@ class LockRecord {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] bool holds(const ActionUid& owner, LockMode mode, Colour colour) const;
   [[nodiscard]] bool holds_any(const ActionUid& owner) const;
+
+  // The colour of `owner`'s WRITE entry, if it holds one. The grant rules
+  // keep all WRITE locks on one object the same colour, so this is unique.
+  [[nodiscard]] std::optional<Colour> write_colour(const ActionUid& owner) const;
 
  private:
   std::vector<LockEntry> entries_;

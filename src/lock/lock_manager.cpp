@@ -30,27 +30,79 @@ std::vector<ActionUid> PathAncestry::path_of(const ActionUid& action) const {
   return it == paths_.end() ? std::vector<ActionUid>{} : it->second;
 }
 
+LockManager::LockManager(const Ancestry& ancestry, std::size_t stripes) : ancestry_(ancestry) {
+  const std::size_t n = std::max<std::size_t>(1, stripes);
+  stripes_.reserve(n);
+  owner_shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    owner_shards_.push_back(std::make_unique<OwnerShard>());
+  }
+}
+
+void LockManager::reap_slot(Stripe& stripe, const Uid& object) {
+  auto it = stripe.slots.find(object);
+  if (it != stripe.slots.end() && it->second.record.empty() && it->second.waiters == 0) {
+    stripe.slots.erase(it);
+  }
+}
+
+std::vector<Uid> LockManager::held_objects(const ActionUid& owner) {
+  OwnerShard& shard = owner_shard_for(owner);
+  const std::scoped_lock lock(shard.mutex);
+  auto it = shard.held.find(owner);
+  if (it == shard.held.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void LockManager::unindex(const ActionUid& owner, const std::vector<Uid>& objects) {
+  if (objects.empty()) return;
+  OwnerShard& shard = owner_shard_for(owner);
+  const std::scoped_lock lock(shard.mutex);
+  auto it = shard.held.find(owner);
+  if (it == shard.held.end()) return;
+  for (const Uid& object : objects) it->second.erase(object);
+  if (it->second.empty()) shard.held.erase(it);
+}
+
 LockOutcome LockManager::acquire(const ActionUid& requester, const Uid& object, LockMode mode,
                                  Colour colour, std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock lock(mutex_);
+  Stripe& stripe = stripe_for(object);
+  std::unique_lock lock(stripe.mutex);
+  // The slot reference stays valid for the whole call: erasure requires the
+  // stripe mutex (held except inside waits) and `waiters == 0` (we pin the
+  // slot around every wait).
+  Slot& slot = stripe.slots[object];
   bool waited = false;
   const auto wait_started = std::chrono::steady_clock::now();
 
+  // Wait time is charged on *every* exit path, not just grants: a timed-out
+  // or deadlocked request spent real time blocked and the stats must say so.
+  const auto charge_wait = [&] {
+    if (!waited) return;
+    stripe.stats.total_wait_micros += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                              wait_started)
+            .count());
+  };
+
   for (;;) {
-    LockRecord& record = records_[object];
-    switch (record.evaluate(requester, mode, colour, ancestry_)) {
+    switch (slot.record.evaluate(requester, mode, colour, ancestry_)) {
       case GrantVerdict::Granted: {
-        record.add(requester, mode, colour);
-        ++stats_.grants;
+        slot.record.add(requester, mode, colour);
+        ++stripe.stats.grants;
         if (!waited) {
-          ++stats_.immediate_grants;
+          ++stripe.stats.immediate_grants;
         } else {
           detector_.clear_waits_for(requester);
-          stats_.total_wait_micros += static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  std::chrono::steady_clock::now() - wait_started)
-                  .count());
+        }
+        charge_wait();
+        lock.unlock();
+        {
+          OwnerShard& shard = owner_shard_for(requester);
+          const std::scoped_lock shard_lock(shard.mutex);
+          shard.held[requester].insert(object);
         }
         MCA_LOG(Trace, "lock") << "granted " << to_string(mode) << '/' << colour.name() << " on "
                                << object << " to " << requester;
@@ -60,7 +112,9 @@ LockOutcome LockManager::acquire(const ActionUid& requester, const Uid& object, 
       }
       case GrantVerdict::Unresolvable: {
         if (waited) detector_.clear_waits_for(requester);
-        ++stats_.refusals;
+        charge_wait();
+        ++stripe.stats.refusals;
+        reap_slot(stripe, object);
         MCA_LOG(Debug, "lock") << "refused " << to_string(mode) << '/' << colour.name() << " on "
                                << object << " to " << requester
                                << " (ancestor holds differently-coloured write)";
@@ -72,10 +126,12 @@ LockOutcome LockManager::acquire(const ActionUid& requester, const Uid& object, 
         break;
     }
 
-    detector_.set_waits_for(requester, record.blockers(requester, mode, colour, ancestry_));
+    detector_.set_waits_for(requester, slot.record.blockers(requester, mode, colour, ancestry_));
     if (detector_.on_cycle(requester)) {
       detector_.clear_waits_for(requester);
-      ++stats_.deadlocks;
+      charge_wait();
+      ++stripe.stats.deadlocks;
+      reap_slot(stripe, object);
       MCA_LOG(Debug, "lock") << "deadlock: " << requester << " requesting " << to_string(mode)
                              << " on " << object;
       trace_event(TraceKind::LockDeadlock, requester, object, std::string(to_string(mode)));
@@ -83,98 +139,191 @@ LockOutcome LockManager::acquire(const ActionUid& requester, const Uid& object, 
     }
     if (!waited) {
       waited = true;
-      ++stats_.waits;
+      ++stripe.stats.waits;
       trace_event(TraceKind::LockWait, requester, object,
                   std::string(to_string(mode)) + "/" + colour.name());
     }
-    if (changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    ++slot.waiters;
+    const bool timed_out = slot.waiter_cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    --slot.waiters;
+    if (timed_out) {
       detector_.clear_waits_for(requester);
-      ++stats_.timeouts;
+      charge_wait();
+      ++stripe.stats.timeouts;
+      reap_slot(stripe, object);
       return LockOutcome::Timeout;
     }
   }
 }
 
 void LockManager::on_commit_inherit(const ActionUid& owner, Colour colour, const ActionUid& heir) {
-  {
-    const std::scoped_lock lock(mutex_);
-    for (auto it = records_.begin(); it != records_.end();) {
-      it->second.inherit(owner, colour, heir);
-      it = it->second.empty() ? records_.erase(it) : std::next(it);
+  if (heir == owner) return;  // moving locks to oneself is a no-op
+  std::vector<Uid> gained;    // objects the heir now holds entries on
+  std::vector<Uid> lost;      // objects the owner no longer holds entries on
+  for (const Uid& object : held_objects(owner)) {
+    Stripe& stripe = stripe_for(object);
+    const std::scoped_lock lock(stripe.mutex);
+    auto it = stripe.slots.find(object);
+    if (it == stripe.slots.end()) {  // e.g. a crash clear()ed the records
+      lost.push_back(object);
+      continue;
     }
+    Slot& slot = it->second;
+    if (slot.record.inherit(owner, colour, heir) > 0) {
+      gained.push_back(object);
+      if (slot.waiters > 0) slot.waiter_cv.notify_all();
+    }
+    if (!slot.record.holds_any(owner)) lost.push_back(object);
   }
-  changed_.notify_all();
+  if (!gained.empty()) {
+    OwnerShard& shard = owner_shard_for(heir);
+    const std::scoped_lock lock(shard.mutex);
+    shard.held[heir].insert(gained.begin(), gained.end());
+  }
+  unindex(owner, lost);
 }
 
 void LockManager::on_commit_release(const ActionUid& owner, Colour colour) {
-  {
-    const std::scoped_lock lock(mutex_);
-    for (auto it = records_.begin(); it != records_.end();) {
-      it->second.release_colour(owner, colour);
-      it = it->second.empty() ? records_.erase(it) : std::next(it);
+  std::vector<Uid> lost;
+  for (const Uid& object : held_objects(owner)) {
+    Stripe& stripe = stripe_for(object);
+    const std::scoped_lock lock(stripe.mutex);
+    auto it = stripe.slots.find(object);
+    if (it == stripe.slots.end()) {
+      lost.push_back(object);
+      continue;
     }
+    Slot& slot = it->second;
+    if (slot.record.release_colour(owner, colour) > 0 && slot.waiters > 0) {
+      slot.waiter_cv.notify_all();
+    }
+    if (!slot.record.holds_any(owner)) lost.push_back(object);
+    reap_slot(stripe, object);
   }
-  changed_.notify_all();
+  unindex(owner, lost);
 }
 
 void LockManager::on_abort(const ActionUid& owner) {
-  {
-    const std::scoped_lock lock(mutex_);
-    for (auto it = records_.begin(); it != records_.end();) {
-      it->second.drop_owner(owner);
-      it = it->second.empty() ? records_.erase(it) : std::next(it);
+  for (const Uid& object : held_objects(owner)) {
+    Stripe& stripe = stripe_for(object);
+    const std::scoped_lock lock(stripe.mutex);
+    auto it = stripe.slots.find(object);
+    if (it == stripe.slots.end()) continue;
+    Slot& slot = it->second;
+    if (slot.record.drop_owner(owner) > 0 && slot.waiters > 0) {
+      slot.waiter_cv.notify_all();
     }
-    detector_.clear_waits_for(owner);
+    reap_slot(stripe, object);
   }
-  changed_.notify_all();
+  {
+    OwnerShard& shard = owner_shard_for(owner);
+    const std::scoped_lock lock(shard.mutex);
+    shard.held.erase(owner);
+  }
+  detector_.clear_waits_for(owner);
 }
 
 void LockManager::release_early(const ActionUid& owner, const Uid& object, Colour colour,
                                 LockMode mode) {
+  bool still_held = true;
   {
-    const std::scoped_lock lock(mutex_);
-    auto it = records_.find(object);
-    if (it == records_.end()) return;
-    it->second.release_entries(owner, colour, mode);
-    if (it->second.empty()) records_.erase(it);
+    Stripe& stripe = stripe_for(object);
+    const std::scoped_lock lock(stripe.mutex);
+    auto it = stripe.slots.find(object);
+    if (it == stripe.slots.end()) return;
+    Slot& slot = it->second;
+    if (slot.record.release_entries(owner, colour, mode) > 0 && slot.waiters > 0) {
+      slot.waiter_cv.notify_all();
+    }
+    still_held = slot.record.holds_any(owner);
+    reap_slot(stripe, object);
   }
-  changed_.notify_all();
+  if (!still_held) unindex(owner, {object});
 }
 
 void LockManager::clear() {
-  {
-    const std::scoped_lock lock(mutex_);
-    records_.clear();
+  // Wipe the owner index BEFORE the records. A waiter woken by the record
+  // pass below can be granted and index itself while clear() is still
+  // running; wiping shards last would destroy that fresh index entry and
+  // leak the grant at commit/abort. In this order a racing grant either
+  // keeps both its record and its index entry (granted "after" the crash)
+  // or loses the record and leaves a stale index entry, which the commit
+  // paths tolerate by skipping missing slots.
+  for (auto& shard_ptr : owner_shards_) {
+    const std::scoped_lock lock(shard_ptr->mutex);
+    shard_ptr->held.clear();
   }
-  changed_.notify_all();
+  for (auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    const std::scoped_lock lock(stripe.mutex);
+    for (auto it = stripe.slots.begin(); it != stripe.slots.end();) {
+      Slot& slot = it->second;
+      slot.record.clear();
+      if (slot.waiters > 0) {
+        slot.waiter_cv.notify_all();
+        ++it;
+      } else {
+        it = stripe.slots.erase(it);
+      }
+    }
+  }
+  detector_.clear();
 }
 
 std::vector<LockEntry> LockManager::entries(const Uid& object) const {
-  const std::scoped_lock lock(mutex_);
-  auto it = records_.find(object);
-  return it == records_.end() ? std::vector<LockEntry>{} : it->second.entries();
+  const Stripe& stripe = stripe_for(object);
+  const std::scoped_lock lock(stripe.mutex);
+  auto it = stripe.slots.find(object);
+  return it == stripe.slots.end() ? std::vector<LockEntry>{} : it->second.record.entries();
 }
 
 bool LockManager::holds(const ActionUid& owner, const Uid& object, LockMode mode,
                         Colour colour) const {
-  const std::scoped_lock lock(mutex_);
-  auto it = records_.find(object);
-  return it != records_.end() && it->second.holds(owner, mode, colour);
+  const Stripe& stripe = stripe_for(object);
+  const std::scoped_lock lock(stripe.mutex);
+  auto it = stripe.slots.find(object);
+  return it != stripe.slots.end() && it->second.record.holds(owner, mode, colour);
+}
+
+std::optional<Colour> LockManager::write_colour(const ActionUid& owner, const Uid& object) const {
+  const Stripe& stripe = stripe_for(object);
+  const std::scoped_lock lock(stripe.mutex);
+  auto it = stripe.slots.find(object);
+  return it == stripe.slots.end() ? std::nullopt : it->second.record.write_colour(owner);
 }
 
 std::size_t LockManager::locked_object_count() const {
-  const std::scoped_lock lock(mutex_);
-  return records_.size();
+  std::size_t n = 0;
+  for (const auto& stripe_ptr : stripes_) {
+    const std::scoped_lock lock(stripe_ptr->mutex);
+    for (const auto& [object, slot] : stripe_ptr->slots) {
+      if (!slot.record.empty()) ++n;
+    }
+  }
+  return n;
 }
 
 LockManager::Stats LockManager::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  Stats total;
+  for (const auto& stripe_ptr : stripes_) {
+    const std::scoped_lock lock(stripe_ptr->mutex);
+    const Stats& s = stripe_ptr->stats;
+    total.grants += s.grants;
+    total.immediate_grants += s.immediate_grants;
+    total.waits += s.waits;
+    total.deadlocks += s.deadlocks;
+    total.refusals += s.refusals;
+    total.timeouts += s.timeouts;
+    total.total_wait_micros += s.total_wait_micros;
+  }
+  return total;
 }
 
 void LockManager::reset_stats() {
-  const std::scoped_lock lock(mutex_);
-  stats_ = Stats{};
+  for (auto& stripe_ptr : stripes_) {
+    const std::scoped_lock lock(stripe_ptr->mutex);
+    stripe_ptr->stats = Stats{};
+  }
 }
 
 }  // namespace mca

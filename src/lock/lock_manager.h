@@ -6,6 +6,21 @@
 // wait-for-graph deadlock detection and a timeout backstop. Commit-time lock
 // inheritance and release are driven by the action kernel, per colour.
 //
+// Internally the manager is sharded: object Uids hash onto N stripes, each
+// with its own mutex, record map and stats, so lock traffic on unrelated
+// objects never contends. Every record carries its own condition variable,
+// so a release wakes only the waiters of that object — not every blocked
+// action on the node. Commit/abort processing consults an owner index
+// (owner → held object Uids, sharded by owner) instead of scanning all
+// records, so it touches only the committing action's objects. The index
+// relies on the kernel invariant that one action's acquire and its own
+// commit/abort never run concurrently (the kernel sequences them; a grant
+// that races termination is returned by release_early on the acquiring
+// thread). The DeadlockDetector keeps its own mutex and sees the union of
+// all stripes' wait-for edges. At most one manager mutex is held at a time,
+// except the stripe → detector pair inside acquire — there is no other
+// nesting, so no lock-order cycles.
+//
 // A single manager instance serves one node; in the distributed layer each
 // simulated node owns one, and remote callers appear through ancestry paths
 // registered by the RPC server.
@@ -13,8 +28,11 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/event_trace.h"
 #include "lock/deadlock_detector.h"
@@ -54,8 +72,9 @@ class LockManager {
   };
 
   static constexpr std::chrono::milliseconds kDefaultTimeout{10'000};
+  static constexpr std::size_t kDefaultStripes = 16;
 
-  explicit LockManager(const Ancestry& ancestry) : ancestry_(ancestry) {}
+  explicit LockManager(const Ancestry& ancestry, std::size_t stripes = kDefaultStripes);
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -89,7 +108,12 @@ class LockManager {
   [[nodiscard]] std::vector<LockEntry> entries(const Uid& object) const;
   [[nodiscard]] bool holds(const ActionUid& owner, const Uid& object, LockMode mode,
                            Colour colour) const;
+  // The colour of `owner`'s WRITE lock on `object`, if any (cheaper than
+  // copying entries() just to find it).
+  [[nodiscard]] std::optional<Colour> write_colour(const ActionUid& owner,
+                                                   const Uid& object) const;
   [[nodiscard]] std::size_t locked_object_count() const;
+  [[nodiscard]] std::size_t stripe_count() const { return stripes_.size(); }
   [[nodiscard]] Stats stats() const;
   void reset_stats();
 
@@ -97,6 +121,49 @@ class LockManager {
   void set_trace(EventTrace* trace) { trace_ = trace; }
 
  private:
+  // One lock record plus its wait queue. The condition variable belongs to
+  // the record so releases wake only this object's waiters; the slot stays
+  // in the map while `waiters > 0` even if the record empties, so a blocked
+  // acquire never sleeps on a destroyed condition variable.
+  struct Slot {
+    LockRecord record;
+    std::condition_variable waiter_cv;
+    std::size_t waiters = 0;
+  };
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<Uid, Slot> slots;
+    Stats stats;
+  };
+
+  // One shard of the owner index: owner → objects on which the owner holds
+  // ≥1 entry (in any stripe). Sharded by owner Uid so commits by unrelated
+  // actions do not contend.
+  struct OwnerShard {
+    mutable std::mutex mutex;
+    std::unordered_map<ActionUid, std::unordered_set<Uid>> held;
+  };
+
+  [[nodiscard]] Stripe& stripe_for(const Uid& object) {
+    return *stripes_[std::hash<Uid>{}(object) % stripes_.size()];
+  }
+  [[nodiscard]] const Stripe& stripe_for(const Uid& object) const {
+    return *stripes_[std::hash<Uid>{}(object) % stripes_.size()];
+  }
+  [[nodiscard]] OwnerShard& owner_shard_for(const ActionUid& owner) {
+    return *owner_shards_[std::hash<Uid>{}(owner) % owner_shards_.size()];
+  }
+
+  // The owner's held-object set, copied out under the shard mutex.
+  [[nodiscard]] std::vector<Uid> held_objects(const ActionUid& owner);
+  // Removes `objects` from the owner's set (erasing the owner when empty).
+  void unindex(const ActionUid& owner, const std::vector<Uid>& objects);
+
+  // Erases `object`'s slot when it holds neither entries nor waiters.
+  // Call with the stripe mutex held.
+  static void reap_slot(Stripe& stripe, const Uid& object);
+
   void trace_event(TraceKind kind, const ActionUid& action, const Uid& object,
                    std::string detail) {
     if (trace_ != nullptr) trace_->record(kind, action, object, std::move(detail));
@@ -104,11 +171,9 @@ class LockManager {
 
   EventTrace* trace_ = nullptr;
   const Ancestry& ancestry_;
-  mutable std::mutex mutex_;
-  std::condition_variable changed_;
-  std::unordered_map<Uid, LockRecord> records_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::vector<std::unique_ptr<OwnerShard>> owner_shards_;
   DeadlockDetector detector_;
-  Stats stats_;
 };
 
 }  // namespace mca

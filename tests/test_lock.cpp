@@ -213,6 +213,36 @@ TEST_F(LockManagerTest, ConflictTimesOut) {
   EXPECT_EQ(lm_.stats().timeouts, 1u);
 }
 
+TEST_F(LockManagerTest, TimedOutWaitIsChargedToWaitStats) {
+  // Regression: total_wait_micros used to be accumulated only on the
+  // Granted path, so timed-out (and deadlocked) requests reported zero wait
+  // time no matter how long they actually blocked.
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  EXPECT_EQ(lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain(),
+                        std::chrono::milliseconds(60)),
+            LockOutcome::Timeout);
+  const auto stats = lm_.stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.waits, 1u);
+  // The request blocked for the full 60 ms timeout; allow generous slack
+  // for scheduling, but the old code reported exactly zero here.
+  EXPECT_GE(stats.total_wait_micros, 40'000u);
+}
+
+TEST_F(LockManagerTest, GrantedAfterWaitAddsToWaitStats) {
+  ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
+  auto waiter = std::async(std::launch::async, [&] {
+    return lm_.acquire(b_, obj1_, LockMode::Write, Colour::plain(),
+                       std::chrono::milliseconds(2000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  lm_.on_abort(a_);
+  ASSERT_EQ(waiter.get(), LockOutcome::Granted);
+  const auto stats = lm_.stats();
+  EXPECT_EQ(stats.waits, 1u);
+  EXPECT_GE(stats.total_wait_micros, 40'000u);
+}
+
 TEST_F(LockManagerTest, WaiterWakesOnAbort) {
   ASSERT_EQ(lm_.acquire(a_, obj1_, LockMode::Write, Colour::plain()), LockOutcome::Granted);
   auto waiter = std::async(std::launch::async, [&] {

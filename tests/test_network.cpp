@@ -205,6 +205,85 @@ TEST(Rpc, ConcurrentCallsFromManyThreads) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(Rpc, StoppedWorkerPoolDoesNotLeakInProgressEntries) {
+  // Regression: the submit-failure branch in on_datagram used the datagram
+  // after it was moved into the pool lambda, so the in_progress_ entry was
+  // erased under the wrong request id and leaked forever.
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("ping", [](ByteBuffer&) { return ByteBuffer{}; });
+  ASSERT_TRUE(client.call(1, "ping", {}).ok());
+  server.stop_workers();
+  EXPECT_EQ(client
+                .call(1, "ping", {},
+                      CallOptions{std::chrono::milliseconds(300), std::chrono::milliseconds(50)})
+                .status,
+            RpcStatus::Timeout);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // drain retransmits
+  EXPECT_EQ(server.in_progress_count(), 0u);
+}
+
+TEST(Rpc, ReplyCacheEvictsLruAndKeepsRecentAtMostOnce) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1, /*workers=*/2, /*reply_cache_capacity=*/2);
+  std::atomic<int> executions{0};
+  server.register_service("effect", [&](ByteBuffer&) {
+    ++executions;
+    return ByteBuffer{};
+  });
+  // Raw client handler so we control request ids and can replay duplicates.
+  std::atomic<int> replies{0};
+  net.attach(2, [&](Datagram d) {
+    if (d.is_reply) ++replies;
+  });
+  const auto send = [&](const Uid& id) { net.send(Datagram{2, 1, "effect", id, false, {}}); };
+  const auto await_replies = [&](int n) {
+    for (int i = 0; i < 400 && replies.load() < n; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(replies.load(), n);
+  };
+
+  const Uid r1;
+  const Uid r2;
+  const Uid r3;
+  send(r1);
+  await_replies(1);
+  send(r2);
+  await_replies(2);
+  send(r3);  // capacity 2: r1's cached reply is evicted here
+  await_replies(3);
+  EXPECT_EQ(executions.load(), 3);
+  EXPECT_LE(server.reply_cache_size(), 2u);
+
+  // A recent duplicate is answered from the cache without re-executing.
+  send(r3);
+  await_replies(4);
+  EXPECT_EQ(executions.load(), 3);
+
+  // A duplicate of the evicted request re-executes (the documented trade of
+  // a bounded cache); the cache stays within its capacity throughout.
+  send(r1);
+  await_replies(5);
+  EXPECT_EQ(executions.load(), 4);
+  EXPECT_LE(server.reply_cache_size(), 2u);
+}
+
+TEST(Rpc, ReplyCacheUnboundedGrowthIsGone) {
+  // A long-lived server must not retain one cached reply per request ever
+  // served: drive more distinct requests than the capacity and check the
+  // cache plateaus at the bound.
+  Network net(fast_config());
+  RpcEndpoint server(net, 1, /*workers=*/4, /*reply_cache_capacity=*/8);
+  RpcEndpoint client(net, 2);
+  server.register_service("ping", [](ByteBuffer&) { return ByteBuffer{}; });
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(client.call(1, "ping", {}).ok());
+  }
+  EXPECT_LE(server.reply_cache_size(), 8u);
+}
+
 TEST(ThreadPoolTest, ExecutesSubmittedWork) {
   ThreadPool pool(4);
   std::atomic<int> done{0};
