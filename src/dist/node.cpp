@@ -59,9 +59,22 @@ DistNode::DistNode(Network& network, NodeId id, ObjectStore* store, std::size_t 
       participants_(*runtime_, [this](const Uid& uid) { return resolve(uid); }) {
   register_standard_types();
   register_services();
+  recovery_thread_ = std::thread([this] { recovery_loop(); });
 }
 
-DistNode::~DistNode() = default;
+DistNode::~DistNode() {
+  {
+    const std::scoped_lock lock(recovery_mutex_);
+    recovery_stop_ = true;
+  }
+  recovery_wake_.notify_all();
+  if (recovery_thread_.joinable()) recovery_thread_.join();
+  // Quiesce service execution, then disown surviving mirrors: a mirror left
+  // behind by a partition must not replay undo against hosted objects whose
+  // lifetimes ended before the node's.
+  rpc_.stop_workers();
+  participants_.drop_mirrors();
+}
 
 void DistNode::register_type(const std::string& type_name, Dispatcher dispatcher) {
   auto& r = type_registry();
@@ -177,10 +190,33 @@ void DistNode::register_services() {
 
   rpc_.register_service("tx.status", [this](ByteBuffer& args) {
     const Uid action = args.unpack_uid();
+    // Three-valued: a commit record wins; otherwise an action still
+    // registered in this node's ancestry is live (deciding) and the asker
+    // must stay in doubt; only a finished action without a commit record is
+    // presumed aborted.
+    TxStatus status = TxStatus::Aborted;
+    if (CoordinatorLogParticipant::committed(*runtime_, action)) {
+      status = TxStatus::Committed;
+    } else if (!runtime_->ancestry().path_of(action).empty()) {
+      status = TxStatus::Pending;
+    }
     ByteBuffer reply;
-    reply.pack_bool(CoordinatorLogParticipant::committed(*runtime_, action));
+    reply.pack_u8(static_cast<std::uint8_t>(status));
     return reply;
   });
+}
+
+RpcResult DistNode::call_blocking(NodeId target, const std::string& service,
+                                  const ByteBuffer& request, CallOptions options) {
+  RpcResult r = rpc_.call(target, service, request, options);
+  if (r.status != RpcStatus::Unreachable) return r;
+  // Suspected peer: wait for its probe slot and retry once. If another
+  // thread claims the slot first the retry fails fast again, which is the
+  // final answer.
+  const auto wait = rpc_.peer_probe_wait(target);
+  if (wait > options.timeout) return r;
+  std::this_thread::sleep_for(wait);
+  return rpc_.call(target, service, request, options);
 }
 
 ByteBuffer DistNode::invoke(NodeId target, const Uid& object, const std::string& op,
@@ -207,13 +243,14 @@ ByteBuffer DistNode::invoke(NodeId target, const Uid& object, const std::string&
 
   // Server-side lock waits can be long; give the call a generous deadline
   // (the lock itself still times out server-side).
-  RpcResult r = rpc_.call(target, "obj.invoke", std::move(request),
-                          CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
+  RpcResult r = call_blocking(target, "obj.invoke", request,
+                              CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
   switch (r.status) {
     case RpcStatus::Ok:
       participant->note_success();
       return std::move(r.payload);
     case RpcStatus::Timeout:
+    case RpcStatus::Unreachable:
       throw NodeUnreachable(target);
     case RpcStatus::AppError:
       // The server executed (and may hold locks under the action's mirror):
@@ -250,13 +287,14 @@ LockOutcome DistNode::remote_lock(NodeId target, const Uid& object, LockMode mod
   request.pack_u8(static_cast<std::uint8_t>(mode));
   wire::pack_colour(request, colour);
 
-  RpcResult r = rpc_.call(target, "obj.lock", std::move(request),
-                          CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
+  RpcResult r = call_blocking(target, "obj.lock", request,
+                              CallOptions{invoke_timeout_, std::chrono::milliseconds(200)});
   switch (r.status) {
     case RpcStatus::Ok:
       participant->note_success();
       return static_cast<LockOutcome>(r.payload.unpack_u8());
     case RpcStatus::Timeout:
+    case RpcStatus::Unreachable:
       throw NodeUnreachable(target);
     case RpcStatus::AppError:
       participant->note_success();
@@ -282,6 +320,10 @@ void DistNode::crash() {
   participants_.crash();
   runtime_->lock_manager().clear();
   runtime_->default_store().crash();
+  {
+    const std::scoped_lock lock(recovery_mutex_);
+    recovery_backoff_.clear();  // attempt schedules are volatile state
+  }
   // Volatile memory: every hosted object falls back to its construction
   // state; the next access re-activates from the stable store.
   const std::scoped_lock lock(hosted_mutex_);
@@ -296,30 +338,116 @@ void DistNode::restart() {
   runtime_->lock_manager().clear();
   rpc_.restart();
   down_.store(false);
-  // Recovery: resolve in-doubt prepared actions via their coordinators
-  // (presumed abort when the coordinator has no commit record or cannot be
-  // reached — in the latter case the marker stays for the next restart).
-  for (const auto& [action, coordinator] : participants_.in_doubt()) {
-    ByteBuffer args;
-    args.pack_uid(action);
-    RpcResult r = rpc_.call(coordinator, "tx.status", std::move(args),
-                            CallOptions{std::chrono::milliseconds(2'000),
-                                        std::chrono::milliseconds(100)});
-    if (!r.ok()) {
-      MCA_LOG(Warn, "node") << "recovery: coordinator " << coordinator << " unreachable for "
-                            << action << "; staying in doubt";
-      continue;
-    }
-    const bool committed = r.payload.unpack_bool();
-    participants_.resolve_in_doubt(action, committed);
-    MCA_LOG(Info, "node") << "recovery: action " << action << " resolved as "
-                          << (committed ? "committed" : "aborted");
-  }
+  // One synchronous recovery pass: in-doubt actions whose coordinator
+  // answers are resolved before restart() returns; unreachable coordinators
+  // leave their markers for the background daemon to keep retrying.
+  recover_once(/*ignore_backoff=*/true);
   // Presumed abort for shadows orphaned before their marker was written.
   if (const std::size_t dropped = participants_.discard_unreferenced_shadows(); dropped > 0) {
     MCA_LOG(Info, "node") << "recovery: discarded " << dropped << " orphan shadow(s)";
   }
+  kick_recovery();
   MCA_LOG(Info, "node") << "node " << id_ << " restarted";
+}
+
+// ---------------------------------------------------------------------------
+// Background in-doubt recovery daemon
+// ---------------------------------------------------------------------------
+
+void DistNode::set_recovery_options(RecoveryOptions options) {
+  const std::scoped_lock lock(recovery_mutex_);
+  recovery_options_ = options;
+}
+
+DistNode::RecoveryOptions DistNode::recovery_options() const {
+  const std::scoped_lock lock(recovery_mutex_);
+  return recovery_options_;
+}
+
+DistNode::RecoveryStats DistNode::recovery_stats() const {
+  const std::scoped_lock lock(recovery_mutex_);
+  return recovery_stats_;
+}
+
+void DistNode::kick_recovery() {
+  {
+    const std::scoped_lock lock(recovery_mutex_);
+    recovery_kicked_ = true;
+  }
+  recovery_wake_.notify_all();
+}
+
+void DistNode::recover_once(bool ignore_backoff) {
+  // One pass at a time: restart()'s synchronous pass and a daemon tick must
+  // not resolve the same action concurrently.
+  const std::scoped_lock pass(recovery_pass_mutex_);
+
+  RecoveryOptions opts;
+  {
+    const std::scoped_lock lock(recovery_mutex_);
+    opts = recovery_options_;
+  }
+  for (const auto& [action, coordinator] : participants_.in_doubt()) {
+    if (down_.load() || !rpc_.up()) break;
+    {
+      const std::scoped_lock lock(recovery_mutex_);
+      auto it = recovery_backoff_.find(action);
+      if (!ignore_backoff && it != recovery_backoff_.end() &&
+          std::chrono::steady_clock::now() < it->second.first) {
+        continue;  // not due yet
+      }
+      ++recovery_stats_.attempts;
+    }
+    ByteBuffer args;
+    args.pack_uid(action);
+    RpcResult r = rpc_.call(coordinator, "tx.status", std::move(args),
+                            CallOptions{opts.call_timeout, std::chrono::milliseconds(50),
+                                        std::chrono::milliseconds(200), /*retry_budget=*/4});
+    if (!r.ok()) {
+      const std::scoped_lock lock(recovery_mutex_);
+      ++recovery_stats_.coordinator_unreachable;
+      auto& [due, backoff] = recovery_backoff_[action];
+      backoff = backoff.count() == 0 ? opts.period
+                                     : std::min(opts.backoff_max, backoff * 2);
+      due = std::chrono::steady_clock::now() + backoff;
+      continue;
+    }
+    const auto status = static_cast<TxStatus>(r.payload.unpack_u8());
+    if (status == TxStatus::Pending) {
+      // The coordinator is alive and still deciding: its own termination
+      // protocol will reach us; retry at the base period.
+      const std::scoped_lock lock(recovery_mutex_);
+      ++recovery_stats_.still_pending;
+      recovery_backoff_.erase(action);
+      continue;
+    }
+    const bool committed = status == TxStatus::Committed;
+    participants_.resolve_prepared(action, committed);
+    {
+      const std::scoped_lock lock(recovery_mutex_);
+      ++(committed ? recovery_stats_.resolved_committed : recovery_stats_.resolved_aborted);
+      recovery_backoff_.erase(action);
+    }
+    MCA_LOG(Info, "node") << "recovery: action " << action << " resolved as "
+                          << (committed ? "committed" : "aborted");
+  }
+}
+
+void DistNode::recovery_loop() {
+  std::unique_lock lock(recovery_mutex_);
+  while (!recovery_stop_) {
+    ++recovery_stats_.ticks;
+    const auto period = recovery_options_.period;
+    recovery_wake_.wait_for(lock, period,
+                            [this] { return recovery_stop_ || recovery_kicked_; });
+    if (recovery_stop_) return;
+    const bool kicked = recovery_kicked_;
+    recovery_kicked_ = false;
+    if (down_.load()) continue;
+    lock.unlock();
+    recover_once(/*ignore_backoff=*/kicked);
+    lock.lock();
+  }
 }
 
 }  // namespace mca

@@ -9,8 +9,18 @@
 // Failure model: crash() makes the node fail-silent — it stops receiving,
 // loses all volatile state (locks, mirrors, reply cache, in-memory object
 // states) and keeps only its stable store. restart() brings it back and runs
-// recovery: in-doubt prepared actions are resolved by asking their
-// coordinator (presumed abort).
+// one synchronous recovery pass: in-doubt prepared actions are resolved by
+// asking their coordinator (presumed abort once the coordinator has finished
+// without a commit record; a still-deciding coordinator answers Pending and
+// the participant stays in doubt).
+//
+// Recovery is also an always-on background daemon, not only a restart-time
+// sweep: a thread owned by the node periodically re-attempts resolution of
+// every in-doubt prepared action (per-action exponential backoff between
+// attempts), so an action whose coordinator was unreachable at restart — or
+// whose phase-two message was partitioned away while this node kept running
+// — is eventually resolved and its stranded locks released, without anyone
+// calling restart() again.
 //
 // Remote invocation: operations travel by (object uid, operation name,
 // packed args); the server looks up a per-type Dispatcher to run the
@@ -20,7 +30,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 
 #include "dist/rpc.h"
@@ -101,9 +113,56 @@ class DistNode {
   void restart();
   [[nodiscard]] bool up() const { return !down_.load(); }
 
+  // -- background in-doubt recovery --------------------------------------------
+
+  struct RecoveryOptions {
+    // Daemon wake-up period. Each tick re-attempts whichever in-doubt
+    // actions are due.
+    std::chrono::milliseconds period{100};
+    // tx.status call timeout per attempt (kept short: the peer-health
+    // tracker makes attempts against a suspected coordinator nearly free).
+    std::chrono::milliseconds call_timeout{300};
+    // Per-action backoff between failed attempts: period, doubling up to
+    // this cap, reset on any coordinator answer.
+    std::chrono::milliseconds backoff_max{1'000};
+  };
+
+  struct RecoveryStats {
+    std::uint64_t ticks = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t resolved_committed = 0;
+    std::uint64_t resolved_aborted = 0;
+    std::uint64_t coordinator_unreachable = 0;
+    std::uint64_t still_pending = 0;
+  };
+
+  void set_recovery_options(RecoveryOptions options);
+  [[nodiscard]] RecoveryOptions recovery_options() const;
+  [[nodiscard]] RecoveryStats recovery_stats() const;
+  // Stable prepared markers not yet resolved (in-doubt actions).
+  [[nodiscard]] std::size_t in_doubt_count() const { return participants_.in_doubt_count(); }
+  // Wakes the daemon now instead of waiting out the current period, and
+  // forces an attempt for every in-doubt action regardless of its backoff
+  // schedule — the hook for "the partition healed, re-resolve now".
+  void kick_recovery();
+
  private:
   void register_services();
   [[nodiscard]] LockManaged* resolve(const Uid& uid);
+
+  // call() with blocking semantics over the fail-fast peer-health layer: an
+  // Unreachable verdict sleeps until the peer's next probe slot and retries
+  // once (the retry is the probe). A node that came back is re-adopted after
+  // at most one probe interval instead of surfacing Unreachable to the
+  // application; a node still down fails after ~one probe wait, far below
+  // the old full-timeout burn.
+  [[nodiscard]] RpcResult call_blocking(NodeId target, const std::string& service,
+                                        const ByteBuffer& request, CallOptions options);
+
+  // One resolution pass over the in-doubt set. `ignore_backoff` forces an
+  // attempt for every entry (used by restart()'s synchronous pass).
+  void recover_once(bool ignore_backoff);
+  void recovery_loop();
 
   struct Hosted {
     LockManaged* object;
@@ -120,6 +179,22 @@ class DistNode {
 
   std::mutex hosted_mutex_;
   std::unordered_map<Uid, Hosted> hosted_;
+
+  // Recovery daemon. One thread for the node's lifetime; ticks are no-ops
+  // while the node is down. recovery_mutex_ serialises daemon ticks with
+  // restart()'s synchronous pass and guards options/stats/backoff state.
+  mutable std::mutex recovery_mutex_;
+  std::mutex recovery_pass_mutex_;  // serialises whole resolution passes
+  std::condition_variable recovery_wake_;
+  RecoveryOptions recovery_options_;
+  RecoveryStats recovery_stats_;
+  // action → (next attempt due, current backoff) for unreachable coordinators.
+  std::unordered_map<Uid, std::pair<std::chrono::steady_clock::time_point,
+                                    std::chrono::milliseconds>>
+      recovery_backoff_;
+  bool recovery_stop_ = false;
+  bool recovery_kicked_ = false;  // next pass ignores per-action backoff
+  std::thread recovery_thread_;   // constructed last, joined first
 };
 
 }  // namespace mca

@@ -3,10 +3,24 @@
 #include "common/logging.h"
 
 namespace mca {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
                          std::size_t reply_cache_capacity)
-    : network_(network), id_(id), reply_cache_capacity_(reply_cache_capacity), pool_(workers) {
+    : network_(network),
+      id_(id),
+      reply_cache_capacity_(reply_cache_capacity),
+      jitter_state_(0x6D63615F72706300ULL + id),
+      pool_(workers) {
   network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
 }
 
@@ -20,8 +34,43 @@ void RpcEndpoint::register_service(const std::string& name, Service service) {
   services_[name] = std::move(service);
 }
 
+bool RpcEndpoint::should_fail_fast(NodeId to) {
+  const std::scoped_lock lock(mutex_);
+  auto it = peers_.find(to);
+  if (it == peers_.end() || it->second.consecutive_timeouts < health_.suspect_after) {
+    return false;
+  }
+  PeerHealth& p = it->second;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < p.next_probe) return true;
+  // This call is the probe; push the next slot out (decay) so concurrent
+  // callers fail fast instead of probing in a herd.
+  p.current_probe_interval = std::min(health_.probe_max, p.current_probe_interval * 2);
+  p.next_probe = now + p.current_probe_interval;
+  return false;
+}
+
+void RpcEndpoint::note_call_outcome(NodeId to, bool timed_out) {
+  const std::scoped_lock lock(mutex_);
+  if (!timed_out) {
+    peers_.erase(to);
+    return;
+  }
+  PeerHealth& p = peers_[to];
+  ++p.consecutive_timeouts;
+  if (p.consecutive_timeouts >= health_.suspect_after && p.current_probe_interval.count() == 0) {
+    p.current_probe_interval = health_.probe_interval;
+    p.next_probe = std::chrono::steady_clock::now() + p.current_probe_interval;
+  }
+}
+
 RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer args,
                             CallOptions options) {
+  if (should_fail_fast(to)) {
+    return RpcResult{RpcStatus::Unreachable, {},
+                     "node " + std::to_string(to) + " suspected down"};
+  }
+
   auto pending = std::make_shared<PendingCall>();
   const Uid request_id;
   {
@@ -32,14 +81,35 @@ RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer ar
   Datagram request{id_, to, service, request_id, /*is_reply=*/false, std::move(args)};
   const auto deadline = std::chrono::steady_clock::now() + options.timeout;
 
+  // Decorrelated jitter: delay_n ~ U[initial, min(max, 3 × delay_{n-1})].
+  const auto initial = std::max<std::chrono::milliseconds>(options.initial_backoff,
+                                                           std::chrono::milliseconds(1));
+  const auto cap = std::max(options.max_backoff, initial);
+  auto delay = initial;
+  int sends = 0;
+
   RpcResult result;
   {
     std::unique_lock lock(pending->mutex);
     while (!pending->completed) {
       if (!up_.load()) break;  // we crashed mid-call
-      if (std::chrono::steady_clock::now() >= deadline) break;
-      network_.send(request);  // (re)transmit
-      pending->done.wait_for(lock, options.retry_interval);
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      auto wait = deadline - now;
+      if (options.retry_budget <= 0 || sends < options.retry_budget) {
+        network_.send(request);  // (re)transmit
+        ++sends;
+        const auto hi = std::min(cap, delay * 3);
+        const auto span = (hi - initial).count();
+        delay = initial + std::chrono::milliseconds(
+                              span > 0 ? static_cast<std::int64_t>(
+                                             splitmix64(jitter_state_.fetch_add(1)) %
+                                             static_cast<std::uint64_t>(span + 1))
+                                       : 0);
+        wait = std::min<std::chrono::steady_clock::duration>(wait, delay);
+      }
+      // Budget spent: just wait out the remaining timeout for a late reply.
+      pending->done.wait_for(lock, wait);
     }
     if (pending->completed) result = std::move(pending->result);
   }
@@ -47,7 +117,47 @@ RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer ar
     const std::scoped_lock lock(mutex_);
     calls_.erase(request_id);
   }
+  if (up_.load()) note_call_outcome(to, result.status == RpcStatus::Timeout);
   return result;
+}
+
+void RpcEndpoint::set_health_options(HealthOptions options) {
+  const std::scoped_lock lock(mutex_);
+  health_ = options;
+}
+
+HealthOptions RpcEndpoint::health_options() const {
+  const std::scoped_lock lock(mutex_);
+  return health_;
+}
+
+bool RpcEndpoint::peer_suspected(NodeId peer) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.consecutive_timeouts >= health_.suspect_after;
+}
+
+int RpcEndpoint::peer_consecutive_timeouts(NodeId peer) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.consecutive_timeouts;
+}
+
+void RpcEndpoint::reset_peer_health(NodeId peer) {
+  const std::scoped_lock lock(mutex_);
+  peers_.erase(peer);
+}
+
+std::chrono::milliseconds RpcEndpoint::peer_probe_wait(NodeId peer) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.consecutive_timeouts < health_.suspect_after) {
+    return std::chrono::milliseconds(0);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (it->second.next_probe <= now) return std::chrono::milliseconds(0);
+  return std::chrono::duration_cast<std::chrono::milliseconds>(it->second.next_probe - now) +
+         std::chrono::milliseconds(1);
 }
 
 void RpcEndpoint::crash() {
@@ -60,6 +170,7 @@ void RpcEndpoint::crash() {
     reply_cache_.clear();
     reply_lru_.clear();
     in_progress_.clear();
+    peers_.clear();  // peer suspicion is volatile state too
     for (auto& [request_id, call] : calls_) abandoned.push_back(call);
     calls_.clear();
   }

@@ -2,7 +2,16 @@
 // invoked via an RPC mechanism).
 //
 // Client side: call() retransmits the request until a reply arrives or the
-// timeout expires, masking message loss. Server side: requests are executed
+// timeout expires, masking message loss. Retransmission uses exponential
+// backoff with decorrelated jitter (each delay is drawn uniformly from
+// [initial_backoff, min(max_backoff, 3 × previous delay)]), bounded by a
+// retry budget — a failed call costs O(budget) datagrams instead of
+// timeout / interval. A per-peer health tracker counts consecutive
+// timeouts; once a peer is suspected down, calls to it fail fast with
+// RpcStatus::Unreachable instead of burning the full timeout, except for a
+// periodic probe call whose interval decays (doubles, up to a cap) while
+// the peer stays silent. Any successful exchange clears suspicion.
+// Server side: requests are executed
 // on the node's thread pool; a reply cache keyed by request id gives
 // at-most-once execution — a retransmitted request whose execution already
 // finished is answered from the cache, one still in progress is ignored
@@ -32,7 +41,10 @@
 
 namespace mca {
 
-enum class RpcStatus { Ok, Timeout, AppError };
+// Ok / Timeout / AppError travel on the wire (replies); Unreachable is a
+// purely local verdict from the peer-health tracker — the suspected node was
+// not even tried (beyond the decaying probes).
+enum class RpcStatus { Ok, Timeout, AppError, Unreachable };
 
 struct RpcResult {
   RpcStatus status = RpcStatus::Timeout;
@@ -44,7 +56,25 @@ struct RpcResult {
 
 struct CallOptions {
   std::chrono::milliseconds timeout{2'000};
-  std::chrono::milliseconds retry_interval{100};
+  // First retransmit delay; later delays are decorrelated-jittered
+  // (uniform in [initial_backoff, min(max_backoff, 3 × previous)]).
+  // initial_backoff == max_backoff degenerates to a fixed interval.
+  std::chrono::milliseconds initial_backoff{100};
+  std::chrono::milliseconds max_backoff{400};
+  // Maximum transmissions of the request (first send included); once spent,
+  // the call just waits out the remaining timeout for a late reply.
+  // 0 = unlimited (bounded by the timeout alone).
+  int retry_budget = 0;
+};
+
+// Peer suspicion parameters (per endpoint, applies to all peers).
+struct HealthOptions {
+  // Consecutive timed-out calls to one peer before it is suspected down.
+  int suspect_after = 3;
+  // First probe delay once suspected; doubles per failed probe up to
+  // probe_max while the peer stays silent.
+  std::chrono::milliseconds probe_interval{250};
+  std::chrono::milliseconds probe_max{2'000};
 };
 
 class RpcEndpoint {
@@ -81,6 +111,21 @@ class RpcEndpoint {
   // used by robustness tests.
   void stop_workers();
 
+  // -- peer health -----------------------------------------------------------
+
+  void set_health_options(HealthOptions options);
+  [[nodiscard]] HealthOptions health_options() const;
+  // True while calls to `peer` fail fast with Unreachable (between probes).
+  [[nodiscard]] bool peer_suspected(NodeId peer) const;
+  [[nodiscard]] int peer_consecutive_timeouts(NodeId peer) const;
+  // Forgets everything known about `peer` (e.g. a test healed the link and
+  // wants the next call to go out immediately).
+  void reset_peer_health(NodeId peer);
+  // Time until the suspected peer's next probe slot (zero when not
+  // suspected or a probe is already due). Callers that want blocking
+  // semantics sleep this long and retry once — the retry is the probe.
+  [[nodiscard]] std::chrono::milliseconds peer_probe_wait(NodeId peer) const;
+
   // -- introspection (tests and health checks) -------------------------------
 
   [[nodiscard]] std::size_t reply_cache_size() const;
@@ -96,6 +141,18 @@ class RpcEndpoint {
     bool completed = false;
     RpcResult result;
   };
+
+  struct PeerHealth {
+    int consecutive_timeouts = 0;
+    std::chrono::milliseconds current_probe_interval{0};
+    std::chrono::steady_clock::time_point next_probe{};
+  };
+
+  // Returns true when the call should be skipped (peer suspected, no probe
+  // due). A due probe claims the probe slot (pushes next_probe out) so
+  // concurrent callers do not all probe at once.
+  [[nodiscard]] bool should_fail_fast(NodeId to);
+  void note_call_outcome(NodeId to, bool timed_out);
 
   Network& network_;
   NodeId id_;
@@ -118,6 +175,10 @@ class RpcEndpoint {
   std::size_t reply_cache_capacity_;
   std::unordered_set<Uid> in_progress_;
   std::uint64_t epoch_ = 0;  // bumped by crash(): stale executions are muted
+
+  HealthOptions health_;
+  std::unordered_map<NodeId, PeerHealth> peers_;
+  std::atomic<std::uint64_t> jitter_state_;  // splitmix64 stream for backoff
 
   ThreadPool pool_;
 };

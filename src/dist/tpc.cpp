@@ -162,6 +162,18 @@ void ParticipantTable::abort(const Uid& action) {
   mirror.action->abort();
 }
 
+void ParticipantTable::drop_mirrors() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [uid, mirror] : mirrors_) {
+    try {
+      mirror.action->finish_mirror();  // not Running any more: dtor won't abort
+    } catch (const std::logic_error&) {
+      // Already finished by a concurrent resolution; nothing to disown.
+    }
+  }
+  mirrors_.clear();
+}
+
 void ParticipantTable::crash() {
   const std::scoped_lock lock(mutex_);
   // Volatile state vanishes; markers and shadows stay in the stable store
@@ -206,6 +218,35 @@ std::size_t ParticipantTable::discard_unreferenced_shadows() {
     }
   }
   return dropped;
+}
+
+void ParticipantTable::resolve_prepared(const Uid& action, bool committed) {
+  std::unique_lock lock(mutex_);
+  auto it = mirrors_.find(action);
+  if (it == mirrors_.end()) {
+    // Post-crash: only the stable marker is left.
+    lock.unlock();
+    resolve_in_doubt(action, committed);
+    return;
+  }
+  if (!committed) {
+    lock.unlock();
+    abort(action);  // undoes, discards shadows, releases the mirror's locks
+    return;
+  }
+  Mirror mirror = std::move(it->second);
+  mirrors_.erase(it);
+  lock.unlock();
+  for (const auto& [uid, colour] : mirror.prepared) {
+    LockManaged* object = resolve_(uid);
+    (object != nullptr ? object->store() : rt_.default_store()).commit_shadow(uid);
+  }
+  for (const Colour c : mirror.action->colours()) {
+    (void)mirror.action->extract_records(c);  // permanence: records done
+    rt_.lock_manager().on_commit_release(action, c);
+  }
+  drop_marker(action);
+  mirror.action->finish_mirror();
 }
 
 void ParticipantTable::resolve_in_doubt(const Uid& action, bool committed) {

@@ -41,6 +41,14 @@ class DistNode;
 inline constexpr const char* kPreparedMarkerType = "__mca_prepared__";
 inline constexpr const char* kCoordinatorLogType = "__mca_coordlog__";
 
+// Answer of a coordinator's tx.status service (wire value, u8). Pending
+// means the coordinator still knows the action as live — it has not decided
+// yet, so the participant must stay in doubt; presumed abort applies only
+// once the action has finished without leaving a commit record. Three-valued
+// status closes the race where an in-doubt participant would presume abort
+// while the coordinator was still collecting votes.
+enum class TxStatus : std::uint8_t { Aborted = 0, Committed = 1, Pending = 2 };
+
 class ParticipantTable {
  public:
   using ObjectResolver = std::function<LockManaged*(const Uid&)>;
@@ -72,11 +80,29 @@ class ParticipantTable {
   // (stable markers and shadows survive in the store).
   void crash();
 
+  // Teardown: disowns every live mirror without aborting it. A stranded
+  // mirror's destructor would otherwise replay undo records against hosted
+  // objects that may already be destroyed (members die before the node in
+  // the usual declaration order). Locks and stable state are left as-is —
+  // the whole node is going away.
+  void drop_mirrors();
+
   // Stable prepared markers awaiting resolution, with their coordinators.
   [[nodiscard]] std::vector<std::pair<Uid, NodeId>> in_doubt() const;
+  [[nodiscard]] std::size_t in_doubt_count() const { return in_doubt().size(); }
 
   // Marker-driven resolution used at recovery.
   void resolve_in_doubt(const Uid& action, bool committed);
+
+  // Daemon-driven resolution of a prepared action once its coordinator's
+  // verdict is known. Unlike resolve_in_doubt it also handles a *live*
+  // prepared mirror (the node never crashed; the coordinator's phase-two
+  // message was lost or partitioned away): abort undoes and releases the
+  // mirror's locks; commit promotes the prepared shadows, treats every
+  // mirror colour as permanent (phase two never arrived, so no heir info
+  // exists — the same fallback marker-driven recovery makes) and releases
+  // the locks.
+  void resolve_prepared(const Uid& action, bool committed);
 
   // Recovery sweep: discards shadows not referenced by any surviving
   // prepared marker (a crash between writing shadows and writing the marker

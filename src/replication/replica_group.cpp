@@ -12,15 +12,29 @@ ReplicatedMap::ReplicatedMap(std::vector<RemoteMap> replicas)
 }
 
 void ReplicatedMap::set_write_quorum(std::size_t quorum) {
+  const std::scoped_lock lock(mutex_);
   if (quorum == 0 || quorum > replicas_.size()) {
     throw std::invalid_argument("write quorum out of range");
   }
   quorum_ = quorum;
 }
 
+void ReplicatedMap::set_probe_interval(std::chrono::milliseconds interval) {
+  const std::scoped_lock lock(mutex_);
+  probe_interval_ = interval;
+}
+
+std::vector<std::size_t> ReplicatedMap::healthy_indices() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < stale_.size(); ++i) {
+    if (!stale_[i]) out.push_back(i);
+  }
+  return out;
+}
+
 std::optional<std::string> ReplicatedMap::lookup(const std::string& key) const {
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (stale_[i]) continue;
+  for (const std::size_t i : healthy_indices()) {
     try {
       return replicas_[i].lookup(key);
     } catch (const NodeUnreachable&) {
@@ -32,20 +46,37 @@ std::optional<std::string> ReplicatedMap::lookup(const std::string& key) const {
 
 template <typename Fn>
 void ReplicatedMap::write_all(Fn&& op) {
+  maybe_probe_stale();
   std::size_t reached = 0;
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (stale_[i]) continue;
+  std::exception_ptr app_error;
+  for (const std::size_t i : healthy_indices()) {
     try {
       op(replicas_[i]);
       ++reached;
     } catch (const NodeUnreachable&) {
+      const std::scoped_lock lock(mutex_);
       stale_[i] = true;
       MCA_LOG(Info, "replication") << "replica " << i << " unreachable; marked stale";
+    } catch (...) {
+      // Application-level failure (e.g. a lock refusal mapped to
+      // RemoteError): the replica executed-and-failed rather than vanished,
+      // so it is counted as failed but not stale. Finish the loop first —
+      // every reachable replica sees the same write attempt, keeping the
+      // copies mutually consistent when the enclosing action aborts and
+      // undoes them — then surface the error.
+      if (!app_error) app_error = std::current_exception();
+      MCA_LOG(Info, "replication") << "replica " << i << " write failed at app level";
     }
   }
-  if (reached < quorum_) {
+  std::size_t quorum;
+  {
+    const std::scoped_lock lock(mutex_);
+    quorum = quorum_;
+  }
+  if (app_error) std::rethrow_exception(app_error);
+  if (reached < quorum) {
     throw ReplicaUnavailable("write reached " + std::to_string(reached) + " replicas, quorum " +
-                             std::to_string(quorum_));
+                             std::to_string(quorum));
   }
 }
 
@@ -57,11 +88,34 @@ void ReplicatedMap::erase(const std::string& key) {
   write_all([&](RemoteMap& r) { (void)r.erase(key); });
 }
 
+void ReplicatedMap::maybe_probe_stale() {
+  std::vector<std::size_t> to_probe;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (now < last_probe_ + probe_interval_) return;
+    for (std::size_t i = 0; i < stale_.size(); ++i) {
+      if (stale_[i]) to_probe.push_back(i);
+    }
+    if (to_probe.empty()) return;
+    last_probe_ = now;
+  }
+  for (const std::size_t i : to_probe) {
+    try {
+      resync(i);
+      MCA_LOG(Info, "replication") << "replica " << i << " back: auto-resynced";
+    } catch (const std::exception&) {
+      // Still unreachable (or no healthy source): stays stale until the
+      // next due probe.
+    }
+  }
+}
+
 void ReplicatedMap::resync(std::size_t replica_index) {
   if (replica_index >= replicas_.size()) throw std::invalid_argument("bad replica index");
   // Find a healthy source.
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
-    if (i == replica_index || stale_[i]) continue;
+  for (const std::size_t i : healthy_indices()) {
+    if (i == replica_index) continue;
     try {
       RemoteMap& source = replicas_[i];
       RemoteMap& target = replicas_[replica_index];
@@ -72,6 +126,7 @@ void ReplicatedMap::resync(std::size_t replica_index) {
       for (const std::string& key : target.keys()) {
         if (!source.contains(key)) (void)target.erase(key);
       }
+      const std::scoped_lock lock(mutex_);
       stale_[replica_index] = false;
       return;
     } catch (const NodeUnreachable&) {
@@ -82,6 +137,7 @@ void ReplicatedMap::resync(std::size_t replica_index) {
 }
 
 bool ReplicatedMap::stale(std::size_t replica_index) const {
+  const std::scoped_lock lock(mutex_);
   return stale_.at(replica_index);
 }
 

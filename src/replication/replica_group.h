@@ -15,9 +15,18 @@
 //     scheme. Writes issued while a replica is down throw
 //     ReplicaUnavailable unless the group is told to tolerate it
 //     (set_write_quorum), in which case the action continues with the
-//     reachable copies and the unavailable one is marked stale.
+//     reachable copies and the unavailable one is marked stale;
+//   * stale replicas are re-probed automatically: every probe_interval, the
+//     next write first attempts a resync of each stale replica, so a node
+//     that came back rejoins the write set without a manual resync() call.
+//
+// Thread safe: the stale set and probe clock are mutex-guarded; remote calls
+// are made outside the lock, so concurrent readers are not serialised
+// behind a slow replica.
 #pragma once
 
+#include <chrono>
+#include <mutex>
 #include <vector>
 
 #include "dist/remote.h"
@@ -49,6 +58,10 @@ class ReplicatedMap {
   // clears its stale mark. Call inside an action.
   void resync(std::size_t replica_index);
 
+  // How often a write re-probes stale replicas (auto-resync). Zero probes on
+  // every write; tests use that for determinism.
+  void set_probe_interval(std::chrono::milliseconds interval);
+
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
   [[nodiscard]] bool stale(std::size_t replica_index) const;
 
@@ -56,9 +69,18 @@ class ReplicatedMap {
   template <typename Fn>
   void write_all(Fn&& op);
 
+  // Attempts resync of every stale replica when a probe is due. Failures
+  // leave the replica stale; the next due probe tries again.
+  void maybe_probe_stale();
+
+  [[nodiscard]] std::vector<std::size_t> healthy_indices() const;
+
   std::vector<RemoteMap> replicas_;
-  mutable std::vector<bool> stale_;
+  mutable std::mutex mutex_;  // guards stale_, quorum_, probe clock
+  std::vector<bool> stale_;
   std::size_t quorum_;
+  std::chrono::milliseconds probe_interval_{500};
+  std::chrono::steady_clock::time_point last_probe_{};
 };
 
 }  // namespace mca

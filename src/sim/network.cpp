@@ -2,6 +2,30 @@
 
 namespace mca {
 
+std::uint64_t datagram_checksum(const Datagram& d) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+  };
+  mix(&d.from, sizeof d.from);
+  mix(&d.to, sizeof d.to);
+  mix(d.service.data(), d.service.size());
+  const std::uint64_t hi = d.request_id.hi();
+  const std::uint64_t lo = d.request_id.lo();
+  mix(&hi, sizeof hi);
+  mix(&lo, sizeof lo);
+  const unsigned char reply = d.is_reply ? 1 : 0;
+  mix(&reply, sizeof reply);
+  mix(d.payload.data().data(), d.payload.size());
+  return h;
+}
+
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed), delivery_thread_([this] { delivery_loop(); }) {}
 
@@ -50,6 +74,33 @@ void Network::enqueue_locked(Datagram d, std::chrono::steady_clock::time_point a
   queue_.push(Pending{at, std::move(d)});
 }
 
+void Network::partition(NodeId a, NodeId b) {
+  const std::scoped_lock lock(mutex_);
+  cut_links_.insert(link_key(a, b));
+}
+
+void Network::heal(NodeId a, NodeId b) {
+  const std::scoped_lock lock(mutex_);
+  cut_links_.erase(link_key(a, b));
+}
+
+void Network::split(std::initializer_list<NodeId> group1, std::initializer_list<NodeId> group2) {
+  const std::scoped_lock lock(mutex_);
+  for (const NodeId a : group1) {
+    for (const NodeId b : group2) cut_links_.insert(link_key(a, b));
+  }
+}
+
+void Network::heal_all() {
+  const std::scoped_lock lock(mutex_);
+  cut_links_.clear();
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  const std::scoped_lock lock(mutex_);
+  return cut_links_.contains(link_key(a, b));
+}
+
 void Network::send(Datagram d) {
   {
     const std::scoped_lock lock(mutex_);
@@ -58,6 +109,21 @@ void Network::send(Datagram d) {
     if (coin(rng_) < config_.loss_probability) {
       ++stats_.lost;
       return;
+    }
+    d.checksum = datagram_checksum(d);
+    if (coin(rng_) < config_.corruption_probability) {
+      // Flip one payload byte after stamping the checksum — the digest no
+      // longer matches and delivery drops the message. An empty payload
+      // corrupts the header instead (same effect).
+      ++stats_.corrupted;
+      std::vector<std::byte> bytes = d.payload.data();
+      if (bytes.empty()) {
+        d.is_reply = !d.is_reply;
+      } else {
+        const auto idx = std::uniform_int_distribution<std::size_t>(0, bytes.size() - 1)(rng_);
+        bytes[idx] ^= std::byte{0xFF};
+        d.payload = ByteBuffer(std::move(bytes));
+      }
     }
     if (coin(rng_) < config_.duplication_probability) {
       ++stats_.duplicated;
@@ -88,6 +154,10 @@ void Network::delivery_loop() {
     }
     Datagram d = queue_.top().datagram;
     queue_.pop();
+    if (cut_links_.contains(link_key(d.from, d.to))) {
+      ++stats_.dropped_partitioned;
+      continue;
+    }
     auto up_it = up_.find(d.to);
     if (up_it == up_.end() || !up_it->second) {
       ++stats_.dropped_down;
@@ -96,6 +166,10 @@ void Network::delivery_loop() {
     auto handler_it = handlers_.find(d.to);
     if (handler_it == handlers_.end()) {
       ++stats_.dropped_down;
+      continue;
+    }
+    if (d.checksum != datagram_checksum(d)) {
+      ++stats_.corrupt_dropped;
       continue;
     }
     Handler handler = handler_it->second;  // copy: handler may detach itself

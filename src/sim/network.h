@@ -4,24 +4,36 @@
 // corrupted messages", handled by protocol-level retransmission; nodes are
 // fail-silent. This Network delivers datagrams between in-process nodes
 // through a single delivery thread, injecting configurable message loss,
-// duplication and delay from a seeded RNG so failure scenarios are
-// reproducible. Messages to a crashed (down) node are dropped silently —
-// fail-silence as seen from the wire.
+// duplication, payload corruption and delay from a seeded RNG so failure
+// scenarios are reproducible. Messages to a crashed (down) node are dropped
+// silently — fail-silence as seen from the wire. Per-link partitions
+// (partition()/split()) drop messages at delivery time, so packets already
+// in flight when the link is cut are lost too, exactly like a real
+// partition.
+//
+// Corruption detection: send() stamps every datagram with a checksum over
+// its header and payload; delivery verifies it and drops mismatches
+// (counted in Stats::corrupt_dropped), so a corrupted payload never reaches
+// a handler — the service layer sees corruption as loss and masks it by
+// retransmission.
 //
 // Handlers run on the delivery thread and must not block; nodes hand real
 // work to their own thread pools.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <queue>
 #include <random>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/buffer.h"
 #include "common/uid.h"
@@ -37,11 +49,21 @@ struct Datagram {
   Uid request_id = Uid::nil();
   bool is_reply = false;
   ByteBuffer payload;
+  // Wire checksum over header + payload; stamped by Network::send, verified
+  // at delivery. 0 = not yet stamped.
+  std::uint64_t checksum = 0;
 };
+
+// FNV-1a over the datagram's identifying fields and payload bytes. Any
+// single corrupted byte changes the digest.
+[[nodiscard]] std::uint64_t datagram_checksum(const Datagram& d);
 
 struct NetworkConfig {
   double loss_probability = 0.0;
   double duplication_probability = 0.0;
+  // Probability that a sent datagram has payload bytes flipped in flight.
+  // The checksum catches it at delivery; the message is effectively lost.
+  double corruption_probability = 0.0;
   std::chrono::microseconds min_delay{50};
   std::chrono::microseconds max_delay{500};
   std::uint64_t seed = 42;
@@ -66,6 +88,19 @@ class Network {
   void set_up(NodeId id, bool up);
   [[nodiscard]] bool is_up(NodeId id) const;
 
+  // -- partition injection -----------------------------------------------------
+  // Cuts are symmetric and per-link; both directions of a cut link drop at
+  // delivery time. Cutting an already-cut link / healing a healthy one is a
+  // no-op, so fault schedules can be idempotent.
+
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  // Cuts every link between a node of `group1` and a node of `group2`
+  // (links within each group are untouched).
+  void split(std::initializer_list<NodeId> group1, std::initializer_list<NodeId> group2);
+  void heal_all();
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+
   void send(Datagram d);
 
   struct Stats {
@@ -74,6 +109,9 @@ class Network {
     std::uint64_t lost = 0;
     std::uint64_t duplicated = 0;
     std::uint64_t dropped_down = 0;
+    std::uint64_t dropped_partitioned = 0;
+    std::uint64_t corrupted = 0;        // corruption injected at send
+    std::uint64_t corrupt_dropped = 0;  // checksum mismatch at delivery
   };
   [[nodiscard]] Stats stats() const;
 
@@ -88,12 +126,18 @@ class Network {
   void enqueue_locked(Datagram d, std::chrono::steady_clock::time_point at);
   [[nodiscard]] std::chrono::steady_clock::time_point delay_from_now_locked();
 
+  // Symmetric link key: (min, max) packed into one u64.
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  }
+
   NetworkConfig config_;
   mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, bool> up_;
+  std::unordered_set<std::uint64_t> cut_links_;
   std::mt19937_64 rng_;
   Stats stats_;
   bool stopping_ = false;

@@ -347,6 +347,50 @@ TEST_F(NameServerTest, QuorumWriteToleratesCrashedReplicaAndResyncs) {
   check.commit();
 }
 
+TEST_F(NameServerTest, StaleReplicaAutoResyncsOnLaterWrite) {
+  replicas_->set_write_quorum(2);
+  replicas_->set_probe_interval(std::chrono::milliseconds(0));  // probe every write
+  nodes_[2]->crash();
+  EXPECT_TRUE(server_->add("k", "v1"));
+  EXPECT_TRUE(replicas_->stale(2));
+  nodes_[2]->restart();
+  // No manual resync(): the next write's probe re-adopts the replica.
+  EXPECT_TRUE(server_->add("k2", "v2"));
+  EXPECT_FALSE(replicas_->stale(2));
+  AtomicAction check(nodes_[2]->runtime());
+  check.begin();
+  EXPECT_EQ(maps_[2]->lookup("k"), "v1");   // caught up via auto-resync
+  EXPECT_EQ(maps_[2]->lookup("k2"), "v2");  // received the new write directly
+  check.commit();
+}
+
+TEST_F(NameServerTest, WriteAllReachesEveryReplicaDespiteAppError) {
+  // Replica 1's proxy points at an object of the wrong type, so its insert
+  // executes-and-fails at the application level mid-loop. The error must not
+  // stop later replicas from receiving the write, or the surviving copies
+  // diverge when the caller handles the error and commits.
+  RecoverableInt decoy(nodes_[1]->runtime(), 0);
+  nodes_[1]->host(decoy);
+  std::vector<RemoteMap> proxies;
+  proxies.emplace_back(client_, nodes_[0]->id(), maps_[0]->uid());
+  proxies.emplace_back(client_, nodes_[1]->id(), decoy.uid());
+  proxies.emplace_back(client_, nodes_[2]->id(), maps_[2]->uid());
+  ReplicatedMap group(std::move(proxies));
+  group.set_write_quorum(2);
+
+  AtomicAction a(client_.runtime());
+  a.begin();
+  EXPECT_THROW(group.insert("k", "v"), RemoteError);
+  EXPECT_EQ(a.commit(), Outcome::Committed);
+
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    AtomicAction check(nodes_[i]->runtime());
+    check.begin();
+    EXPECT_EQ(maps_[i]->lookup("k"), "v") << "replica " << i;
+    check.commit();
+  }
+}
+
 TEST_F(NameServerTest, WriteBelowQuorumAborts) {
   nodes_[0]->crash();
   nodes_[1]->crash();

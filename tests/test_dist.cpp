@@ -303,13 +303,19 @@ TEST_F(DistTest, InDoubtParticipantPresumesAbortWithoutCoordinatorLog) {
     if (d.heir.is_nil()) permanent.push_back(d.colour);
   }
   ASSERT_TRUE(server_.participants().prepare(a.uid(), permanent, client_.id()));
-  // No coordinator decision: crash + restart must discard the shadow.
+  // The coordinator action is still live (no decision yet): crash + restart
+  // must keep the shadow in doubt, NOT presume abort — the coordinator could
+  // still decide commit.
   server_.crash();
   server_.restart();
+  EXPECT_EQ(server_.in_doubt_count(), 1u);
 
+  // Once the coordinator finishes without a commit record, presumed abort
+  // applies: the abort message itself resolves the marker synchronously.
+  a.abort();
+  EXPECT_EQ(server_.in_doubt_count(), 0u);
   EXPECT_FALSE(server_.runtime().default_store().read(obj.uid()).has_value());
   EXPECT_TRUE(server_.runtime().default_store().shadow_uids().empty());
-  a.abort();
 }
 
 TEST_F(DistTest, InvokeOutsideActionThrows) {

@@ -75,6 +75,76 @@ TEST(Network, DuplicationDeliversTwice) {
   EXPECT_EQ(received.load(), 2);
 }
 
+TEST(Network, PartitionDropsTrafficUntilHealed) {
+  Network net(fast_config());
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram) { ++received; });
+  net.partition(0, 1);
+  EXPECT_TRUE(net.partitioned(0, 1));
+  EXPECT_TRUE(net.partitioned(1, 0));  // symmetric
+  net.send(Datagram{0, 1, "ping", Uid(), false, {}});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.stats().dropped_partitioned, 1u);
+  net.heal(0, 1);
+  EXPECT_FALSE(net.partitioned(0, 1));
+  net.send(Datagram{0, 1, "ping", Uid(), false, {}});
+  for (int i = 0; i < 100 && received == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(Network, SplitCutsEveryCrossGroupLink) {
+  Network net(fast_config());
+  net.split({1, 2}, {3, 4});
+  EXPECT_TRUE(net.partitioned(1, 3));
+  EXPECT_TRUE(net.partitioned(1, 4));
+  EXPECT_TRUE(net.partitioned(2, 3));
+  EXPECT_TRUE(net.partitioned(2, 4));
+  EXPECT_FALSE(net.partitioned(1, 2));  // intra-group links stay up
+  EXPECT_FALSE(net.partitioned(3, 4));
+  net.heal_all();
+  EXPECT_FALSE(net.partitioned(1, 3));
+  EXPECT_FALSE(net.partitioned(2, 4));
+}
+
+TEST(Network, CorruptedDatagramsAreDetectedAndDropped) {
+  NetworkConfig c = fast_config();
+  c.corruption_probability = 1.0;
+  Network net(c);
+  std::atomic<int> received{0};
+  net.attach(1, [&](Datagram) { ++received; });
+  ByteBuffer payload;
+  payload.pack_string("precious");
+  for (int i = 0; i < 10; ++i) {
+    net.send(Datagram{0, 1, "x", Uid(), false, payload});
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Every datagram was corrupted in flight; the checksum catches each one at
+  // delivery, so no mangled payload ever reaches the handler.
+  EXPECT_EQ(received.load(), 0);
+  const auto stats = net.stats();
+  EXPECT_EQ(stats.corrupted, 10u);
+  EXPECT_EQ(stats.corrupt_dropped, 10u);
+}
+
+TEST(Network, ChecksumCoversHeaderAndPayload) {
+  Datagram d{1, 2, "svc", Uid(), false, {}};
+  d.payload.pack_string("abc");
+  const std::uint64_t base = datagram_checksum(d);
+  Datagram flipped = d;
+  flipped.is_reply = true;
+  EXPECT_NE(datagram_checksum(flipped), base);
+  Datagram retargeted = d;
+  retargeted.to = 3;
+  EXPECT_NE(datagram_checksum(retargeted), base);
+  Datagram mangled = d;
+  mangled.payload = ByteBuffer{};
+  mangled.payload.pack_string("abd");
+  EXPECT_NE(datagram_checksum(mangled), base);
+}
+
 TEST(Rpc, BasicCallRoundTrip) {
   Network net(fast_config());
   RpcEndpoint server(net, 1);
@@ -136,10 +206,122 @@ TEST(Rpc, SurvivesHeavyMessageLoss) {
     args.pack_i64(i);
     RpcResult r = client.call(1, "inc", std::move(args),
                               CallOptions{std::chrono::milliseconds(5'000),
-                                          std::chrono::milliseconds(20)});
+                                          std::chrono::milliseconds(20),
+                                          std::chrono::milliseconds(60)});
     ASSERT_TRUE(r.ok()) << "call " << i;
     EXPECT_EQ(r.payload.unpack_i64(), i + 1);
   }
+}
+
+TEST(Rpc, CallsSurviveCorruptionStorm) {
+  NetworkConfig c = fast_config();
+  c.corruption_probability = 0.3;
+  Network net(c);
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("inc", [](ByteBuffer& args) {
+    ByteBuffer reply;
+    reply.pack_i64(args.unpack_i64() + 1);
+    return reply;
+  });
+  for (int i = 0; i < 20; ++i) {
+    ByteBuffer args;
+    args.pack_i64(i);
+    RpcResult r = client.call(1, "inc", std::move(args),
+                              CallOptions{std::chrono::milliseconds(5'000),
+                                          std::chrono::milliseconds(20),
+                                          std::chrono::milliseconds(60)});
+    ASSERT_TRUE(r.ok()) << "call " << i;
+    // Corrupted copies are dropped by the checksum; the copy that arrives is
+    // intact, so the payload is never garbage.
+    EXPECT_EQ(r.payload.unpack_i64(), i + 1);
+  }
+  const auto stats = net.stats();
+  EXPECT_GT(stats.corrupted, 0u);
+  EXPECT_GT(stats.corrupt_dropped, 0u);
+  // A corrupted copy either was dropped by the checksum or is still in
+  // flight; none was delivered (the per-call payload checks above prove it).
+  EXPECT_LE(stats.corrupt_dropped, stats.corrupted);
+}
+
+TEST(Rpc, RetryBudgetBoundsTransmissions) {
+  Network net(fast_config());
+  RpcEndpoint client(net, 2);
+  const auto before = net.stats().sent;
+  RpcResult r = client.call(99, "void", {},
+                            CallOptions{std::chrono::milliseconds(400),
+                                        std::chrono::milliseconds(10),
+                                        std::chrono::milliseconds(40),
+                                        /*retry_budget=*/5});
+  EXPECT_EQ(r.status, RpcStatus::Timeout);
+  EXPECT_EQ(net.stats().sent - before, 5u);
+}
+
+TEST(Rpc, BackoffSendsFewerDatagramsThanFixedInterval) {
+  Network net(fast_config());
+  RpcEndpoint client(net, 2);
+  const CallOptions fixed{std::chrono::milliseconds(1'000), std::chrono::milliseconds(20),
+                          std::chrono::milliseconds(20)};  // initial == max: fixed interval
+  const CallOptions backoff{std::chrono::milliseconds(1'000), std::chrono::milliseconds(20),
+                            std::chrono::milliseconds(400)};
+
+  auto sent_for = [&](const CallOptions& options) {
+    client.reset_peer_health(99);  // each call starts from a clean verdict
+    const auto before = net.stats().sent;
+    EXPECT_EQ(client.call(99, "void", {}, options).status, RpcStatus::Timeout);
+    return net.stats().sent - before;
+  };
+  const auto fixed_sent = sent_for(fixed);
+  const auto backoff_sent = sent_for(backoff);
+  // ~50 transmissions at a fixed 20 ms cadence vs a handful once the delay
+  // has grown towards the 400 ms cap.
+  EXPECT_GT(fixed_sent, 30u);
+  EXPECT_LT(backoff_sent, fixed_sent / 2);
+}
+
+TEST(Rpc, SuspectedPeerFailsFastWithoutDatagrams) {
+  Network net(fast_config());
+  RpcEndpoint client(net, 2);
+  const CallOptions quick{std::chrono::milliseconds(150), std::chrono::milliseconds(30)};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.call(99, "void", {}, quick).status, RpcStatus::Timeout);
+  }
+  EXPECT_TRUE(client.peer_suspected(99));
+  EXPECT_EQ(client.peer_consecutive_timeouts(99), 3);
+
+  // The verdict arrives in a tiny fraction of the (default 2 s) timeout and
+  // costs zero datagrams.
+  const auto before = net.stats().sent;
+  const auto start = std::chrono::steady_clock::now();
+  RpcResult r = client.call(99, "void", {});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.status, RpcStatus::Unreachable);
+  EXPECT_LT(elapsed, CallOptions{}.timeout / 10);
+  EXPECT_EQ(net.stats().sent - before, 0u);
+}
+
+TEST(Rpc, ProbeSuccessClearsSuspicion) {
+  Network net(fast_config());
+  RpcEndpoint server(net, 1);
+  RpcEndpoint client(net, 2);
+  server.register_service("ping", [](ByteBuffer&) { return ByteBuffer{}; });
+  client.set_health_options(HealthOptions{3, std::chrono::milliseconds(20),
+                                          std::chrono::milliseconds(80)});
+  server.crash();
+  const CallOptions quick{std::chrono::milliseconds(120), std::chrono::milliseconds(30)};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.call(1, "ping", {}, quick).status, RpcStatus::Timeout);
+  }
+  EXPECT_TRUE(client.peer_suspected(1));
+
+  server.restart();
+  // Wait out the probe interval; the next call is the probe, it succeeds,
+  // and the suspicion is gone for good.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(client.call(1, "ping", {}, quick).ok());
+  EXPECT_FALSE(client.peer_suspected(1));
+  EXPECT_EQ(client.peer_consecutive_timeouts(1), 0);
+  EXPECT_TRUE(client.call(1, "ping", {}).ok());
 }
 
 TEST(Rpc, AtMostOnceUnderDuplication) {
