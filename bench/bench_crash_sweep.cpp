@@ -1,0 +1,176 @@
+// Crash-sweep machinery costs (robustness issue, experiment A8): what the
+// always-on integrity and crash-testing hooks cost when nothing is failing.
+//
+//   * BM_EncodeChecked / BM_EncodeUnchecked — ObjectState's CRC-32 + magic
+//     header vs the bare body encoding, by state size;
+//   * BM_UnarmedCrashPoint — one MCA_CRASHPOINT() with nothing armed (a
+//     relaxed atomic load and a not-taken branch);
+//   * BM_RestartRecoveryByMarkers — wall time of DistNode::restart()'s
+//     synchronous recovery pass by number of in-doubt prepared markers on
+//     disk, with a live coordinator answering presumed-abort;
+//   * the shape report — the checksum's share of a full FileStore committed
+//     write (encode + temp file + fsync-less rename), the number the "<2%
+//     on the store-write path" claim is about.
+#include "bench_common.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "dist/remote.h"
+#include "sim/crash_points.h"
+#include "storage/file_store.h"
+
+namespace mca {
+namespace {
+
+using namespace std::chrono_literals;
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(200);
+  return c;
+}
+
+ObjectState state_of_size(const Uid& uid, std::size_t body_bytes) {
+  ByteBuffer b;
+  for (std::size_t i = 0; i < body_bytes / 8; ++i) {
+    b.pack_u64(0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+  return ObjectState(uid, "Bench", std::move(b));
+}
+
+void BM_EncodeChecked(benchmark::State& state) {
+  const ObjectState s = state_of_size(Uid(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.encode());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeChecked)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_EncodeUnchecked(benchmark::State& state) {
+  const ObjectState s = state_of_size(Uid(), static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.encode_unchecked());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeUnchecked)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_UnarmedCrashPoint(benchmark::State& state) {
+  crash_points::reset();
+  for (auto _ : state) {
+    MCA_CRASHPOINT("tpc.coord.phase1.pre_send");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_UnarmedCrashPoint);
+
+// Fabricates `n` in-doubt prepared markers (zero prepared objects each, so
+// only marker resolution is measured) in the participant's store. Uid
+// derivation mirrors tpc.cpp's marker_uid().
+void plant_markers(ObjectStore& store, NodeId coordinator, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Uid action;
+    const Uid marker(action.hi() ^ 0x4D43415F5052455BULL, action.lo());
+    ByteBuffer payload;
+    payload.pack_u32(coordinator);
+    payload.pack_u32(0);
+    store.write(ObjectState(marker, kPreparedMarkerType, std::move(payload)));
+  }
+}
+
+void BM_RestartRecoveryByMarkers(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_bench_markers_" + Uid().to_string());
+  {
+    Network net(fast_config());
+    FileStore store(dir);
+    DistNode coordinator(net, 1);
+    DistNode participant(net, 2, &store);
+    participant.set_recovery_options(
+        DistNode::RecoveryOptions{/*period=*/1'000ms, /*call_timeout=*/500ms,
+                                  /*backoff_max=*/1'000ms});
+    for (auto _ : state) {
+      participant.crash();
+      plant_markers(store, coordinator.id(), n);
+      // restart() runs the synchronous pass: every marker is resolved with
+      // the live coordinator (no log record => presumed abort) and dropped.
+      const auto start = std::chrono::steady_clock::now();
+      participant.restart();
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      if (participant.in_doubt_count() != 0) std::abort();
+      state.SetIterationTime(elapsed.count());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RestartRecoveryByMarkers)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// The claim the sweep issue pins down: the CRC-32 header costs under 2% of
+// a full FileStore committed write. Measured directly: time the two encode
+// flavours and a real store write over the same states, report the delta as
+// a share of the write.
+void checksum_overhead_report() {
+  bench::report_header(
+      "checksummed durable states — CRC share of the store-write path",
+      "magic + CRC-32 verification adds <2% to a FileStore committed write at the "
+      "state sizes the protocol produces (recoverable objects encode to well under "
+      "1 KiB); the share only grows past that for multi-page states on a "
+      "fsync-less tmpfs write, and vanishes again under fsync_before_rename");
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_bench_crc_" + Uid().to_string());
+  for (const bool fsync : {false, true}) {
+    const int writes = fsync ? 60 : 800;
+    std::printf("  [%s]\n", fsync ? "fsync_before_rename on (durable config)"
+                                  : "fsync off (fastest possible write path)");
+    for (const std::size_t body : {std::size_t{64}, std::size_t{1024}, std::size_t{4096}}) {
+      std::vector<ObjectState> states;
+      states.reserve(writes);
+      for (int i = 0; i < writes; ++i) states.push_back(state_of_size(Uid(), body));
+
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const auto& s : states) benchmark::DoNotOptimize(s.encode_unchecked());
+      const auto t1 = std::chrono::steady_clock::now();
+      for (const auto& s : states) benchmark::DoNotOptimize(s.encode());
+      const auto t2 = std::chrono::steady_clock::now();
+      {
+        FileStore::Options options;
+        options.fsync_before_rename = fsync;
+        FileStore store(dir, options);
+        for (const auto& s : states) store.write(s);
+      }
+      const auto t3 = std::chrono::steady_clock::now();
+      std::filesystem::remove_all(dir);
+
+      const double bare_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() / writes;
+      const double checked_ns =
+          std::chrono::duration<double, std::nano>(t2 - t1).count() / writes;
+      const double write_ns = std::chrono::duration<double, std::nano>(t3 - t2).count() / writes;
+      const double crc_share = 100.0 * (checked_ns - bare_ns) / write_ns;
+      std::printf(
+          "    body %5zu B: encode %6.0f ns, +crc %6.0f ns, full store write %9.0f ns"
+          " -> crc share %.2f%%\n",
+          body, bare_ns, checked_ns - bare_ns, write_ns, crc_share);
+    }
+  }
+}
+
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  mca::checksum_overhead_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

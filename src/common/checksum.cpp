@@ -1,0 +1,66 @@
+#include "common/checksum.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mca {
+namespace {
+
+// Slicing-by-8 tables for the reflected polynomial 0xEDB88320: table[0] is
+// the classic byte table, table[k] advances a byte through k further zero
+// bytes, so eight lookups retire eight input bytes per iteration.
+struct CrcTables {
+  std::uint32_t t[8][256];
+};
+
+CrcTables make_tables() {
+  CrcTables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tb.t[0][i] = c;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tb.t[k][i] = tb.t[0][tb.t[k - 1][i] & 0xFFu] ^ (tb.t[k - 1][i] >> 8);
+    }
+  }
+  return tb;
+}
+
+const CrcTables& tables() {
+  static const CrcTables tb = make_tables();
+  return tb;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t n) {
+  const auto& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, p, 8);
+      chunk ^= crc;
+      crc = tb.t[7][chunk & 0xFFu] ^ tb.t[6][(chunk >> 8) & 0xFFu] ^
+            tb.t[5][(chunk >> 16) & 0xFFu] ^ tb.t[4][(chunk >> 24) & 0xFFu] ^
+            tb.t[3][(chunk >> 32) & 0xFFu] ^ tb.t[2][(chunk >> 40) & 0xFFu] ^
+            tb.t[1][(chunk >> 48) & 0xFFu] ^ tb.t[0][chunk >> 56];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  return crc32_update(kCrc32Init, bytes.data(), bytes.size()) ^ kCrc32Xor;
+}
+
+}  // namespace mca

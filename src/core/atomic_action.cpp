@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "objects/lock_managed.h"
+#include "sim/crash_points.h"
 
 namespace mca {
 namespace {
@@ -299,6 +300,7 @@ Outcome AtomicAction::commit() {
     const std::scoped_lock lock(mutex_);
     return participants_;
   }();
+  MCA_CRASHPOINT("tpc.coord.phase1.pre_send");
   for (auto& p : participants) {
     bool ok = false;
     try {
@@ -314,6 +316,9 @@ Outcome AtomicAction::commit() {
     }
   }
 
+  // Every vote is in but the decision is not durable anywhere: a kill here
+  // must resolve as abort (presumed abort — the log record is the commit).
+  MCA_CRASHPOINT("tpc.coord.post_prepare_pre_log");
   // Phase two: promote shadows, then process locks and records per colour.
   for (UndoRecord* r : prepared) r->object->store().commit_shadow(r->object->uid());
 
@@ -382,6 +387,21 @@ void AtomicAction::abort() {
   rt_.note_aborted();
   rt_.trace().record(TraceKind::ActionAbort, uid_);
   MCA_LOG(Trace, "action") << "aborted " << uid_;
+}
+
+void AtomicAction::abandon() {
+  if (status() != ActionStatus::Running) return;
+  {
+    const std::scoped_lock lock(mutex_);
+    undo_.clear();  // the objects' memory was reset by the crash; nothing to undo
+    participants_.clear();
+    participant_keys_.clear();
+  }
+  status_.store(ActionStatus::Aborted);
+  end_bookkeeping();
+  rt_.note_aborted();
+  rt_.trace().record(TraceKind::ActionAbort, uid_);
+  MCA_LOG(Trace, "action") << "abandoned " << uid_ << " (coordinator crash)";
 }
 
 void AtomicAction::restore_undo_records() {

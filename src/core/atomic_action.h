@@ -141,6 +141,14 @@ class AtomicAction {
   Outcome commit();
   void abort();
 
+  // Disowns a running action whose coordinating node just simulated a crash
+  // mid-termination: clears bookkeeping (context, ancestry, parent count,
+  // participants) without undoing records or contacting anyone. The durable
+  // coordinator log — present or absent — remains the truth of the outcome;
+  // tx.status answers from it once the ancestry entry is gone. No-op unless
+  // the action is running.
+  void abandon();
+
   // -- identity & hierarchy --------------------------------------------------
 
   [[nodiscard]] const Uid& uid() const { return uid_; }

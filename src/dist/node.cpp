@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "dist/remote.h"
+#include "sim/crash_points.h"
 
 namespace mca {
 namespace {
@@ -93,8 +94,26 @@ LockManaged* DistNode::resolve(const Uid& uid) {
   return it == hosted_.end() ? nullptr : it->second.object;
 }
 
+void DistNode::register_crashable(const std::string& name,
+                                  std::function<ByteBuffer(ByteBuffer&)> service) {
+  rpc_.register_service(name, [this, service = std::move(service)](ByteBuffer& args) {
+    try {
+      return service(args);
+    } catch (const CrashPointHit& hit) {
+      // Deliberately caught only here, after the handler fully unwound: the
+      // protocol code's catch(std::exception) blocks cannot intercept it and
+      // every lock it held has been released. Kill the node with whatever
+      // half-finished durable state the window left, then fail the call; the
+      // crashed endpoint drops the reply, so the caller sees silence.
+      MCA_LOG(Info, "node") << "node " << id_ << " killed at crash point " << hit.point();
+      crash();
+      throw std::runtime_error("node down (crash point " + hit.point() + ")");
+    }
+  });
+}
+
 void DistNode::register_services() {
-  rpc_.register_service("obj.invoke", [this](ByteBuffer& args) {
+  register_crashable("obj.invoke", [this](ByteBuffer& args) {
     if (down_.load()) throw std::runtime_error("node down");
     const Uid action = args.unpack_uid();
     std::vector<Uid> path = wire::unpack_path(args);
@@ -131,7 +150,7 @@ void DistNode::register_services() {
     }
   });
 
-  rpc_.register_service("obj.lock", [this](ByteBuffer& args) {
+  register_crashable("obj.lock", [this](ByteBuffer& args) {
     if (down_.load()) throw std::runtime_error("node down");
     const Uid action = args.unpack_uid();
     std::vector<Uid> path = wire::unpack_path(args);
@@ -160,7 +179,7 @@ void DistNode::register_services() {
     return ByteBuffer{};
   });
 
-  rpc_.register_service("tx.prepare", [this](ByteBuffer& args) {
+  register_crashable("tx.prepare", [this](ByteBuffer& args) {
     if (down_.load()) throw std::runtime_error("node down");
     const Uid action = args.unpack_uid();
     const NodeId coordinator = args.unpack_u32();
@@ -173,7 +192,7 @@ void DistNode::register_services() {
     return reply;
   });
 
-  rpc_.register_service("tx.commit", [this](ByteBuffer& args) {
+  register_crashable("tx.commit", [this](ByteBuffer& args) {
     if (down_.load()) throw std::runtime_error("node down");
     const Uid action = args.unpack_uid();
     const auto heirs = wire::unpack_heirs(args);
@@ -181,7 +200,7 @@ void DistNode::register_services() {
     return ByteBuffer{};
   });
 
-  rpc_.register_service("tx.abort", [this](ByteBuffer& args) {
+  register_crashable("tx.abort", [this](ByteBuffer& args) {
     if (down_.load()) throw std::runtime_error("node down");
     const Uid action = args.unpack_uid();
     participants_.abort(action);
@@ -336,12 +355,17 @@ void DistNode::crash() {
 
 void DistNode::restart() {
   runtime_->lock_manager().clear();
+  // Storage-level recovery first: sweep the torn-write artifacts (stale
+  // .tmp, stale shadows) a crash can leave, before the protocol looks at
+  // what remains.
+  runtime_->default_store().scavenge();
   rpc_.restart();
   down_.store(false);
   // One synchronous recovery pass: in-doubt actions whose coordinator
   // answers are resolved before restart() returns; unreachable coordinators
   // leave their markers for the background daemon to keep retrying.
   recover_once(/*ignore_backoff=*/true);
+  if (down_.load()) return;  // a crash point fired mid-recovery: down again
   // Presumed abort for shadows orphaned before their marker was written.
   if (const std::size_t dropped = participants_.discard_unreferenced_shadows(); dropped > 0) {
     MCA_LOG(Info, "node") << "recovery: discarded " << dropped << " orphan shadow(s)";
@@ -422,7 +446,19 @@ void DistNode::recover_once(bool ignore_backoff) {
       continue;
     }
     const bool committed = status == TxStatus::Committed;
-    participants_.resolve_prepared(action, committed);
+    try {
+      // The verdict is known but nothing durable reflects it yet.
+      MCA_CRASHPOINT("node.recovery.post_status_pre_resolve");
+      participants_.resolve_prepared(action, committed);
+    } catch (const CrashPointHit& hit) {
+      // Catches the point above and any storage/tpc window inside the
+      // resolution itself (e.g. commit_shadow's pre-rename). The daemon
+      // thread must not leak the exception; die here instead.
+      MCA_LOG(Info, "node") << "node " << id_ << " killed at crash point " << hit.point()
+                            << " during recovery";
+      crash();
+      return;
+    }
     {
       const std::scoped_lock lock(recovery_mutex_);
       ++(committed ? recovery_stats_.resolved_committed : recovery_stats_.resolved_aborted);

@@ -95,6 +95,13 @@ class DistNode {
   // long).
   void set_invoke_timeout(std::chrono::milliseconds t) { invoke_timeout_ = t; }
 
+  // Per-attempt timeout for phase-two tx.commit deliveries (RpcParticipant's
+  // bounded retry loop). The default matches the RPC default; crash-sweep
+  // tests shorten it so retrying against a freshly-killed participant does
+  // not dominate wall time.
+  void set_tpc_call_timeout(std::chrono::milliseconds t) { tpc_call_timeout_ = t; }
+  [[nodiscard]] std::chrono::milliseconds tpc_call_timeout() const { return tpc_call_timeout_; }
+
   // Acquires (mode, colour) on the remote `object` for the current action —
   // the remote counterpart of AtomicAction::lock_explicit, used by structure
   // helpers (e.g. gluing a remote object, dist/remote_glue.h). Registers
@@ -148,6 +155,14 @@ class DistNode {
 
  private:
   void register_services();
+
+  // Registers `service` wrapped in the crash-point catcher: a CrashPointHit
+  // unwinding out of the handler (every commit-protocol mutex already
+  // released) kills this node mid-protocol and surfaces as an ordinary
+  // service error whose reply the crashed endpoint then drops — fail-silent,
+  // exactly like a real kill inside the window.
+  void register_crashable(const std::string& name,
+                          std::function<ByteBuffer(ByteBuffer&)> service);
   [[nodiscard]] LockManaged* resolve(const Uid& uid);
 
   // call() with blocking semantics over the fail-fast peer-health layer: an
@@ -176,6 +191,7 @@ class DistNode {
   ParticipantTable participants_;
   std::atomic<bool> down_{false};
   std::chrono::milliseconds invoke_timeout_{15'000};
+  std::chrono::milliseconds tpc_call_timeout_{2'000};
 
   std::mutex hosted_mutex_;
   std::unordered_map<Uid, Hosted> hosted_;

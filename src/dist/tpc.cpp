@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "dist/node.h"
 #include "objects/lock_managed.h"
+#include "sim/crash_points.h"
 
 namespace mca {
 namespace {
@@ -79,6 +80,7 @@ bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& per
   }
   Mirror& mirror = it->second;
   mirror.prepared.clear();
+  MCA_CRASHPOINT("tpc.participant.prepare.pre_shadow");
   try {
     for (const Colour c : permanent) {
       // Peek at the records of this colour (extract, then re-adopt: abort
@@ -98,7 +100,12 @@ bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& per
     mirror.prepared.clear();
     return false;
   }
+  // The classic in-doubt window: shadows are durable but no marker names the
+  // coordinator yet. A kill here must come back as a presumed abort with the
+  // orphaned shadows swept by discard_unreferenced_shadows().
+  MCA_CRASHPOINT("tpc.participant.post_shadow_pre_marker");
   write_marker(action, coordinator, mirror.prepared);
+  MCA_CRASHPOINT("tpc.participant.prepare.post_marker");
   return true;
 }
 
@@ -113,6 +120,7 @@ void ParticipantTable::commit(const Uid& action, const std::vector<wire::HeirInf
   }
   Mirror mirror = std::move(it->second);
   mirrors_.erase(it);
+  MCA_CRASHPOINT("tpc.participant.commit.pre_promote");
 
   for (const wire::HeirInfo& h : heirs) {
     if (h.heir.is_nil()) {
@@ -140,6 +148,7 @@ void ParticipantTable::commit(const Uid& action, const std::vector<wire::HeirInf
       rt_.lock_manager().on_commit_inherit(action, h.colour, h.heir);
     }
   }
+  MCA_CRASHPOINT("tpc.participant.commit.pre_marker_drop");
   drop_marker(action);
   mirror.action->finish_mirror();
 }
@@ -155,9 +164,11 @@ void ParticipantTable::abort(const Uid& action) {
   Mirror mirror = std::move(it->second);
   mirrors_.erase(it);
   lock.unlock();
+  MCA_CRASHPOINT("tpc.participant.abort.pre_discard");
   for (const auto& [uid, colour] : mirror.prepared) {
     if (LockManaged* object = resolve_(uid)) object->store().discard_shadow(uid);
   }
+  MCA_CRASHPOINT("tpc.participant.abort.pre_marker_drop");
   drop_marker(action);
   mirror.action->abort();
 }
@@ -265,6 +276,9 @@ void ParticipantTable::resolve_in_doubt(const Uid& action, bool committed) {
       rt_.default_store().discard_shadow(object);
     }
   }
+  // Applying the outcome and dropping the marker are not atomic together; a
+  // kill between them must leave recovery able to re-resolve idempotently.
+  MCA_CRASHPOINT("tpc.participant.resolve.post_apply_pre_marker_drop");
   drop_marker(action);
 }
 
@@ -287,7 +301,9 @@ bool RpcParticipant::prepare(const Uid& action, const std::vector<Colour>& perma
   args.pack_u32(local_.id());
   args.pack_u32(static_cast<std::uint32_t>(permanent.size()));
   for (const Colour c : permanent) wire::pack_colour(args, c);
-  RpcResult r = local_.rpc().call(target_, "tx.prepare", std::move(args));
+  RpcResult r = local_.rpc().call(
+      target_, "tx.prepare", std::move(args),
+      CallOptions{local_.tpc_call_timeout(), std::chrono::milliseconds(100)});
   if (!r.ok()) return false;
   return r.payload.unpack_bool();
 }
@@ -329,10 +345,14 @@ void RpcParticipant::commit(const Uid& action,
   args.pack_uid(action);
   wire::pack_heirs(args, heirs);
 
+  // Fires once per remote participant: armed with skip=k, the coordinator
+  // dies having told exactly k participants the outcome.
+  MCA_CRASHPOINT("tpc.coord.commit.pre_send");
   // Phase two must reach the participant: retry (bounded); if the node is
   // down longer than this, its recovery asks the coordinator log instead.
+  const CallOptions options{local_.tpc_call_timeout(), std::chrono::milliseconds(100)};
   for (int attempt = 0; attempt < 20; ++attempt) {
-    RpcResult r = local_.rpc().call(target_, "tx.commit", args);
+    RpcResult r = local_.rpc().call(target_, "tx.commit", args, options);
     if (r.ok()) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -341,6 +361,7 @@ void RpcParticipant::commit(const Uid& action,
 }
 
 void RpcParticipant::abort(const Uid& action) {
+  MCA_CRASHPOINT("tpc.coord.abort.pre_send");
   ByteBuffer args;
   args.pack_uid(action);
   // Presumed abort makes best-effort delivery sufficient; keep attempts
@@ -356,6 +377,9 @@ void RpcParticipant::abort(const Uid& action) {
 void CoordinatorLogParticipant::commit(const Uid& action,
                                        const std::vector<ColourDisposition>&) {
   rt_.default_store().write(ObjectState(log_uid(action), kCoordinatorLogType, ByteBuffer{}));
+  // The decision is durable but no participant has heard it: every remote
+  // mirror is in doubt and only recovery-vs-the-log can finish the commit.
+  MCA_CRASHPOINT("tpc.coord.post_log_pre_phase2");
 }
 
 bool CoordinatorLogParticipant::committed(Runtime& rt, const Uid& action) {

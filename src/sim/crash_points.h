@@ -1,0 +1,110 @@
+// Crash-point registry: kill-at-every-window testing of the commit protocol.
+//
+// A *crash point* names a window in the 2PC / recovery / storage code where a
+// real process could die — after the shadows are durable but before the
+// prepared marker, after the coordinator log but before any COMMIT goes out,
+// and so on. The code marks each window with
+//
+//   MCA_CRASHPOINT("tpc.participant.post_shadow_pre_marker");
+//
+// which compiles to a single relaxed atomic load and an [[unlikely]] branch.
+// Unarmed (the production state and every ordinary test) the registry is
+// never consulted and the cost is unmeasurable; the bench suite verifies
+// this. A sweep test arms one point at a time with `arm(name, skip)` and
+// drives a transaction through it: the skip'th execution of that window
+// throws CrashPointHit, which unwinds to a designated catcher that crashes
+// the node the hard way — mid-protocol, with whatever half-finished durable
+// state the window implies on disk.
+//
+// CrashPointHit deliberately does NOT derive from std::exception. The commit
+// machinery is full of `catch (const std::exception&)` blocks that turn a
+// storage or RPC failure into a clean NO vote or an abort — exactly the
+// graceful paths a crash must NOT take. A simulated kill has to tunnel
+// through them untouched and only stop at a catcher that asked for it by
+// name.
+//
+// Arming is one-shot (a fired point disarms itself) and multiple points may
+// be armed at once for multi-fault chaos runs. The registry is
+// process-global and thread-safe; hits can arrive concurrently from RPC
+// workers, the recovery daemon, and the test driver.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mca {
+
+// Thrown (by the default arm action) when an armed crash point fires.
+// Intentionally not a std::exception — see the header comment.
+class CrashPointHit {
+ public:
+  explicit CrashPointHit(std::string point) : point_(std::move(point)) {}
+  [[nodiscard]] const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+namespace crash_points {
+
+// One entry per instrumented window. `window` describes the durable state a
+// kill in that window leaves behind; DESIGN.md §5.3 renders this table.
+struct Info {
+  const char* name;
+  const char* window;
+};
+
+// The canonical table of every crash point compiled into the library.
+[[nodiscard]] std::span<const Info> all();
+
+// True while at least one point is armed. The MCA_CRASHPOINT macro gates on
+// this so the unarmed cost is one relaxed load.
+extern std::atomic<bool> g_any_armed;
+[[nodiscard]] inline bool any_armed() {
+  return g_any_armed.load(std::memory_order_relaxed);
+}
+
+// Slow path behind the macro: counts the hit and, if `name` is armed with an
+// exhausted skip budget, disarms it and runs its action (default: throw
+// CrashPointHit). Callable concurrently.
+void hit(std::string_view name);
+
+// Arms `name` to fire on its (skip+1)-th hit. One-shot: firing disarms.
+// `action` replaces the default throw (e.g. for benchmarks that only count).
+// Throws std::invalid_argument for a name not in all() — a typo in a test
+// would otherwise silently never fire.
+void arm(std::string_view name, unsigned skip = 0, std::function<void()> action = {});
+
+// Removes one armed point / all of them. Safe if not armed.
+void disarm(std::string_view name);
+void disarm_all();
+
+// Name of the most recently fired point, if any since the last reset().
+[[nodiscard]] std::optional<std::string> last_fired();
+
+// Times `name` actually fired / times execution passed through it while the
+// registry was live (hits are only counted while some point is armed — the
+// unarmed fast path never reaches the registry).
+[[nodiscard]] std::uint64_t fire_count(std::string_view name);
+[[nodiscard]] std::uint64_t hit_count(std::string_view name);
+
+// Disarm everything and clear counters + last_fired. Sweep tests call this
+// between cases.
+void reset();
+
+}  // namespace crash_points
+}  // namespace mca
+
+// Marks a crash window. `name` must appear in crash_points::all().
+#define MCA_CRASHPOINT(name)                      \
+  do {                                            \
+    if (::mca::crash_points::any_armed())         \
+        [[unlikely]] {                            \
+      ::mca::crash_points::hit(name);             \
+    }                                             \
+  } while (false)

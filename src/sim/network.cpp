@@ -1,29 +1,22 @@
 #include "sim/network.h"
 
+#include "common/checksum.h"
+
 namespace mca {
 
 std::uint64_t datagram_checksum(const Datagram& d) {
-  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
-  constexpr std::uint64_t kPrime = 1099511628211ULL;
-  std::uint64_t h = kOffset;
-  const auto mix = [&h](const void* data, std::size_t n) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= bytes[i];
-      h *= kPrime;
-    }
-  };
-  mix(&d.from, sizeof d.from);
-  mix(&d.to, sizeof d.to);
-  mix(d.service.data(), d.service.size());
+  Fnv1a64 h;
+  h.mix(&d.from, sizeof d.from);
+  h.mix(&d.to, sizeof d.to);
+  h.mix(d.service.data(), d.service.size());
   const std::uint64_t hi = d.request_id.hi();
   const std::uint64_t lo = d.request_id.lo();
-  mix(&hi, sizeof hi);
-  mix(&lo, sizeof lo);
+  h.mix(&hi, sizeof hi);
+  h.mix(&lo, sizeof lo);
   const unsigned char reply = d.is_reply ? 1 : 0;
-  mix(&reply, sizeof reply);
-  mix(d.payload.data().data(), d.payload.size());
-  return h;
+  h.mix(&reply, sizeof reply);
+  h.mix(d.payload.data().data(), d.payload.size());
+  return h.digest();
 }
 
 Network::Network(NetworkConfig config)

@@ -23,7 +23,7 @@ class StoreFault : public std::runtime_error {
 
 class FaultyStore final : public ObjectStore {
  public:
-  enum class Op { Read, Write, WriteShadow, CommitShadow, DiscardShadow };
+  enum class Op { Read, Write, Remove, WriteShadow, CommitShadow, DiscardShadow };
 
   // `should_fail(op, uid)` is consulted before each mutating/reading call; a
   // true return makes the call throw StoreFault. The predicate must be
@@ -44,7 +44,10 @@ class FaultyStore final : public ObjectStore {
     check(Op::Write, state.uid());
     inner_.write(state);
   }
-  bool remove(const Uid& uid) override { return inner_.remove(uid); }
+  bool remove(const Uid& uid) override {
+    check(Op::Remove, uid);
+    return inner_.remove(uid);
+  }
   [[nodiscard]] std::vector<Uid> uids() const override { return inner_.uids(); }
 
   void write_shadow(const ObjectState& state) override {
@@ -65,6 +68,7 @@ class FaultyStore final : public ObjectStore {
   [[nodiscard]] std::vector<Uid> shadow_uids() const override { return inner_.shadow_uids(); }
 
   void crash() override { inner_.crash(); }
+  void scavenge() override { inner_.scavenge(); }
   [[nodiscard]] StorageClass storage_class() const override { return inner_.storage_class(); }
 
  private:

@@ -1,7 +1,14 @@
 #include "storage/file_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "common/logging.h"
+#include "sim/crash_points.h"
 
 namespace mca {
 namespace fs = std::filesystem;
@@ -9,6 +16,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char* kShadowSuffix = ".shadow";
+constexpr const char* kTmpSuffix = ".tmp";
+constexpr const char* kQuarantineSuffix = ".quarantined";
 
 std::string uid_filename(const Uid& uid) {
   std::ostringstream os;
@@ -30,7 +39,7 @@ std::optional<Uid> parse_uid_filename(const std::string& stem) {
   return Uid(hi, lo);
 }
 
-std::optional<ObjectState> read_state_file(const fs::path& path) {
+std::optional<ObjectState> decode_state_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<std::byte> raw;
@@ -40,15 +49,54 @@ std::optional<ObjectState> read_state_file(const fs::path& path) {
   in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
   if (!in) return std::nullopt;
   ByteBuffer buf(std::move(raw));
-  try {
-    return ObjectState::decode(buf);
-  } catch (const BufferUnderflow&) {
-    return std::nullopt;  // torn write of a shadow: treat as absent
+  return ObjectState::decode(buf);  // throws StateCorrupt / BufferUnderflow
+}
+
+void fsync_path(const fs::path& path, std::uint64_t& counter) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+    ++counter;
   }
 }
 
-void write_state_file_atomically(const fs::path& path, const ObjectState& state) {
-  const fs::path tmp = path.string() + ".tmp";
+}  // namespace
+
+FileStore::FileStore(fs::path directory) : FileStore(std::move(directory), Options{}) {}
+
+FileStore::FileStore(fs::path directory, Options options)
+    : dir_(std::move(directory)), options_(options) {
+  fs::create_directories(dir_);
+  if (options_.scavenge_on_open) {
+    const std::scoped_lock lock(mutex_);
+    scavenge_locked();
+  }
+}
+
+fs::path FileStore::committed_file_path(const Uid& uid) const { return dir_ / uid_filename(uid); }
+
+fs::path FileStore::shadow_file_path(const Uid& uid) const {
+  return dir_ / (uid_filename(uid) + kShadowSuffix);
+}
+
+std::optional<ObjectState> FileStore::read_and_quarantine(const fs::path& path) const {
+  try {
+    return decode_state_file(path);
+  } catch (const std::exception& e) {  // StateCorrupt or BufferUnderflow
+    fs::path aside = path;
+    aside += kQuarantineSuffix;
+    std::error_code ec;
+    fs::rename(path, aside, ec);
+    if (ec) fs::remove(path, ec);  // rename races are best-effort; never re-read
+    ++stats_.quarantined;
+    MCA_LOG(Warn, "store") << "quarantined " << path.filename().string() << ": " << e.what();
+    return std::nullopt;
+  }
+}
+
+void FileStore::write_atomically(const fs::path& path, const ObjectState& state) {
+  const fs::path tmp = path.string() + kTmpSuffix;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     const auto encoded = state.encode();
@@ -57,34 +105,27 @@ void write_state_file_atomically(const fs::path& path, const ObjectState& state)
     out.flush();
     if (!out) throw std::runtime_error("FileStore: failed writing " + tmp.string());
   }
+  if (options_.fsync_before_rename) fsync_path(tmp, stats_.fsyncs);
+  // A kill here is the torn-write window: the .tmp exists, the target does
+  // not change. The startup scavenger reclaims the orphan.
+  MCA_CRASHPOINT("store.file.write.pre_rename");
   fs::rename(tmp, path);  // atomic commit point
-}
-
-}  // namespace
-
-FileStore::FileStore(fs::path directory) : dir_(std::move(directory)) {
-  fs::create_directories(dir_);
-}
-
-fs::path FileStore::committed_path(const Uid& uid) const { return dir_ / uid_filename(uid); }
-
-fs::path FileStore::shadow_path(const Uid& uid) const {
-  return dir_ / (uid_filename(uid) + kShadowSuffix);
+  if (options_.fsync_before_rename) fsync_path(dir_, stats_.fsyncs);
 }
 
 std::optional<ObjectState> FileStore::read(const Uid& uid) const {
   const std::scoped_lock lock(mutex_);
-  return read_state_file(committed_path(uid));
+  return read_and_quarantine(committed_file_path(uid));
 }
 
 void FileStore::write(const ObjectState& state) {
   const std::scoped_lock lock(mutex_);
-  write_state_file_atomically(committed_path(state.uid()), state);
+  write_atomically(committed_file_path(state.uid()), state);
 }
 
 bool FileStore::remove(const Uid& uid) {
   const std::scoped_lock lock(mutex_);
-  return fs::remove(committed_path(uid));
+  return fs::remove(committed_file_path(uid));
 }
 
 std::vector<Uid> FileStore::uids() const {
@@ -92,7 +133,10 @@ std::vector<Uid> FileStore::uids() const {
   std::vector<Uid> out;
   for (const auto& entry : fs::directory_iterator(dir_)) {
     const auto name = entry.path().filename().string();
-    if (name.ends_with(kShadowSuffix) || name.ends_with(".tmp")) continue;
+    if (name.ends_with(kShadowSuffix) || name.ends_with(kTmpSuffix) ||
+        name.ends_with(kQuarantineSuffix)) {
+      continue;
+    }
     if (auto uid = parse_uid_filename(name)) out.push_back(*uid);
   }
   return out;
@@ -100,25 +144,30 @@ std::vector<Uid> FileStore::uids() const {
 
 void FileStore::write_shadow(const ObjectState& state) {
   const std::scoped_lock lock(mutex_);
-  write_state_file_atomically(shadow_path(state.uid()), state);
+  write_atomically(shadow_file_path(state.uid()), state);
 }
 
 std::optional<ObjectState> FileStore::read_shadow(const Uid& uid) const {
   const std::scoped_lock lock(mutex_);
-  return read_state_file(shadow_path(uid));
+  return read_and_quarantine(shadow_file_path(uid));
 }
 
 bool FileStore::commit_shadow(const Uid& uid) {
   const std::scoped_lock lock(mutex_);
-  const fs::path shadow = shadow_path(uid);
+  const fs::path shadow = shadow_file_path(uid);
   if (!fs::exists(shadow)) return false;
-  fs::rename(shadow, committed_path(uid));
+  // A kill here leaves the shadow and (if present) the old committed state
+  // intact: the prepared marker still references the shadow, so recovery
+  // simply promotes it again.
+  MCA_CRASHPOINT("store.file.commit_shadow.pre_rename");
+  fs::rename(shadow, committed_file_path(uid));
+  if (options_.fsync_before_rename) fsync_path(dir_, stats_.fsyncs);
   return true;
 }
 
 bool FileStore::discard_shadow(const Uid& uid) {
   const std::scoped_lock lock(mutex_);
-  return fs::remove(shadow_path(uid));
+  return fs::remove(shadow_file_path(uid));
 }
 
 std::vector<Uid> FileStore::shadow_uids() const {
@@ -131,6 +180,67 @@ std::vector<Uid> FileStore::shadow_uids() const {
       out.push_back(*uid);
   }
   return out;
+}
+
+void FileStore::scavenge() {
+  const std::scoped_lock lock(mutex_);
+  scavenge_locked();
+}
+
+void FileStore::scavenge_locked() {
+  std::vector<fs::path> tmps;
+  std::vector<fs::path> shadows;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    if (name.ends_with(kTmpSuffix)) tmps.push_back(entry.path());
+    else if (name.ends_with(kShadowSuffix)) shadows.push_back(entry.path());
+  }
+  for (const fs::path& tmp : tmps) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    if (!ec) {
+      ++stats_.scavenged_tmp;
+      MCA_LOG(Info, "store") << "scavenged stale tmp " << tmp.filename().string();
+    }
+  }
+  for (const fs::path& shadow : shadows) {
+    // Only a shadow *strictly older* than its committed state is stale:
+    // promoting it would roll the object backwards. A shadow without a
+    // committed counterpart stays — in-doubt recovery may still need it.
+    const std::string name = shadow.filename().string();
+    fs::path committed =
+        shadow.parent_path() / name.substr(0, name.size() - std::strlen(kShadowSuffix));
+    std::error_code ec;
+    const auto committed_time = fs::last_write_time(committed, ec);
+    if (ec) continue;
+    const auto shadow_time = fs::last_write_time(shadow, ec);
+    if (ec || shadow_time >= committed_time) continue;
+    fs::remove(shadow, ec);
+    if (!ec) {
+      ++stats_.scavenged_shadows;
+      MCA_LOG(Info, "store") << "scavenged stale shadow " << name;
+    }
+  }
+}
+
+FileStore::Stats FileStore::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::vector<fs::path> FileStore::fsck() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<fs::path> bad;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const auto name = entry.path().filename().string();
+    if (name.ends_with(kTmpSuffix) || name.ends_with(kQuarantineSuffix)) continue;
+    try {
+      (void)decode_state_file(entry.path());
+    } catch (const std::exception&) {
+      bad.push_back(entry.path());
+    }
+  }
+  return bad;
 }
 
 }  // namespace mca

@@ -4,14 +4,30 @@
 // (or outermost-in-colour) action commits, the new states of the objects it
 // modified are written to an object store as ObjectStates; on abort the
 // previous snapshot is restored instead.
+//
+// The flat encoding is checksummed: encode() prefixes a magic word and a
+// CRC-32 over the body, decode() verifies both and throws StateCorrupt on
+// any mismatch. A torn write (truncated body) or a flipped bit on disk is
+// therefore *detected at read time* — stores quarantine the bad bytes
+// instead of deserialising garbage into a live object.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "common/buffer.h"
 #include "common/uid.h"
 
 namespace mca {
+
+// Thrown by decode() when the encoding's magic word or CRC-32 does not
+// match: the bytes are corrupt (bit flip) or torn (partial write) and must
+// not be used as object state.
+class StateCorrupt : public std::runtime_error {
+ public:
+  explicit StateCorrupt(const std::string& what)
+      : std::runtime_error("ObjectState: " + what) {}
+};
 
 class ObjectState {
  public:
@@ -25,8 +41,15 @@ class ObjectState {
   [[nodiscard]] ByteBuffer& state() { return state_; }
 
   // Flat encoding used by file stores and by the RPC layer when shipping
-  // states between nodes.
+  // states between nodes: [magic u32][crc32 u32][body: uid, type, state].
   [[nodiscard]] ByteBuffer encode() const;
+
+  // The body without the integrity header — the checksum-off baseline the
+  // robustness benchmarks compare against. Not decodable by decode().
+  [[nodiscard]] ByteBuffer encode_unchecked() const;
+
+  // Throws StateCorrupt (bad magic / CRC mismatch) or BufferUnderflow
+  // (truncated inside a length-prefixed field) on damaged input.
   static ObjectState decode(ByteBuffer& in);
 
   friend bool operator==(const ObjectState& a, const ObjectState& b) {

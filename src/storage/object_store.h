@@ -41,6 +41,12 @@ class ObjectStore {
   // in order to finish an in-doubt commit); volatile stores are emptied.
   virtual void crash() = 0;
 
+  // Restart-time storage recovery hook: drop artifacts a crash can leave
+  // behind that no recovery protocol will ever claim (e.g. a file store's
+  // stale ".tmp" files from torn writes). Called by a node's restart before
+  // protocol-level recovery runs; default is a no-op.
+  virtual void scavenge() {}
+
   [[nodiscard]] virtual StorageClass storage_class() const = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/buffer.h"
+#include "common/checksum.h"
 #include "common/uid.h"
 
 namespace mca {
@@ -107,6 +108,27 @@ TEST(ByteBuffer, RewindAllowsRereading) {
   EXPECT_EQ(b.unpack_u32(), 99u);
   b.rewind();
   EXPECT_EQ(b.unpack_u32(), 99u);
+}
+
+TEST(Checksum, Crc32KnownAnswers) {
+  // The CRC-32 check value: crc32("123456789") for the 0xEDB88320 reflected
+  // polynomial. Pins the digest so implementation changes (e.g. the
+  // slicing-by-8 rewrite) cannot silently invalidate every stored state.
+  const char digits[] = "123456789";
+  EXPECT_EQ(mca::crc32(std::as_bytes(std::span(digits, 9))), 0xCBF43926u);
+  EXPECT_EQ(mca::crc32({}), 0x00000000u);
+}
+
+TEST(Checksum, Crc32TailsMatchBytewise) {
+  // Lengths straddling the 8-byte slicing boundary all agree with the
+  // incremental (bytewise, one-at-a-time) form.
+  std::vector<std::byte> data(41);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i * 37 + 1);
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    std::uint32_t crc = kCrc32Init;
+    for (std::size_t i = 0; i < len; ++i) crc = crc32_update(crc, &data[i], 1);
+    EXPECT_EQ(mca::crc32(std::span(data).first(len)), crc ^ kCrc32Xor) << "len " << len;
+  }
 }
 
 }  // namespace

@@ -2,11 +2,13 @@
 // file-store persistence across reopen, and fault injection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 
 #include "storage/faulty_store.h"
 #include "storage/file_store.h"
 #include "storage/memory_store.h"
+#include "storage/torn_store.h"
 
 namespace mca {
 namespace {
@@ -174,6 +176,164 @@ TEST(FaultyStore, InjectedShadowFaultThrows) {
   EXPECT_THROW(store.write_shadow(make_state(b, "boom")), StoreFault);
   // The inner store only saw the successful write.
   EXPECT_EQ(inner.shadow_uids().size(), 1u);
+}
+
+TEST(ObjectState, UncheckedEncodingIsSmallerAndNotDecodable) {
+  ObjectState s = make_state(Uid(), "payload");
+  ByteBuffer checked = s.encode();
+  ByteBuffer bare = s.encode_unchecked();
+  // The integrity header is exactly magic + CRC + the body length prefix.
+  EXPECT_EQ(checked.size(), bare.size() + 3 * sizeof(std::uint32_t));
+  EXPECT_THROW((void)ObjectState::decode(bare), StateCorrupt);
+}
+
+TEST(ObjectState, TruncatedEncodingIsRejected) {
+  ObjectState s = make_state(Uid(), "a payload long enough to truncate meaningfully");
+  const ByteBuffer full = s.encode();
+  // Every proper prefix must fail: either the CRC no longer covers the body
+  // (StateCorrupt) or a length-prefixed field runs off the end
+  // (BufferUnderflow). Both derive from std::runtime_error.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                                 std::size_t{12}, full.size() - 1}) {
+    std::vector<std::byte> cut(full.data().begin(),
+                               full.data().begin() + static_cast<std::ptrdiff_t>(keep));
+    ByteBuffer buf(std::move(cut));
+    EXPECT_THROW((void)ObjectState::decode(buf), std::runtime_error) << "kept " << keep;
+  }
+}
+
+TEST(ObjectState, EverySingleBitFlipIsDetected) {
+  ObjectState s = make_state(Uid(), "bits");
+  const ByteBuffer full = s.encode();
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (std::uint8_t bit = 0; bit < 8; ++bit) {
+      std::vector<std::byte> damaged(full.data());
+      damaged[byte] ^= static_cast<std::byte>(1u << bit);
+      ByteBuffer buf(std::move(damaged));
+      EXPECT_THROW((void)ObjectState::decode(buf), std::runtime_error)
+          << "byte " << byte << " bit " << int(bit);
+    }
+  }
+}
+
+// Fresh FileStore in a temp directory, cleaned up afterwards.
+class FileStoreFaultTest : public ::testing::Test {
+ protected:
+  FileStoreFaultTest()
+      : dir_(std::filesystem::temp_directory_path() / ("mca_fault_" + Uid().to_string())),
+        store_(dir_) {}
+  ~FileStoreFaultTest() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] bool exists(const std::filesystem::path& p) const {
+    return std::filesystem::exists(p);
+  }
+
+  std::filesystem::path dir_;
+  FileStore store_;
+};
+
+TEST_F(FileStoreFaultTest, TornCommittedWriteIsQuarantinedAtRead) {
+  TornStore torn(store_);
+  const Uid uid;
+  torn.arm_write(TornStore::Mode::TornCommitted, /*keep_bytes=*/10);
+  torn.write(make_state(uid, "torn"));
+
+  EXPECT_FALSE(torn.read(uid).has_value());
+  EXPECT_EQ(store_.stats().quarantined, 1u);
+  // The bad bytes were moved aside, not destroyed (post-mortem material),
+  // and the uid no longer lists.
+  EXPECT_FALSE(exists(store_.committed_file_path(uid)));
+  EXPECT_TRUE(exists(store_.committed_file_path(uid).string() + ".quarantined"));
+  EXPECT_TRUE(store_.uids().empty());
+}
+
+TEST_F(FileStoreFaultTest, BitFlipIsQuarantinedAtRead) {
+  TornStore torn(store_);
+  const Uid uid;
+  torn.arm_write(TornStore::Mode::BitFlip, /*keep_bytes=*/0, /*flip_byte=*/13, /*flip_bit=*/5);
+  torn.write(make_state(uid, "flip"));
+
+  EXPECT_TRUE(exists(store_.committed_file_path(uid)));  // the write "succeeded"
+  EXPECT_FALSE(torn.read(uid).has_value());              // ...but the CRC catches it
+  EXPECT_EQ(store_.stats().quarantined, 1u);
+}
+
+TEST_F(FileStoreFaultTest, FsckReportsDamageWithoutQuarantining) {
+  TornStore torn(store_);
+  const Uid good;
+  const Uid bad;
+  torn.write(make_state(good, "fine"));
+  torn.arm_write(TornStore::Mode::TornCommitted, /*keep_bytes=*/6);
+  torn.write(make_state(bad, "torn"));
+
+  const auto report = store_.fsck();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.front(), store_.committed_file_path(bad));
+  // fsck is read-only: the file is still in place, nothing was moved.
+  EXPECT_TRUE(exists(store_.committed_file_path(bad)));
+  EXPECT_EQ(store_.stats().quarantined, 0u);
+}
+
+TEST_F(FileStoreFaultTest, ScavengerReclaimsTornTmp) {
+  TornStore torn(store_);
+  const Uid uid;
+  torn.write(make_state(uid, "v1"));
+  torn.arm_write(TornStore::Mode::TornTmp, /*keep_bytes=*/5);
+  torn.write(make_state(uid, "v2"));  // dies before the rename
+
+  EXPECT_EQ(payload_of(*torn.read(uid)), "v1");  // target untouched
+  EXPECT_TRUE(exists(store_.committed_file_path(uid).string() + ".tmp"));
+
+  store_.scavenge();
+  EXPECT_FALSE(exists(store_.committed_file_path(uid).string() + ".tmp"));
+  EXPECT_EQ(store_.stats().scavenged_tmp, 1u);
+  EXPECT_EQ(payload_of(*torn.read(uid)), "v1");
+}
+
+TEST_F(FileStoreFaultTest, ScavengerDropsStaleShadowKeepsOrphan) {
+  const Uid stale;
+  const Uid orphan;
+  store_.write_shadow(make_state(stale, "lost the race"));
+  store_.write(make_state(stale, "committed later"));
+  store_.write_shadow(make_state(orphan, "still in doubt"));
+  // Force the ordering the scavenger keys on: the stale shadow is strictly
+  // older than its committed counterpart.
+  std::filesystem::last_write_time(
+      store_.shadow_file_path(stale),
+      std::filesystem::last_write_time(store_.committed_file_path(stale)) -
+          std::chrono::seconds(2));
+
+  store_.scavenge();
+  EXPECT_FALSE(store_.read_shadow(stale).has_value());
+  EXPECT_EQ(store_.stats().scavenged_shadows, 1u);
+  // The orphan has no committed counterpart: in-doubt recovery may still
+  // promote it, so the scavenger must leave it alone.
+  EXPECT_TRUE(store_.read_shadow(orphan).has_value());
+}
+
+TEST(FileStore, FsyncBeforeRenameIssuesFsyncs) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_fsync_" + Uid().to_string());
+  {
+    FileStore::Options options;
+    options.fsync_before_rename = true;
+    FileStore store(dir, options);
+    store.write(make_state(Uid(), "durable"));
+    // One fsync for the temp file, one for the directory after the rename.
+    EXPECT_EQ(store.stats().fsyncs, 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultyStore, RemoveRoutesThroughThePredicate) {
+  MemoryStore inner;
+  FaultyStore store(inner, [](FaultyStore::Op op, const Uid&) {
+    return op == FaultyStore::Op::Remove;
+  });
+  const Uid uid;
+  store.write(make_state(uid, "v"));  // writes unaffected
+  EXPECT_THROW((void)store.remove(uid), StoreFault);
+  EXPECT_TRUE(inner.read(uid).has_value());  // the inner store never saw it
 }
 
 TEST(FaultyStore, PassesThroughWhenPredicateFalse) {
