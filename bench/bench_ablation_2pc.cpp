@@ -6,6 +6,7 @@
 // store has the new state.
 #include "bench_common.h"
 
+#include "bench_json.h"
 #include "dist/remote.h"
 
 namespace mca {
@@ -124,6 +125,18 @@ void tpc_atomicity_report() {
   std::printf("network: %llu msgs sent, %llu lost and masked by retransmission\n",
               static_cast<unsigned long long>(stats.sent),
               static_cast<unsigned long long>(stats.lost));
+
+  bench::Json::object()
+      .set("bench", "ablation_2pc")
+      .set("experiment", "A3")
+      .set("loss_probability", 0.2)
+      .set("transfers", kTransfers)
+      .set("committed", committed)
+      .set("atomic", atomic)
+      .set("parallel_termination", AtomicAction::parallel_termination())
+      .set("messages_sent", static_cast<std::size_t>(stats.sent))
+      .set("messages_lost", static_cast<std::size_t>(stats.lost))
+      .write_file("BENCH_2pc_ablation.json");
 }
 
 }  // namespace mca

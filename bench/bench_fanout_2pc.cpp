@@ -1,0 +1,138 @@
+// A9 (§2): parallel 2PC termination fan-out.
+//
+// Measures end-to-end commit latency of one distributed action updating N
+// remote participants, with the termination path run both serial (the
+// pre-parallel ablation, AtomicAction::set_parallel_termination(false)) and
+// parallel (async RPC fan-out + concurrent shadow prepare + group-committed
+// stores). Serial cost grows ~2N round trips (N prepares + N commits issued
+// back to back); parallel cost stays ~2 round trips because the in-flight
+// exchanges overlap inside the simulated network's delivery queue.
+//
+// Emits BENCH_2pc.json with the latency-vs-participants curve and enforces
+// the acceptance threshold: >= 2.5x lower commit latency at 4 remote
+// participants (>= 1.5x in --smoke mode, which runs far fewer iterations
+// and is wired into ctest under the bench-smoke label). Exits non-zero on a
+// miss so CI catches a regression of the fan-out path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "dist/remote.h"
+#include "objects/recoverable_int.h"
+
+namespace mca {
+namespace {
+
+// Delays chosen large relative to per-message CPU cost so the overlap win
+// is visible on a single-core host: the simulated network assigns delivery
+// times at send, so concurrent in-flight messages genuinely overlap.
+NetworkConfig fanout_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(300);
+  c.max_delay = std::chrono::microseconds(600);
+  return c;
+}
+
+struct Cluster {
+  explicit Cluster(int servers) : net(fanout_config()), client(net, 1) {
+    for (int i = 0; i < servers; ++i) {
+      nodes.push_back(std::make_unique<DistNode>(net, static_cast<NodeId>(2 + i)));
+      objects.push_back(std::make_unique<RecoverableInt>(nodes.back()->runtime(), 0));
+      nodes.back()->host(*objects.back());
+      proxies.emplace_back(client, nodes.back()->id(), objects.back()->uid());
+    }
+  }
+
+  Network net;
+  DistNode client;
+  std::vector<std::unique_ptr<DistNode>> nodes;
+  std::vector<std::unique_ptr<RecoverableInt>> objects;
+  std::vector<RemoteInt> proxies;
+};
+
+// Median commit latency in milliseconds over `iters` measured commits
+// (plus two warmup commits that are discarded).
+double median_commit_ms(bool parallel, int participants, int iters) {
+  AtomicAction::set_parallel_termination(parallel);
+  Cluster cluster(participants);
+  std::vector<double> samples;
+  constexpr int kWarmup = 2;
+  for (int i = 0; i < iters + kWarmup; ++i) {
+    AtomicAction a(cluster.client.runtime());
+    a.begin();
+    for (auto& proxy : cluster.proxies) proxy.add(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (a.commit() != Outcome::Committed) {
+      std::fprintf(stderr, "fanout bench: commit failed (participants=%d)\n", participants);
+      std::exit(2);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (i >= kWarmup) {
+      samples.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int run(bool smoke) {
+  const std::vector<int> participant_counts = smoke ? std::vector<int>{1, 4}
+                                                    : std::vector<int>{1, 2, 4, 8};
+  const int iters = smoke ? 6 : 25;
+  // The smoke threshold is loose on purpose: few iterations on a loaded CI
+  // box are noisy; the full run enforces the real acceptance bar.
+  const double threshold = smoke ? 1.5 : 2.5;
+
+  std::printf("=== A9 / §2 — parallel 2PC termination fan-out (%s) ===\n",
+              smoke ? "smoke" : "full");
+  std::printf("%-14s %14s %14s %10s\n", "participants", "serial ms", "parallel ms", "speedup");
+
+  bench::Json points = bench::Json::array();
+  double speedup_at_4 = 0.0;
+  for (const int n : participant_counts) {
+    const double serial_ms = median_commit_ms(/*parallel=*/false, n, iters);
+    const double parallel_ms = median_commit_ms(/*parallel=*/true, n, iters);
+    const double speedup = serial_ms / parallel_ms;
+    if (n == 4) speedup_at_4 = speedup;
+    std::printf("%-14d %14.3f %14.3f %9.2fx\n", n, serial_ms, parallel_ms, speedup);
+    points.push(bench::Json::object()
+                    .set("participants", n)
+                    .set("serial_commit_ms", serial_ms)
+                    .set("parallel_commit_ms", parallel_ms)
+                    .set("speedup", speedup));
+  }
+  AtomicAction::set_parallel_termination(true);
+
+  const bool pass = speedup_at_4 >= threshold;
+  bench::Json result = bench::Json::object();
+  result.set("bench", "fanout_2pc")
+      .set("experiment", "A9")
+      .set("mode", smoke ? "smoke" : "full")
+      .set("network_min_delay_us", 300)
+      .set("network_max_delay_us", 600)
+      .set("iterations_per_point", iters)
+      .set("points", std::move(points))
+      .set("speedup_at_4_participants", speedup_at_4)
+      .set("threshold", threshold)
+      .set("pass", pass);
+  result.write_file("BENCH_2pc.json");
+
+  std::printf("speedup at 4 participants: %.2fx (threshold %.1fx) — %s\n", speedup_at_4,
+              threshold, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return mca::run(smoke);
+}

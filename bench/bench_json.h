@@ -1,0 +1,159 @@
+// Tiny JSON emitter shared by the bench binaries that write machine-readable
+// result files (BENCH_*.json) next to their human-readable reports.
+//
+// Deliberately minimal: ordered key/value objects, arrays, numbers, strings
+// and booleans — just enough structure for a plotting script or a CI
+// threshold check to consume without scraping stdout. No parsing, no
+// dependencies beyond the standard library.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mca::bench {
+
+class Json {
+ public:
+  static Json object() { return Json(Kind::Object); }
+  static Json array() { return Json(Kind::Array); }
+  static Json number(double v) {
+    Json j(Kind::Number);
+    j.number_ = v;
+    return j;
+  }
+  static Json string(std::string v) {
+    Json j(Kind::String);
+    j.string_ = std::move(v);
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::Bool);
+    j.bool_ = v;
+    return j;
+  }
+
+  Json& set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& set(const std::string& key, double v) { return set(key, number(v)); }
+  Json& set(const std::string& key, int v) { return set(key, number(v)); }
+  Json& set(const std::string& key, std::size_t v) {
+    return set(key, number(static_cast<double>(v)));
+  }
+  Json& set(const std::string& key, const char* v) { return set(key, string(v)); }
+  Json& set(const std::string& key, const std::string& v) { return set(key, string(v)); }
+  Json& set(const std::string& key, bool v) { return set(key, boolean(v)); }
+
+  Json& push(Json value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string dump(int indent = 2) const {
+    std::ostringstream os;
+    write(os, indent, 0);
+    os << '\n';
+    return os.str();
+  }
+
+  // Returns false (and prints a warning) when the file cannot be written;
+  // benches treat the JSON artefact as best-effort.
+  bool write_file(const std::string& path, int indent = 2) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = dump(indent);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  enum class Kind { Object, Array, Number, String, Bool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void write_escaped(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  }
+
+  static void write_number(std::ostringstream& os, double v) {
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      os << static_cast<long long>(v);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      os << buf;
+    }
+  }
+
+  void write(std::ostringstream& os, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    switch (kind_) {
+      case Kind::Number: write_number(os, number_); break;
+      case Kind::String: write_escaped(os, string_); break;
+      case Kind::Bool: os << (bool_ ? "true" : "false"); break;
+      case Kind::Object: {
+        if (members_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << pad;
+          write_escaped(os, members_[i].first);
+          os << ": ";
+          members_[i].second.write(os, indent, depth + 1);
+          if (i + 1 < members_.size()) os << ',';
+          os << '\n';
+        }
+        os << close_pad << '}';
+        break;
+      }
+      case Kind::Array: {
+        if (elements_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          os << pad;
+          elements_[i].write(os, indent, depth + 1);
+          if (i + 1 < elements_.size()) os << ',';
+          os << '\n';
+        }
+        os << close_pad << ']';
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  double number_ = 0;
+  std::string string_;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace mca::bench

@@ -1,7 +1,9 @@
 #include "core/atomic_action.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <stdexcept>
+#include <thread>
 
 #include "common/logging.h"
 #include "objects/lock_managed.h"
@@ -16,7 +18,58 @@ ColourSet initial_colours(AtomicAction* parent, ColourSet explicit_colours) {
   return ColourSet{Colour::plain()};
 }
 
+std::atomic<bool> g_parallel_termination{true};
+
+// Gathers phase-one votes as they complete, whatever order the exchanges
+// finish in. Heap-allocated and captured by shared_ptr in the completion
+// callbacks so a straggler completing after the coordinator moved on (or
+// unwound) writes into live memory.
+struct VoteBoard {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  bool veto = false;
+
+  void note(bool vote) {
+    const std::scoped_lock lock(mutex);
+    ++done;
+    if (!vote) veto = true;
+    cv.notify_all();
+  }
+
+  // Blocks until every vote is in or any vote is a veto; returns veto.
+  bool wait_all_or_veto(std::size_t expected) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return veto || done >= expected; });
+    return veto;
+  }
+};
+
 }  // namespace
+
+void AtomicAction::set_parallel_termination(bool on) { g_parallel_termination.store(on); }
+
+bool AtomicAction::parallel_termination() { return g_parallel_termination.load(); }
+
+TerminationParticipant::Pending TerminationParticipant::start_prepare(
+    const Uid& action, const std::vector<Colour>& permanent_colours) {
+  const bool vote = prepare(action, permanent_colours);
+  return Pending{[vote] { return vote; }, nullptr,
+                 [vote](std::function<void(bool)> fn) { fn(vote); }};
+}
+
+TerminationParticipant::Pending TerminationParticipant::start_commit(
+    const Uid& action, const std::vector<ColourDisposition>& dispositions) {
+  commit(action, dispositions);
+  return Pending{[] { return true; }, nullptr,
+                 [](std::function<void(bool)> fn) { fn(true); }};
+}
+
+TerminationParticipant::Pending TerminationParticipant::start_abort(const Uid& action) {
+  abort(action);
+  return Pending{[] { return true; }, nullptr,
+                 [](std::function<void(bool)> fn) { fn(true); }};
+}
 
 AtomicAction::AtomicAction(Runtime& rt) : AtomicAction(rt, ActionContext::current(), {}) {}
 
@@ -130,26 +183,27 @@ AtomicAction* AtomicAction::nearest_ancestor_with(Colour c) const {
 void AtomicAction::add_participant(std::shared_ptr<TerminationParticipant> participant,
                                    const std::string& key) {
   const std::scoped_lock lock(mutex_);
-  if (!key.empty() &&
-      std::find(participant_keys_.begin(), participant_keys_.end(), key) !=
-          participant_keys_.end()) {
-    return;
+  if (!key.empty()) {
+    const auto [it, inserted] = participant_index_.try_emplace(key, participants_.size());
+    if (!inserted) {
+      MCA_LOG(Warn, "action") << "participant key '" << key << "' already registered on "
+                              << uid_ << "; dropping duplicate";
+      return;
+    }
   }
-  participants_.push_back(std::move(participant));
-  participant_keys_.push_back(key);
+  participants_.push_back(RegisteredParticipant{key, std::move(participant)});
 }
 
 bool AtomicAction::has_participant(const std::string& key) const {
   const std::scoped_lock lock(mutex_);
-  return std::find(participant_keys_.begin(), participant_keys_.end(), key) !=
-         participant_keys_.end();
+  return participant_index_.contains(key);
 }
 
 std::shared_ptr<TerminationParticipant> AtomicAction::participant(const std::string& key) const {
   const std::scoped_lock lock(mutex_);
-  auto it = std::find(participant_keys_.begin(), participant_keys_.end(), key);
-  if (it == participant_keys_.end()) return nullptr;
-  return participants_[static_cast<std::size_t>(it - participant_keys_.begin())];
+  auto it = participant_index_.find(key);
+  if (it == participant_index_.end()) return nullptr;
+  return participants_[it->second].participant;
 }
 
 LockOutcome AtomicAction::lock_for(LockManaged& object, LockMode logical) {
@@ -249,18 +303,100 @@ std::size_t AtomicAction::undo_record_count() const {
 bool AtomicAction::prepare_permanent(const std::vector<Colour>& permanent,
                                      std::vector<UndoRecord*>& prepared) {
   const std::scoped_lock lock(mutex_);
+  if (!parallel_termination()) {
+    // Legacy path: one shadow write (and one durability barrier) at a time.
+    for (UndoRecord& r : undo_) {
+      if (std::find(permanent.begin(), permanent.end(), r.colour) == permanent.end()) continue;
+      try {
+        r.object->store().write_shadow(r.object->make_object_state());
+        prepared.push_back(&r);
+      } catch (const std::exception& e) {
+        MCA_LOG(Warn, "action") << "prepare failed for object " << r.object->uid() << ": "
+                                << e.what();
+        for (UndoRecord* p : prepared) p->object->store().discard_shadow(p->object->uid());
+        prepared.clear();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Group the permanent-colour records per store: each store lands its whole
+  // batch behind one durability barrier (FileStore group commit), and
+  // independent stores write concurrently.
+  std::vector<std::pair<ObjectStore*, std::vector<UndoRecord*>>> batches;
   for (UndoRecord& r : undo_) {
     if (std::find(permanent.begin(), permanent.end(), r.colour) == permanent.end()) continue;
-    try {
-      r.object->store().write_shadow(r.object->make_object_state());
-      prepared.push_back(&r);
-    } catch (const std::exception& e) {
-      MCA_LOG(Warn, "action") << "prepare failed for object " << r.object->uid() << ": "
-                              << e.what();
-      for (UndoRecord* p : prepared) p->object->store().discard_shadow(p->object->uid());
-      prepared.clear();
-      return false;
+    ObjectStore* store = &r.object->store();
+    auto it = std::find_if(batches.begin(), batches.end(),
+                           [&](const auto& b) { return b.first == store; });
+    if (it == batches.end()) {
+      batches.emplace_back(store, std::vector<UndoRecord*>{});
+      it = std::prev(batches.end());
     }
+    it->second.push_back(&r);
+  }
+  if (batches.empty()) return true;
+
+  const auto run_batch = [&](std::size_t i) {
+    std::vector<ObjectState> states;
+    states.reserve(batches[i].second.size());
+    for (UndoRecord* r : batches[i].second) states.push_back(r->object->make_object_state());
+    batches[i].first->write_batch(states, WriteKind::Shadow);
+  };
+
+  std::vector<std::exception_ptr> errors(batches.size());
+  if (batches.size() == 1) {
+    try {
+      run_batch(0);
+    } catch (const std::exception&) {
+      errors[0] = std::current_exception();
+    }
+    // Anything else (a simulated kill) tunnels out, as it always has.
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(batches.size() - 1);
+    for (std::size_t i = 1; i < batches.size(); ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          run_batch(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    try {
+      run_batch(0);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  bool veto = false;
+  std::exception_ptr kill;
+  for (const std::exception_ptr& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      MCA_LOG(Warn, "action") << "prepare batch failed: " << e.what();
+      veto = true;
+    } catch (...) {
+      kill = error;  // CrashPointHit: re-raise on this thread so it tunnels
+    }
+  }
+  if (kill) std::rethrow_exception(kill);
+  if (veto) {
+    // A failed batch may be partially written; discard every uid we touched
+    // (discarding a shadow that never landed is a harmless no-op).
+    for (const auto& [store, records] : batches) {
+      for (UndoRecord* r : records) store->discard_shadow(r->object->uid());
+    }
+    return false;
+  }
+  for (const auto& [store, records] : batches) {
+    for (UndoRecord* r : records) prepared.push_back(r);
   }
   return true;
 }
@@ -298,22 +434,69 @@ Outcome AtomicAction::commit() {
   const auto dispos = dispositions();
   const auto participants = [&] {
     const std::scoped_lock lock(mutex_);
-    return participants_;
+    std::vector<std::shared_ptr<TerminationParticipant>> out;
+    out.reserve(participants_.size());
+    for (const RegisteredParticipant& rp : participants_) out.push_back(rp.participant);
+    return out;
   }();
   MCA_CRASHPOINT("tpc.coord.phase1.pre_send");
-  for (auto& p : participants) {
-    bool ok = false;
-    try {
-      ok = p->prepare(uid_, permanent);
-    } catch (const std::exception& e) {
-      MCA_LOG(Warn, "action") << "participant prepare threw: " << e.what();
+  bool veto = false;
+  if (parallel_termination()) {
+    // Fan phase one out: start every exchange, then gather votes in
+    // completion order. The first no/timeout vote short-circuits — the
+    // stragglers are cancelled and drained before the abort goes out, so a
+    // late tx.prepare retransmit can never land after its tx.abort was
+    // processed with protocol state still live (a mirror-less participant
+    // votes no and writes nothing).
+    auto board = std::make_shared<VoteBoard>();
+    std::vector<TerminationParticipant::Pending> pendings;
+    pendings.reserve(participants.size());
+    for (auto& p : participants) {
+      TerminationParticipant::Pending pend;
+      try {
+        pend = p->start_prepare(uid_, permanent);
+      } catch (const std::exception& e) {
+        MCA_LOG(Warn, "action") << "participant prepare threw: " << e.what();
+        board->note(false);
+        continue;
+      }
+      if (pend.subscribe) {
+        pend.subscribe([board](bool vote) { board->note(vote); });
+      } else if (pend.wait) {
+        board->note(pend.wait());
+      } else {
+        board->note(true);
+      }
+      pendings.push_back(std::move(pend));
     }
-    if (!ok) {
-      for (UndoRecord* r : prepared) r->object->store().discard_shadow(r->object->uid());
-      rt_.note_prepare_failure();
-      abort();
-      return Outcome::Aborted;
+    veto = board->wait_all_or_veto(participants.size());
+    if (veto) {
+      for (auto& pend : pendings) {
+        if (pend.cancel) pend.cancel();
+      }
     }
+    for (auto& pend : pendings) {
+      if (pend.wait) (void)pend.wait();
+    }
+  } else {
+    for (auto& p : participants) {
+      bool ok = false;
+      try {
+        ok = p->prepare(uid_, permanent);
+      } catch (const std::exception& e) {
+        MCA_LOG(Warn, "action") << "participant prepare threw: " << e.what();
+      }
+      if (!ok) {
+        veto = true;
+        break;
+      }
+    }
+  }
+  if (veto) {
+    for (UndoRecord* r : prepared) r->object->store().discard_shadow(r->object->uid());
+    rt_.note_prepare_failure();
+    abort();
+    return Outcome::Aborted;
   }
 
   // Every vote is in but the decision is not durable anywhere: a kill here
@@ -342,11 +525,30 @@ Outcome AtomicAction::commit() {
     }
   }
 
-  for (auto& p : participants) {
-    try {
-      p->commit(uid_, dispos);
-    } catch (const std::exception& e) {
-      MCA_LOG(Error, "action") << "participant commit threw: " << e.what();
+  // Phase two to the participants. The start loop runs in registration
+  // order, so the coordinator log's (inline) commit is durable before the
+  // first remote delivery is even issued; the remote deliveries themselves
+  // overlap and are drained afterwards.
+  if (parallel_termination()) {
+    std::vector<TerminationParticipant::Pending> pendings;
+    pendings.reserve(participants.size());
+    for (auto& p : participants) {
+      try {
+        pendings.push_back(p->start_commit(uid_, dispos));
+      } catch (const std::exception& e) {
+        MCA_LOG(Error, "action") << "participant commit threw: " << e.what();
+      }
+    }
+    for (auto& pend : pendings) {
+      if (pend.wait) (void)pend.wait();
+    }
+  } else {
+    for (auto& p : participants) {
+      try {
+        p->commit(uid_, dispos);
+      } catch (const std::exception& e) {
+        MCA_LOG(Error, "action") << "participant commit threw: " << e.what();
+      }
     }
   }
   {
@@ -371,13 +573,31 @@ void AtomicAction::abort() {
   }
   const auto participants = [&] {
     const std::scoped_lock lock(mutex_);
-    return participants_;
+    std::vector<std::shared_ptr<TerminationParticipant>> out;
+    out.reserve(participants_.size());
+    for (const RegisteredParticipant& rp : participants_) out.push_back(rp.participant);
+    return out;
   }();
-  for (auto& p : participants) {
-    try {
-      p->abort(uid_);
-    } catch (const std::exception& e) {
-      MCA_LOG(Error, "action") << "participant abort threw: " << e.what();
+  if (parallel_termination()) {
+    std::vector<TerminationParticipant::Pending> pendings;
+    pendings.reserve(participants.size());
+    for (auto& p : participants) {
+      try {
+        pendings.push_back(p->start_abort(uid_));
+      } catch (const std::exception& e) {
+        MCA_LOG(Error, "action") << "participant abort threw: " << e.what();
+      }
+    }
+    for (auto& pend : pendings) {
+      if (pend.wait) (void)pend.wait();
+    }
+  } else {
+    for (auto& p : participants) {
+      try {
+        p->abort(uid_);
+      } catch (const std::exception& e) {
+        MCA_LOG(Error, "action") << "participant abort threw: " << e.what();
+      }
     }
   }
   restore_undo_records();
@@ -395,7 +615,7 @@ void AtomicAction::abandon() {
     const std::scoped_lock lock(mutex_);
     undo_.clear();  // the objects' memory was reset by the crash; nothing to undo
     participants_.clear();
-    participant_keys_.clear();
+    participant_index_.clear();
   }
   status_.store(ActionStatus::Aborted);
   end_bookkeeping();

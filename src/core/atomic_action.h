@@ -22,9 +22,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/action_context.h"
@@ -59,15 +62,48 @@ struct ColourDisposition {
 
 // Extension point used by the distributed layer: a participant mirrors the
 // action's effects somewhere else (another node) and takes part in the
-// termination protocol. All callbacks run on the terminating thread.
+// termination protocol.
+//
+// Two surfaces: the blocking prepare/commit/abort virtuals, and the
+// start_* variants the parallel termination path uses to overlap
+// participants. start_* is called on the terminating thread in registration
+// order and does any coordinator-local work inline (heir bookkeeping, log
+// writes, crash points); the returned Pending represents whatever exchange
+// is still in flight. The defaults run the blocking virtual inline and
+// return an already-finished Pending, so a local participant (e.g. the
+// coordinator log) keeps its exact position in the protocol order even
+// when remote participants overlap around it.
 class TerminationParticipant {
  public:
+  // One started termination exchange.
+  //   wait       blocks until the exchange finishes; returns the vote
+  //              (prepare) or true (commit/abort). Must not throw.
+  //   cancel     asks an in-flight exchange to finish early (vote gathering
+  //              short-circuits to abort); null when there is nothing to
+  //              cancel.
+  //   subscribe  registers a completion callback receiving the vote; called
+  //              immediately when already finished. The callback runs on
+  //              whichever thread completes the exchange and must not
+  //              block. Null only when wait is null (empty Pending).
+  struct Pending {
+    std::function<bool()> wait;
+    std::function<void()> cancel;
+    std::function<void(std::function<void(bool)>)> subscribe;
+  };
+
   virtual ~TerminationParticipant() = default;
   // Phase one for the colours that become permanent; false vetoes the commit.
   virtual bool prepare(const Uid& action, const std::vector<Colour>& permanent_colours) = 0;
   // Phase two: apply the per-colour dispositions.
   virtual void commit(const Uid& action, const std::vector<ColourDisposition>& dispositions) = 0;
   virtual void abort(const Uid& action) = 0;
+
+  // Overlappable variants; defaults run the blocking virtual inline.
+  virtual Pending start_prepare(const Uid& action,
+                                const std::vector<Colour>& permanent_colours);
+  virtual Pending start_commit(const Uid& action,
+                               const std::vector<ColourDisposition>& dispositions);
+  virtual Pending start_abort(const Uid& action);
 };
 
 // How logical read/write operations on objects map onto coloured lock
@@ -175,8 +211,8 @@ class AtomicAction {
   void set_lock_plan(LockPlan plan) { plan_ = std::move(plan); }
 
   // Registers a termination participant. A non-empty `key` deduplicates:
-  // re-registering the same key is a no-op (used for one-participant-per-
-  // remote-node bookkeeping).
+  // re-registering the same key drops the newcomer and logs at Warn (used
+  // for one-participant-per-remote-node bookkeeping).
   void add_participant(std::shared_ptr<TerminationParticipant> participant,
                        const std::string& key = "");
   [[nodiscard]] bool has_participant(const std::string& key) const;
@@ -212,6 +248,16 @@ class AtomicAction {
   // Lock acquisition timeout for this action (default LockManager's).
   void set_lock_timeout(std::chrono::milliseconds t) { lock_timeout_ = t; }
 
+  // -- termination-path ablation ----------------------------------------------
+  //
+  // Process-global switch between the parallel termination path (default:
+  // participant exchanges overlap via start_*, shadow writes are batched
+  // per store) and the legacy serial path (blocking calls in registration
+  // order, one shadow write at a time). Kept so both paths stay benchable;
+  // the serial path is also the reference for differential testing.
+  static void set_parallel_termination(bool on);
+  [[nodiscard]] static bool parallel_termination();
+
  private:
   void end_bookkeeping();
   void restore_undo_records();
@@ -224,13 +270,21 @@ class AtomicAction {
   std::atomic<ActionStatus> status_{ActionStatus::Created};
   ContextPolicy context_policy_ = ContextPolicy::OnThread;
 
+  struct RegisteredParticipant {
+    std::string key;  // empty = unkeyed (never deduplicated)
+    std::shared_ptr<TerminationParticipant> participant;
+  };
+
   mutable std::mutex mutex_;  // guards colours_, undo_, participants_
   ColourSet colours_;
   std::optional<Colour> private_colour_;
   LockPlan plan_;
   std::vector<UndoRecord> undo_;
-  std::vector<std::shared_ptr<TerminationParticipant>> participants_;
-  std::vector<std::string> participant_keys_;
+  // Registration order is protocol order (the coordinator log registers
+  // first so its commit callback runs before any remote phase two); the
+  // index gives O(1) keyed lookup instead of the old parallel-vector scan.
+  std::vector<RegisteredParticipant> participants_;
+  std::unordered_map<std::string, std::size_t> participant_index_;
 
   std::atomic<int> active_children_{0};
   std::chrono::milliseconds lock_timeout_ = LockManager::kDefaultTimeout;

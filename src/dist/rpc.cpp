@@ -12,7 +12,71 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Completes `state` exactly once (later completions lose) and fires the
+// registered callback outside the state lock.
+void complete_call(const std::shared_ptr<RpcCallState>& state, RpcResult result) {
+  std::function<void(const RpcResult&)> callback;
+  {
+    const std::scoped_lock lock(state->mutex);
+    if (state->completed) return;
+    state->completed = true;
+    state->result = std::move(result);
+    callback = std::move(state->callback);
+    state->done.notify_all();
+  }
+  if (callback) callback(state->result);
+}
+
+std::shared_ptr<RpcCallState> make_completed_state(RpcResult result) {
+  auto state = std::make_shared<RpcCallState>();
+  state->completed = true;
+  state->result = std::move(result);
+  return state;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcFuture
+// ---------------------------------------------------------------------------
+
+bool RpcFuture::ready() const {
+  if (!state_) return false;
+  const std::scoped_lock lock(state_->mutex);
+  return state_->completed;
+}
+
+RpcResult RpcFuture::get() const {
+  if (!state_) return RpcResult{RpcStatus::Timeout, {}, "invalid future"};
+  std::unique_lock lock(state_->mutex);
+  state_->done.wait(lock, [&] { return state_->completed; });
+  return state_->result;
+}
+
+bool RpcFuture::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) return false;
+  std::unique_lock lock(state_->mutex);
+  return state_->done.wait_for(lock, timeout, [&] { return state_->completed; });
+}
+
+void RpcFuture::cancel() const {
+  if (!state_) return;
+  complete_call(state_, RpcResult{RpcStatus::Timeout, {}, "cancelled"});
+}
+
+void RpcFuture::on_complete(std::function<void(const RpcResult&)> fn) const {
+  if (!state_) return;
+  bool fire = false;
+  {
+    const std::scoped_lock lock(state_->mutex);
+    if (state_->completed) {
+      fire = true;
+    } else {
+      state_->callback = std::move(fn);
+    }
+  }
+  if (fire) fn(state_->result);
+}
 
 RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
                          std::size_t reply_cache_capacity)
@@ -20,12 +84,29 @@ RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
       id_(id),
       reply_cache_capacity_(reply_cache_capacity),
       jitter_state_(0x6D63615F72706300ULL + id),
-      pool_(workers) {
+      pool_(workers),
+      timer_thread_([this] { timer_loop(); }) {
   network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
 }
 
 RpcEndpoint::~RpcEndpoint() {
   network_.detach(id_);
+  {
+    const std::scoped_lock lock(timer_mutex_);
+    timer_stop_ = true;
+    timer_cv_.notify_all();
+  }
+  timer_thread_.join();
+  // Wake anything still blocked on a future; the shared state outlives us.
+  std::vector<std::shared_ptr<RpcCallState>> abandoned;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (auto& [request_id, call] : calls_) abandoned.push_back(call);
+    calls_.clear();
+  }
+  for (auto& call : abandoned) {
+    complete_call(call, RpcResult{RpcStatus::Timeout, {}, "endpoint destroyed"});
+  }
   pool_.shutdown();
 }
 
@@ -64,61 +145,114 @@ void RpcEndpoint::note_call_outcome(NodeId to, bool timed_out) {
   }
 }
 
+std::chrono::milliseconds RpcEndpoint::next_jittered_delay(const RpcCallState& state) {
+  // Decorrelated jitter: delay_n ~ U[initial, min(max, 3 × delay_{n-1})].
+  const auto hi = std::min(state.cap, state.delay * 3);
+  const auto span = (hi - state.initial).count();
+  return state.initial +
+         std::chrono::milliseconds(
+             span > 0 ? static_cast<std::int64_t>(splitmix64(jitter_state_.fetch_add(1)) %
+                                                  static_cast<std::uint64_t>(span + 1))
+                      : 0);
+}
+
+RpcFuture RpcEndpoint::call_async(NodeId to, const std::string& service, ByteBuffer args,
+                                  CallOptions options) {
+  if (should_fail_fast(to)) {
+    return RpcFuture(make_completed_state(RpcResult{
+        RpcStatus::Unreachable, {}, "node " + std::to_string(to) + " suspected down"}));
+  }
+  if (!up_.load()) {
+    return RpcFuture(make_completed_state(RpcResult{RpcStatus::Timeout, {}, "caller is down"}));
+  }
+
+  auto state = std::make_shared<RpcCallState>();
+  const Uid request_id;
+  state->request_id = request_id;
+  state->to = to;
+  state->request = Datagram{id_, to, service, request_id, /*is_reply=*/false, std::move(args)};
+  state->deadline = std::chrono::steady_clock::now() + options.timeout;
+  state->initial = std::max<std::chrono::milliseconds>(options.initial_backoff,
+                                                       std::chrono::milliseconds(1));
+  state->cap = std::max(options.max_backoff, state->initial);
+  state->delay = state->initial;
+  state->retry_budget = options.retry_budget;
+  {
+    const std::scoped_lock lock(mutex_);
+    calls_[request_id] = state;
+  }
+
+  // First transmission happens on the issuing thread; the timer takes over
+  // from the first retransmit slot on.
+  network_.send(state->request);
+  state->sends = 1;
+  state->delay = next_jittered_delay(*state);
+  schedule_timer(std::min(std::chrono::steady_clock::now() + state->delay, state->deadline),
+                 state);
+  return RpcFuture(std::move(state));
+}
+
 RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer args,
                             CallOptions options) {
-  if (should_fail_fast(to)) {
-    return RpcResult{RpcStatus::Unreachable, {},
-                     "node " + std::to_string(to) + " suspected down"};
-  }
+  return call_async(to, service, std::move(args), options).get();
+}
 
-  auto pending = std::make_shared<PendingCall>();
-  const Uid request_id;
-  {
-    const std::scoped_lock lock(mutex_);
-    calls_[request_id] = pending;
-  }
+void RpcEndpoint::schedule_timer(std::chrono::steady_clock::time_point due,
+                                 std::shared_ptr<RpcCallState> state) {
+  const std::scoped_lock lock(timer_mutex_);
+  timer_queue_.push(TimerEvent{due, std::move(state)});
+  timer_cv_.notify_all();
+}
 
-  Datagram request{id_, to, service, request_id, /*is_reply=*/false, std::move(args)};
-  const auto deadline = std::chrono::steady_clock::now() + options.timeout;
-
-  // Decorrelated jitter: delay_n ~ U[initial, min(max, 3 × delay_{n-1})].
-  const auto initial = std::max<std::chrono::milliseconds>(options.initial_backoff,
-                                                           std::chrono::milliseconds(1));
-  const auto cap = std::max(options.max_backoff, initial);
-  auto delay = initial;
-  int sends = 0;
-
-  RpcResult result;
-  {
-    std::unique_lock lock(pending->mutex);
-    while (!pending->completed) {
-      if (!up_.load()) break;  // we crashed mid-call
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) break;
-      auto wait = deadline - now;
-      if (options.retry_budget <= 0 || sends < options.retry_budget) {
-        network_.send(request);  // (re)transmit
-        ++sends;
-        const auto hi = std::min(cap, delay * 3);
-        const auto span = (hi - initial).count();
-        delay = initial + std::chrono::milliseconds(
-                              span > 0 ? static_cast<std::int64_t>(
-                                             splitmix64(jitter_state_.fetch_add(1)) %
-                                             static_cast<std::uint64_t>(span + 1))
-                                       : 0);
-        wait = std::min<std::chrono::steady_clock::duration>(wait, delay);
-      }
-      // Budget spent: just wait out the remaining timeout for a late reply.
-      pending->done.wait_for(lock, wait);
+void RpcEndpoint::timer_loop() {
+  std::unique_lock lock(timer_mutex_);
+  while (!timer_stop_) {
+    if (timer_queue_.empty()) {
+      timer_cv_.wait(lock);
+      continue;
     }
-    if (pending->completed) result = std::move(pending->result);
+    const auto due = timer_queue_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      timer_cv_.wait_until(lock, due);
+      continue;
+    }
+    auto state = timer_queue_.top().state;
+    timer_queue_.pop();
+    lock.unlock();
+    process_call_timer(state);
+    lock.lock();
   }
+}
+
+void RpcEndpoint::process_call_timer(const std::shared_ptr<RpcCallState>& state) {
   {
-    const std::scoped_lock lock(mutex_);
-    calls_.erase(request_id);
+    const std::scoped_lock lock(state->mutex);
+    if (state->completed) {
+      // Reply, cancel or crash already settled it; drop our table entry.
+      const std::scoped_lock table_lock(mutex_);
+      calls_.erase(state->request_id);
+      return;
+    }
   }
-  if (up_.load()) note_call_outcome(to, result.status == RpcStatus::Timeout);
-  return result;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= state->deadline || !up_.load()) {
+    {
+      const std::scoped_lock lock(mutex_);
+      calls_.erase(state->request_id);
+    }
+    complete_call(state, RpcResult{RpcStatus::Timeout, {}, {}});
+    if (up_.load()) note_call_outcome(state->to, /*timed_out=*/true);
+    return;
+  }
+  auto next = state->deadline;
+  if (state->retry_budget <= 0 || state->sends < state->retry_budget) {
+    network_.send(state->request);  // retransmit
+    ++state->sends;
+    state->delay = next_jittered_delay(*state);
+    next = std::min(now + state->delay, state->deadline);
+  }
+  // Budget spent: just wait out the remaining timeout for a late reply.
+  schedule_timer(next, state);
 }
 
 void RpcEndpoint::set_health_options(HealthOptions options) {
@@ -163,7 +297,7 @@ std::chrono::milliseconds RpcEndpoint::peer_probe_wait(NodeId peer) const {
 void RpcEndpoint::crash() {
   up_.store(false);
   network_.set_up(id_, false);
-  std::vector<std::shared_ptr<PendingCall>> abandoned;
+  std::vector<std::shared_ptr<RpcCallState>> abandoned;
   {
     const std::scoped_lock lock(mutex_);
     ++epoch_;
@@ -175,10 +309,7 @@ void RpcEndpoint::crash() {
     calls_.clear();
   }
   for (auto& call : abandoned) {
-    const std::scoped_lock lock(call->mutex);
-    call->completed = true;
-    call->result = RpcResult{RpcStatus::Timeout, {}, "caller crashed"};
-    call->done.notify_all();
+    complete_call(call, RpcResult{RpcStatus::Timeout, {}, "caller crashed"});
   }
 }
 
@@ -211,16 +342,15 @@ void RpcEndpoint::cache_reply_locked(const Uid& request_id, Datagram reply) {
 void RpcEndpoint::on_datagram(Datagram d) {
   if (!up_.load()) return;
   if (d.is_reply) {
-    std::shared_ptr<PendingCall> call;
+    std::shared_ptr<RpcCallState> call;
     {
       const std::scoped_lock lock(mutex_);
       auto it = calls_.find(d.request_id);
       if (it == calls_.end()) return;  // late duplicate reply
       call = it->second;
+      calls_.erase(it);
+      peers_.erase(d.from);  // any reply clears suspicion of its sender
     }
-    const std::scoped_lock lock(call->mutex);
-    if (call->completed) return;
-    call->completed = true;
     ByteBuffer& payload = d.payload;
     RpcResult r;
     r.status = static_cast<RpcStatus>(payload.unpack_u8());
@@ -229,8 +359,7 @@ void RpcEndpoint::on_datagram(Datagram d) {
     } else {
       r.error = payload.unpack_string();
     }
-    call->result = std::move(r);
-    call->done.notify_all();
+    complete_call(call, std::move(r));
     return;
   }
 

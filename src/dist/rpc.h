@@ -1,16 +1,21 @@
 // RPC over the simulated network (paper §2: operations on remote objects are
 // invoked via an RPC mechanism).
 //
-// Client side: call() retransmits the request until a reply arrives or the
-// timeout expires, masking message loss. Retransmission uses exponential
-// backoff with decorrelated jitter (each delay is drawn uniformly from
-// [initial_backoff, min(max_backoff, 3 × previous delay)]), bounded by a
-// retry budget — a failed call costs O(budget) datagrams instead of
-// timeout / interval. A per-peer health tracker counts consecutive
-// timeouts; once a peer is suspected down, calls to it fail fast with
-// RpcStatus::Unreachable instead of burning the full timeout, except for a
-// periodic probe call whose interval decays (doubles, up to a cap) while
-// the peer stays silent. Any successful exchange clears suspicion.
+// Client side: call_async() registers the call and hands retransmission to
+// the endpoint's timer thread, which resends until a reply arrives or the
+// timeout expires, masking message loss; call() is call_async().get().
+// Retransmission uses exponential backoff with decorrelated jitter (each
+// delay is drawn uniformly from [initial_backoff, min(max_backoff,
+// 3 × previous delay)]), bounded by a retry budget — a failed call costs
+// O(budget) datagrams instead of timeout / interval. Because the schedule
+// lives on the timer thread, a caller can hold any number of calls in
+// flight at once (the commit protocol fans phase one/two out this way) and
+// no thread is pinned per outstanding call. A per-peer health tracker
+// counts consecutive timeouts; once a peer is suspected down, calls to it
+// fail fast with RpcStatus::Unreachable instead of burning the full
+// timeout, except for a periodic probe call whose interval decays (doubles,
+// up to a cap) while the peer stays silent. Any successful exchange clears
+// suspicion.
 // Server side: requests are executed
 // on the node's thread pool; a reply cache keyed by request id gives
 // at-most-once execution — a retransmitted request whose execution already
@@ -33,6 +38,8 @@
 #include <functional>
 #include <list>
 #include <optional>
+#include <queue>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -77,6 +84,68 @@ struct HealthOptions {
   std::chrono::milliseconds probe_max{2'000};
 };
 
+// Shared state of one asynchronous call: the future/promise cell plus the
+// retransmission bookkeeping the timer thread works from. Owned jointly by
+// the issuing RpcFuture(s), the endpoint's call table and its timer queue,
+// so a future stays usable after the endpoint is gone.
+struct RpcCallState {
+  std::mutex mutex;
+  std::condition_variable done;
+  bool completed = false;
+  RpcResult result;
+  // At most one; fired exactly once, outside the state lock, when the call
+  // completes.
+  std::function<void(const RpcResult&)> callback;
+
+  // Retransmission schedule. Written by the issuing thread before the first
+  // timer event is scheduled and by the timer thread afterwards (the timer
+  // queue's mutex orders the hand-over); never touched concurrently.
+  Datagram request;
+  Uid request_id = Uid::nil();
+  NodeId to = 0;
+  std::chrono::steady_clock::time_point deadline{};
+  std::chrono::milliseconds initial{0};
+  std::chrono::milliseconds cap{0};
+  std::chrono::milliseconds delay{0};
+  int sends = 0;
+  int retry_budget = 0;
+};
+
+// Handle on an in-flight (or finished) asynchronous call. Copyable; all
+// copies share one RpcCallState. A default-constructed future is invalid.
+class RpcFuture {
+ public:
+  RpcFuture() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool ready() const;
+
+  // Blocks until the call completes (reply, timeout, cancel or endpoint
+  // crash/destruction) and returns a copy of the result. May be called from
+  // any thread, any number of times.
+  [[nodiscard]] RpcResult get() const;
+
+  // Waits up to `timeout`; true when the call has completed.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+
+  // Completes the call immediately with Timeout/"cancelled" if it has not
+  // completed yet. Retransmission stops at the next timer slot; a late
+  // reply is ignored. A cancelled call never charges peer health.
+  void cancel() const;
+
+  // Registers a completion callback, invoked exactly once with the result
+  // (immediately when already complete). At most one callback per call; the
+  // callback runs on whichever thread completes the call (reply delivery,
+  // timer, canceller) and must not block.
+  void on_complete(std::function<void(const RpcResult&)> fn) const;
+
+ private:
+  friend class RpcEndpoint;
+  explicit RpcFuture(std::shared_ptr<RpcCallState> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<RpcCallState> state_;
+};
+
 class RpcEndpoint {
  public:
   // A service computes a reply payload; throwing maps to RpcStatus::AppError
@@ -96,7 +165,14 @@ class RpcEndpoint {
 
   void register_service(const std::string& name, Service service);
 
-  // Blocking remote call with retransmission.
+  // Starts a remote call and returns immediately; the endpoint's timer
+  // thread drives retransmission. The future completes with the reply, a
+  // Timeout at the deadline, or Unreachable straight away when the peer is
+  // suspected down and no probe is due.
+  [[nodiscard]] RpcFuture call_async(NodeId to, const std::string& service, ByteBuffer args,
+                                     CallOptions options = {});
+
+  // Blocking remote call with retransmission: call_async().get().
   [[nodiscard]] RpcResult call(NodeId to, const std::string& service, ByteBuffer args,
                                CallOptions options = {});
 
@@ -135,13 +211,6 @@ class RpcEndpoint {
   void on_datagram(Datagram d);
   void serve(Datagram d);
 
-  struct PendingCall {
-    std::mutex mutex;
-    std::condition_variable done;
-    bool completed = false;
-    RpcResult result;
-  };
-
   struct PeerHealth {
     int consecutive_timeouts = 0;
     std::chrono::milliseconds current_probe_interval{0};
@@ -153,6 +222,14 @@ class RpcEndpoint {
   // concurrent callers do not all probe at once.
   [[nodiscard]] bool should_fail_fast(NodeId to);
   void note_call_outcome(NodeId to, bool timed_out);
+
+  // Timer thread: pops due retransmit slots and either resends, completes
+  // the call at its deadline, or drops the entry of a finished call.
+  void timer_loop();
+  void process_call_timer(const std::shared_ptr<RpcCallState>& state);
+  void schedule_timer(std::chrono::steady_clock::time_point due,
+                      std::shared_ptr<RpcCallState> state);
+  [[nodiscard]] std::chrono::milliseconds next_jittered_delay(const RpcCallState& state);
 
   Network& network_;
   NodeId id_;
@@ -169,7 +246,7 @@ class RpcEndpoint {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Service> services_;
-  std::unordered_map<Uid, std::shared_ptr<PendingCall>> calls_;
+  std::unordered_map<Uid, std::shared_ptr<RpcCallState>> calls_;
   std::unordered_map<Uid, CachedReply> reply_cache_;
   std::list<Uid> reply_lru_;  // front = most recently used
   std::size_t reply_cache_capacity_;
@@ -180,7 +257,19 @@ class RpcEndpoint {
   std::unordered_map<NodeId, PeerHealth> peers_;
   std::atomic<std::uint64_t> jitter_state_;  // splitmix64 stream for backoff
 
+  struct TimerEvent {
+    std::chrono::steady_clock::time_point due;
+    std::shared_ptr<RpcCallState> state;
+    bool operator>(const TimerEvent& other) const { return due > other.due; }
+  };
+
+  std::mutex timer_mutex_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<>> timer_queue_;
+  bool timer_stop_ = false;
+
   ThreadPool pool_;
+  std::thread timer_thread_;  // constructed last, joined first
 };
 
 }  // namespace mca

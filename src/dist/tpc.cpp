@@ -1,6 +1,7 @@
 #include "dist/tpc.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -21,6 +22,38 @@ Uid marker_uid(const Uid& action) {
 Uid log_uid(const Uid& action) {
   return Uid(action.hi() ^ 0x4D43415F434C4F47ULL, action.lo());
 }
+
+// Number of blocking re-deliveries a phase-two wait() makes after the
+// initial async attempt fails. With peer suspicion the early retries burn a
+// call timeout each and later ones fail fast at the probe slots; a node
+// down longer than the budget is resolved by its own recovery daemon
+// against the coordinator log.
+constexpr int kPhaseTwoRetries = 6;
+
+// Cancellable pause shared between a Pending's wait and cancel closures, so
+// a retry ladder sleeping towards its next probe slot can be cut short.
+struct RetryState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool cancelled = false;
+
+  // Sleeps up to `d`; false when cancelled (now or mid-sleep).
+  bool sleep(std::chrono::milliseconds d) {
+    std::unique_lock lock(mutex);
+    return !cv.wait_for(lock, d, [&] { return cancelled; });
+  }
+
+  void cancel() {
+    const std::scoped_lock lock(mutex);
+    cancelled = true;
+    cv.notify_all();
+  }
+
+  bool is_cancelled() {
+    const std::scoped_lock lock(mutex);
+    return cancelled;
+  }
+};
 
 }  // namespace
 
@@ -82,16 +115,28 @@ bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& per
   mirror.prepared.clear();
   MCA_CRASHPOINT("tpc.participant.prepare.pre_shadow");
   try {
+    // Collect the shadow states per store first, then hand each store the
+    // whole batch: a group-committing store coalesces the per-write
+    // directory barriers into one.
+    std::vector<std::pair<ObjectStore*, std::vector<ObjectState>>> batches;
     for (const Colour c : permanent) {
       // Peek at the records of this colour (extract, then re-adopt: abort
       // must still be able to undo them).
       auto records = mirror.action->extract_records(c);
       for (const UndoRecord& r : records) {
-        r.object->store().write_shadow(r.object->make_object_state());
+        ObjectStore* store = &r.object->store();
+        auto bit = std::find_if(batches.begin(), batches.end(),
+                                [store](const auto& b) { return b.first == store; });
+        if (bit == batches.end()) {
+          batches.emplace_back(store, std::vector<ObjectState>{});
+          bit = std::prev(batches.end());
+        }
+        bit->second.push_back(r.object->make_object_state());
         mirror.prepared.emplace_back(r.object->uid(), c);
       }
       mirror.action->adopt_records(std::move(records));
     }
+    for (auto& [store, states] : batches) store->write_batch(states, WriteKind::Shadow);
   } catch (const std::exception& e) {
     MCA_LOG(Warn, "tpc") << "prepare " << action << " failed: " << e.what();
     for (const auto& [uid, colour] : mirror.prepared) {
@@ -292,25 +337,59 @@ RpcParticipant::RpcParticipant(DistNode& local, NodeId target, AtomicAction& own
 std::string RpcParticipant::key_for(NodeId target) { return "node:" + std::to_string(target); }
 
 bool RpcParticipant::prepare(const Uid& action, const std::vector<Colour>& permanent) {
+  Pending pending = start_prepare(action, permanent);
+  return pending.wait ? pending.wait() : true;
+}
+
+void RpcParticipant::commit(const Uid& action,
+                            const std::vector<ColourDisposition>& dispositions) {
+  Pending pending = start_commit(action, dispositions);
+  if (pending.wait) (void)pending.wait();
+}
+
+void RpcParticipant::abort(const Uid& action) {
+  Pending pending = start_abort(action);
+  if (pending.wait) (void)pending.wait();
+}
+
+TerminationParticipant::Pending RpcParticipant::start_prepare(
+    const Uid& action, const std::vector<Colour>& permanent) {
   if (!armed_.load()) {
-    abort(action);  // best-effort cleanup of a possible orphaned execution
-    return true;
+    // No server-side state to vote over: vote yes immediately and send a
+    // best-effort abort to clean any orphaned execution. The cleanup rides
+    // in the Pending so the caller drains it before phase two.
+    Pending cleanup = start_abort(action);
+    return Pending{[wait = std::move(cleanup.wait)] {
+                     if (wait) (void)wait();
+                     return true;
+                   },
+                   std::move(cleanup.cancel),
+                   [](std::function<void(bool)> fn) { fn(true); }};
   }
   ByteBuffer args;
   args.pack_uid(action);
   args.pack_u32(local_.id());
   args.pack_u32(static_cast<std::uint32_t>(permanent.size()));
   for (const Colour c : permanent) wire::pack_colour(args, c);
-  RpcResult r = local_.rpc().call(
+  RpcFuture fut = local_.rpc().call_async(
       target_, "tx.prepare", std::move(args),
       CallOptions{local_.tpc_call_timeout(), std::chrono::milliseconds(100)});
-  if (!r.ok()) return false;
-  return r.payload.unpack_bool();
+  const auto interpret = [](const RpcResult& r) {
+    if (!r.ok()) return false;
+    ByteBuffer payload = r.payload;
+    return payload.unpack_bool();
+  };
+  return Pending{[fut, interpret] { return interpret(fut.get()); },
+                 [fut] { fut.cancel(); },
+                 [fut, interpret](std::function<void(bool)> fn) {
+                   fut.on_complete(
+                       [fn = std::move(fn), interpret](const RpcResult& r) { fn(interpret(r)); });
+                 }};
 }
 
-void RpcParticipant::commit(const Uid& action,
-                            const std::vector<ColourDisposition>& dispositions) {
-  if (!armed_.load()) return;
+TerminationParticipant::Pending RpcParticipant::start_commit(
+    const Uid& action, const std::vector<ColourDisposition>& dispositions) {
+  if (!armed_.load()) return Pending{};
   std::vector<wire::HeirInfo> heirs;
   for (const ColourDisposition& d : dispositions) {
     wire::HeirInfo h;
@@ -346,21 +425,40 @@ void RpcParticipant::commit(const Uid& action,
   wire::pack_heirs(args, heirs);
 
   // Fires once per remote participant: armed with skip=k, the coordinator
-  // dies having told exactly k participants the outcome.
+  // dies having fanned the outcome out to exactly k participants.
   MCA_CRASHPOINT("tpc.coord.commit.pre_send");
-  // Phase two must reach the participant: retry (bounded); if the node is
-  // down longer than this, its recovery asks the coordinator log instead.
   const CallOptions options{local_.tpc_call_timeout(), std::chrono::milliseconds(100)};
-  for (int attempt = 0; attempt < 20; ++attempt) {
-    RpcResult r = local_.rpc().call(target_, "tx.commit", args, options);
-    if (r.ok()) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
-  MCA_LOG(Warn, "tpc") << "commit " << action << " to node " << target_
-                       << " undelivered; participant recovery will resolve it";
+  RpcFuture fut = local_.rpc().call_async(target_, "tx.commit", args, options);
+  auto retry = std::make_shared<RetryState>();
+  auto wait = [this, fut, args = std::move(args), options, retry, action]() mutable {
+    RpcResult r = fut.get();
+    // Phase two must reach the participant: re-deliver through the
+    // peer-health layer — sleep to the suspected peer's probe slot and let
+    // the call be the probe (call_blocking's pattern). A node down past the
+    // budget resolves the action itself, from the coordinator log.
+    for (int attempt = 0; !r.ok() && attempt < kPhaseTwoRetries; ++attempt) {
+      const auto pause = std::max<std::chrono::milliseconds>(
+          local_.rpc().peer_probe_wait(target_), std::chrono::milliseconds(10));
+      if (!retry->sleep(pause)) break;  // cancelled
+      r = local_.rpc().call(target_, "tx.commit", args, options);
+    }
+    if (!r.ok()) {
+      MCA_LOG(Warn, "tpc") << "commit " << action << " to node " << target_
+                           << " undelivered; participant recovery will resolve it";
+    }
+    return true;
+  };
+  return Pending{std::move(wait),
+                 [fut, retry] {
+                   retry->cancel();
+                   fut.cancel();
+                 },
+                 [fut](std::function<void(bool)> fn) {
+                   fut.on_complete([fn = std::move(fn)](const RpcResult&) { fn(true); });
+                 }};
 }
 
-void RpcParticipant::abort(const Uid& action) {
+TerminationParticipant::Pending RpcParticipant::start_abort(const Uid& action) {
   MCA_CRASHPOINT("tpc.coord.abort.pre_send");
   ByteBuffer args;
   args.pack_uid(action);
@@ -368,10 +466,23 @@ void RpcParticipant::abort(const Uid& action) {
   // short so aborting against a crashed node is cheap.
   const CallOptions options{std::chrono::milliseconds(300), std::chrono::milliseconds(100)};
   const int attempts = armed_.load() ? 3 : 1;
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    RpcResult r = local_.rpc().call(target_, "tx.abort", args, options);
-    if (r.ok()) return;
-  }
+  RpcFuture fut = local_.rpc().call_async(target_, "tx.abort", args, options);
+  auto retry = std::make_shared<RetryState>();
+  auto wait = [this, fut, args = std::move(args), options, retry, attempts]() mutable {
+    RpcResult r = fut.get();
+    for (int attempt = 1; !r.ok() && attempt < attempts && !retry->is_cancelled(); ++attempt) {
+      r = local_.rpc().call(target_, "tx.abort", args, options);
+    }
+    return true;
+  };
+  return Pending{std::move(wait),
+                 [fut, retry] {
+                   retry->cancel();
+                   fut.cancel();
+                 },
+                 [fut](std::function<void(bool)> fn) {
+                   fut.on_complete([fn = std::move(fn)](const RpcResult&) { fn(true); });
+                 }};
 }
 
 void CoordinatorLogParticipant::commit(const Uid& action,

@@ -144,9 +144,21 @@ class RpcParticipant final : public TerminationParticipant {
   void note_success() { armed_.store(true); }
   [[nodiscard]] bool armed() const { return armed_.load(); }
 
+  // Blocking surface: start_*().wait() thin wrappers (used by the serial
+  // ablation path).
   bool prepare(const Uid& action, const std::vector<Colour>& permanent) override;
   void commit(const Uid& action, const std::vector<ColourDisposition>& dispositions) override;
   void abort(const Uid& action) override;
+
+  // Overlappable surface used by the parallel termination path. The
+  // coordinator-local work (heir bookkeeping, crash points) runs inline on
+  // the terminating thread; the RPC exchange rides an RpcFuture. Phase-two
+  // delivery retries through the peer-health machinery (the suspected
+  // peer's probe slot is the retry time) instead of a fixed sleep ladder.
+  Pending start_prepare(const Uid& action, const std::vector<Colour>& permanent) override;
+  Pending start_commit(const Uid& action,
+                       const std::vector<ColourDisposition>& dispositions) override;
+  Pending start_abort(const Uid& action) override;
 
  private:
   DistNode& local_;

@@ -95,7 +95,8 @@ std::optional<ObjectState> FileStore::read_and_quarantine(const fs::path& path) 
   }
 }
 
-void FileStore::write_atomically(const fs::path& path, const ObjectState& state) {
+void FileStore::write_atomically(const fs::path& path, const ObjectState& state,
+                                 bool defer_dir_fsync) {
   const fs::path tmp = path.string() + kTmpSuffix;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -110,6 +111,22 @@ void FileStore::write_atomically(const fs::path& path, const ObjectState& state)
   // not change. The startup scavenger reclaims the orphan.
   MCA_CRASHPOINT("store.file.write.pre_rename");
   fs::rename(tmp, path);  // atomic commit point
+  if (options_.fsync_before_rename && !defer_dir_fsync) fsync_path(dir_, stats_.fsyncs);
+}
+
+void FileStore::write_batch(const std::vector<ObjectState>& states, WriteKind kind) {
+  if (!options_.group_commit) {
+    ObjectStore::write_batch(states, kind);
+    return;
+  }
+  const std::scoped_lock lock(mutex_);
+  for (const ObjectState& state : states) {
+    const fs::path path =
+        kind == WriteKind::Shadow ? shadow_file_path(state.uid()) : committed_file_path(state.uid());
+    write_atomically(path, state, /*defer_dir_fsync=*/true);
+  }
+  // One directory-wide barrier makes the whole batch's renames durable
+  // together; each file's data was already fsynced individually above.
   if (options_.fsync_before_rename) fsync_path(dir_, stats_.fsyncs);
 }
 

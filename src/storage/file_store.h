@@ -42,6 +42,12 @@ class FileStore final : public ObjectStore {
     bool fsync_before_rename = false;
     // Run the stale-artifact sweep when the store is opened.
     bool scavenge_on_open = true;
+    // Group commit for write_batch(): each file still gets its own data
+    // fsync, but the per-write directory fsync is coalesced into a single
+    // directory-wide barrier after the batch's renames — N+1 fsyncs for an
+    // N-write prepare batch instead of 2N. Only meaningful together with
+    // fsync_before_rename.
+    bool group_commit = true;
   };
 
   struct Stats {
@@ -60,6 +66,10 @@ class FileStore final : public ObjectStore {
   void write(const ObjectState& state) override;
   bool remove(const Uid& uid) override;
   [[nodiscard]] std::vector<Uid> uids() const override;
+
+  // Group-committed batch (see Options::group_commit); falls back to the
+  // sequential default when group commit is off.
+  void write_batch(const std::vector<ObjectState>& states, WriteKind kind) override;
 
   void write_shadow(const ObjectState& state) override;
   [[nodiscard]] std::optional<ObjectState> read_shadow(const Uid& uid) const override;
@@ -87,7 +97,8 @@ class FileStore final : public ObjectStore {
  private:
   [[nodiscard]] std::optional<ObjectState> read_and_quarantine(
       const std::filesystem::path& path) const;
-  void write_atomically(const std::filesystem::path& path, const ObjectState& state);
+  void write_atomically(const std::filesystem::path& path, const ObjectState& state,
+                        bool defer_dir_fsync = false);
   void scavenge_locked();
 
   mutable std::mutex mutex_;

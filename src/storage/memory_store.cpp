@@ -27,6 +27,12 @@ std::vector<Uid> MemoryStore::uids() const {
   return out;
 }
 
+void MemoryStore::write_batch(const std::vector<ObjectState>& states, WriteKind kind) {
+  const std::scoped_lock lock(mutex_);
+  auto& side = kind == WriteKind::Shadow ? shadows_ : committed_;
+  for (const ObjectState& state : states) side[state.uid()] = state;
+}
+
 void MemoryStore::write_shadow(const ObjectState& state) {
   const std::scoped_lock lock(mutex_);
   shadows_[state.uid()] = state;

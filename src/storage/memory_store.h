@@ -22,6 +22,9 @@ class MemoryStore final : public ObjectStore {
   bool remove(const Uid& uid) override;
   [[nodiscard]] std::vector<Uid> uids() const override;
 
+  // One lock acquisition for the whole batch.
+  void write_batch(const std::vector<ObjectState>& states, WriteKind kind) override;
+
   void write_shadow(const ObjectState& state) override;
   [[nodiscard]] std::optional<ObjectState> read_shadow(const Uid& uid) const override;
   bool commit_shadow(const Uid& uid) override;

@@ -19,6 +19,9 @@ namespace mca {
 
 enum class StorageClass { Stable, Volatile };
 
+// Which side of the store a batched write lands on.
+enum class WriteKind { Committed, Shadow };
+
 class ObjectStore {
  public:
   virtual ~ObjectStore() = default;
@@ -28,6 +31,22 @@ class ObjectStore {
   virtual void write(const ObjectState& state) = 0;
   virtual bool remove(const Uid& uid) = 0;
   [[nodiscard]] virtual std::vector<Uid> uids() const = 0;
+
+  // Writes a batch of states of one kind. The default is the sequential
+  // loop; stores with a cheaper grouped path override it (FileStore
+  // coalesces the batch's durability barriers into one, MemoryStore takes
+  // its lock once). A batch is NOT atomic: a crash mid-batch leaves a
+  // prefix written, exactly like the sequential loop — the commit
+  // protocol's markers and shadows own recovery of partial batches.
+  virtual void write_batch(const std::vector<ObjectState>& states, WriteKind kind) {
+    for (const ObjectState& state : states) {
+      if (kind == WriteKind::Shadow) {
+        write_shadow(state);
+      } else {
+        write(state);
+      }
+    }
+  }
 
   // Shadow (prepared-but-uncommitted) states.
   virtual void write_shadow(const ObjectState& state) = 0;

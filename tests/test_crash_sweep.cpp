@@ -351,11 +351,16 @@ INSTANTIATE_TEST_SUITE_P(AllWindows, CrashSweep, ::testing::ValuesIn(kSweepCases
 class CrashRecoveryWindows : public ::testing::Test {
  protected:
   // Kills node 2 in phase two with the decision durable, leaving it in
-  // doubt; returns the action uid.
+  // doubt; returns the action uid. The setup transfer runs on the serial
+  // termination path: parallel fan-out races both participants' phase-two
+  // handlers at the armed window, so skip=0 would kill whichever node's
+  // handler reaches it first — this fixture needs it to be node 2.
   Uid kill_p1_in_doubt(Cluster& cl) {
+    AtomicAction::set_parallel_termination(false);
     crash_points::reset();
     crash_points::arm("tpc.participant.commit.pre_promote", 0);
     const Uid action = cl.run_transfer();
+    AtomicAction::set_parallel_termination(true);
     EXPECT_EQ(crash_points::last_fired().value_or("<none>"),
               "tpc.participant.commit.pre_promote");
     EXPECT_FALSE(cl.p1.up());
