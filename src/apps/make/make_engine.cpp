@@ -1,6 +1,8 @@
 #include "apps/make/make_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <latch>
 #include <semaphore>
 #include <thread>
 
@@ -40,6 +42,9 @@ struct MakeEngine::RunState {
   std::unordered_map<std::string, std::shared_future<void>> memo;
   // make -j limiter for command execution (null = unlimited).
   std::unique_ptr<std::counting_semaphore<1024>> job_slots;
+  // Prerequisite branches currently offloaded to the executor (bounded by
+  // options.fanout_parallel when non-zero).
+  std::atomic<std::size_t> fanout_in_flight{0};
 };
 
 MakeReport MakeEngine::run(const std::string& goal, const MakeOptions& options) {
@@ -128,20 +133,37 @@ void MakeEngine::ensure(const std::string& target, RunState& state) {
         }
       });
     } else {
-      // Phase (i): make every prerequisite consistent first.
+      // Phase (i): make every prerequisite consistent first. Branches ride
+      // the runtime executor's blocking lane (they may block on locks, job
+      // slots and each other's memo futures); a branch the engine-side
+      // bound or the lane refuses runs inline here — same result, less
+      // overlap.
       if (state.options.concurrent && rule->prerequisites.size() > 1) {
-        std::vector<std::thread> threads;
-        std::vector<std::exception_ptr> failures(rule->prerequisites.size());
-        for (std::size_t i = 0; i < rule->prerequisites.size(); ++i) {
-          threads.emplace_back([this, &state, &rule, &failures, i] {
+        const std::size_t n = rule->prerequisites.size();
+        std::vector<std::exception_ptr> failures(n);
+        std::latch done(static_cast<std::ptrdiff_t>(n));
+        for (std::size_t i = 0; i < n; ++i) {
+          auto work = [this, &state, rule, &failures, &done, i] {
             try {
               ensure(rule->prerequisites[i], state);
             } catch (...) {
               failures[i] = std::current_exception();
             }
-          });
+            done.count_down();
+          };
+          bool offloaded = false;
+          const std::size_t bound = state.options.fanout_parallel;
+          if (bound == 0 || state.fanout_in_flight.load() < bound) {
+            state.fanout_in_flight.fetch_add(1);
+            offloaded = rt_.executor().try_submit_blocking([&state, work] {
+              work();
+              state.fanout_in_flight.fetch_sub(1);
+            });
+            if (!offloaded) state.fanout_in_flight.fetch_sub(1);
+          }
+          if (!offloaded) work();
         }
-        for (auto& t : threads) t.join();
+        done.wait();
         for (const auto& failure : failures) {
           if (failure) std::rethrow_exception(failure);
         }

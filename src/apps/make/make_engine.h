@@ -67,6 +67,11 @@ struct MakeOptions {
   // Upper bound on simultaneously executing command steps (make -j);
   // 0 = unlimited.
   std::size_t max_parallel = 0;
+  // Upper bound on prerequisite branches offloaded to the runtime executor
+  // at once; branches past the bound run inline on the submitting thread.
+  // 0 = no engine-side bound (the executor's blocking-lane cap still
+  // applies).
+  std::size_t fanout_parallel = 0;
 };
 
 struct MakeReport {

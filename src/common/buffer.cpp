@@ -83,7 +83,9 @@ double ByteBuffer::unpack_double() { return std::bit_cast<double>(unpack_u64());
 
 std::string ByteBuffer::unpack_string() {
   const std::uint32_t len = unpack_u32();
-  if (cursor_ + len > data_.size()) throw BufferUnderflow();
+  // Check against remaining() before constructing: a corrupt or hostile
+  // length prefix must fail here, not turn into a huge allocation.
+  if (len > remaining()) throw BufferUnderflow();
   std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), len);
   cursor_ += len;
   return s;
@@ -97,7 +99,7 @@ Uid ByteBuffer::unpack_uid() {
 
 std::vector<std::byte> ByteBuffer::unpack_bytes() {
   const std::uint32_t len = unpack_u32();
-  if (cursor_ + len > data_.size()) throw BufferUnderflow();
+  if (len > remaining()) throw BufferUnderflow();
   std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
                              data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + len));
   cursor_ += len;

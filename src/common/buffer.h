@@ -59,6 +59,9 @@ class ByteBuffer {
 
   [[nodiscard]] const std::vector<std::byte>& data() const { return data_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
+  // Bytes left to unpack. Decoders validate length prefixes against this
+  // before allocating: a prefix no remaining bytes could satisfy is corrupt.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - cursor_; }
   [[nodiscard]] bool exhausted() const { return cursor_ >= data_.size(); }
   void rewind() { cursor_ = 0; }
   void clear() {

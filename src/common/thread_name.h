@@ -1,0 +1,26 @@
+// Thread naming for debuggability: tsan reports, gdb `info threads` and
+// perf profiles show "mca-exec-3" / "mca-timer" instead of anonymous TIDs.
+// Linux truncates names to 15 characters + NUL; we clamp rather than fail.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace mca {
+
+inline void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  char buf[16];
+  std::strncpy(buf, name.c_str(), sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace mca

@@ -1,55 +1,33 @@
 #include "common/thread_pool.h"
 
 namespace mca {
+namespace {
 
-ThreadPool::ThreadPool(std::size_t workers) {
-  workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+Executor::Options pool_options(std::size_t workers) {
+  Executor::Options o;
+  // RPC handlers block on locks: everything rides the blocking lane, capped
+  // at the requested pool size (a fixed-size may-block pool, as before).
+  o.workers = 1;  // normal lane unused
+  o.max_blocking = workers == 0 ? 1 : workers;
+  o.max_queue = 0;  // try_submit on the (unused) normal lane always refuses
+  o.name_prefix = "mca-rpc";
+  return o;
 }
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) : executor_(pool_options(workers)) {}
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::submit(std::function<void()> task) {
-  {
-    const std::scoped_lock lock(mutex_);
-    if (stopping_) return false;
-    queue_.push_back(std::move(task));
-  }
-  wake_.notify_one();
-  return true;
+  return executor_.submit_blocking(std::move(task));
 }
 
-void ThreadPool::shutdown() {
-  {
-    const std::scoped_lock lock(mutex_);
-    if (stopping_) return;
-    stopping_ = true;
-  }
-  wake_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-}
+void ThreadPool::shutdown() { executor_.shutdown(); }
 
-std::size_t ThreadPool::pending() const {
-  const std::scoped_lock lock(mutex_);
-  return queue_.size();
-}
+std::size_t ThreadPool::pending() const { return executor_.stats().blocking_queued; }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
-}
+Executor::Stats ThreadPool::stats() const { return executor_.stats(); }
 
 }  // namespace mca

@@ -1,13 +1,15 @@
 // Fixed-size worker pool used by simulated nodes to execute incoming RPC
-// requests off the network delivery thread (handlers may block on locks).
+// requests off the network delivery thread. A thin facade over Executor:
+// the pool owns a dedicated Executor instance whose blocking lane is capped
+// at `workers`, preserving the historical contract — RPC handlers may block
+// on locks for arbitrarily long without starving anyone else's tasks,
+// because these workers belong to this pool alone.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+
+#include "common/executor.h"
 
 namespace mca {
 
@@ -27,14 +29,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t pending() const;
 
- private:
-  void worker_loop();
+  // Stats of the underlying executor (queue depth, high water, latency).
+  [[nodiscard]] Executor::Stats stats() const;
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+ private:
+  Executor executor_;
 };
 
 }  // namespace mca

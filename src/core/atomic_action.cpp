@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <latch>
 #include <stdexcept>
 #include <thread>
 
@@ -354,23 +355,27 @@ bool AtomicAction::prepare_permanent(const std::vector<Colour>& permanent,
     }
     // Anything else (a simulated kill) tunnels out, as it always has.
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(batches.size() - 1);
+    // Fan the extra batches out on the runtime executor; batch 0 runs here.
+    // A refused submission (queue full, shutdown) runs inline on this
+    // thread — the serial fallback, not a failure.
+    std::latch done(static_cast<std::ptrdiff_t>(batches.size() - 1));
     for (std::size_t i = 1; i < batches.size(); ++i) {
-      threads.emplace_back([&, i] {
+      auto work = [&, i] {
         try {
           run_batch(i);
         } catch (...) {
           errors[i] = std::current_exception();
         }
-      });
+        done.count_down();
+      };
+      if (!rt_.executor().try_submit(work)) work();
     }
     try {
       run_batch(0);
     } catch (...) {
       errors[0] = std::current_exception();
     }
-    for (std::thread& t : threads) t.join();
+    done.wait();
   }
 
   bool veto = false;

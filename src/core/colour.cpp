@@ -1,6 +1,7 @@
 #include "core/colour.h"
 
 #include <algorithm>
+#include <deque>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -9,10 +10,14 @@
 namespace mca {
 namespace {
 
-// Interning table. Index 0 is reserved for the plain colour.
+// Interning table. Index 0 is reserved for the plain colour. `names` is a
+// deque, not a vector, because Colour::name() returns a reference that
+// outlives the lock: deque growth never invalidates references to existing
+// elements, so a concurrent fresh()/named() cannot pull the string out from
+// under a caller still reading it.
 struct ColourTable {
   std::mutex mutex;
-  std::vector<std::string> names{"plain"};
+  std::deque<std::string> names{"plain"};
   std::unordered_map<std::string, std::uint32_t> by_name{{"plain", 0}};
 };
 

@@ -2,15 +2,29 @@
 //
 // One Runtime corresponds to one node of the paper's system model: a lock
 // manager, an ancestry registry (so a server can reason about remote
-// callers' action hierarchies), and a default object store for persistent
-// objects created on this node. The distributed layer gives each simulated
-// node its own Runtime; single-process programs just make one.
+// callers' action hierarchies), a default object store for persistent
+// objects created on this node, and the runtime spine — an Executor (the
+// node's worker pool: shadow-batch prepares, async independent actions,
+// recovery passes) plus a TimerService (the node's one timer thread: RPC
+// retransmission, periodic recovery ticks). The distributed layer gives
+// each simulated node its own Runtime; single-process programs just make
+// one. Both spine services start their threads lazily, so a Runtime that
+// never goes parallel costs no threads.
+//
+// Shutdown order (the destructor, via reverse member order) is the one
+// documented sequence every subsystem relies on:
+//   1. timers_ stops first — no callback can submit new work;
+//   2. executor_ drains both lanes and joins — queued tasks still run and
+//      may use the lock manager / stores below;
+//   3. stores, lock manager, trace, ancestry go last.
 #pragma once
 
 #include <atomic>
 #include <memory>
 
 #include "common/event_trace.h"
+#include "common/executor.h"
+#include "common/timer_service.h"
 #include "lock/lock_manager.h"
 #include "storage/memory_store.h"
 
@@ -45,6 +59,11 @@ class Runtime {
   [[nodiscard]] PathAncestry& ancestry() { return ancestry_; }
   [[nodiscard]] ObjectStore& default_store() { return *store_; }
 
+  // The runtime spine: shared worker pool and timer thread (see header
+  // comment for the shutdown contract).
+  [[nodiscard]] Executor& executor() { return executor_; }
+  [[nodiscard]] TimerService& timers() { return timers_; }
+
   // Event tracing (disabled by default; see common/event_trace.h).
   [[nodiscard]] EventTrace& trace() { return trace_; }
 
@@ -65,6 +84,10 @@ class Runtime {
   LockManager lock_manager_;
   std::unique_ptr<MemoryStore> owned_store_;
   ObjectStore* store_;
+  // Spine members are declared last ON PURPOSE: destruction runs timers_
+  // then executor_ before anything they might reference dies.
+  Executor executor_;
+  TimerService timers_;
   std::atomic<std::uint64_t> begun_{0};
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> aborted_{0};

@@ -33,22 +33,34 @@ IndependentAction::Async IndependentAction::spawn(Runtime& rt, std::function<voi
   const Colour colour = independence.resolve();
   AtomicAction* parent = ActionContext::current();
 
-  std::promise<Outcome> promise;
-  std::future<Outcome> outcome = promise.get_future();
-  std::thread thread([&rt, parent, colour, body = std::move(body),
-                      promise = std::move(promise)]() mutable {
+  auto state = std::make_shared<Async::State>();
+  auto task = [&rt, parent, colour, body = std::move(body), state]() mutable {
     AtomicAction action(rt, parent, ColourSet{colour});
     action.begin();
-    promise.set_value(run_body(action, body));
-  });
-  return Async(std::move(outcome), std::move(thread));
+    const Outcome outcome = run_body(action, body);
+    {
+      const std::scoped_lock lock(state->mutex);
+      state->outcome = outcome;
+      state->done = true;
+    }
+    state->done_cv.notify_all();
+  };
+  // try_submit_blocking refuses when every blocking worker is busy at the
+  // cap — a queued task could then deadlock against an invoker join()ing
+  // from one of those workers — and when shutting down. Run inline then:
+  // same outcome, just no concurrency.
+  if (!rt.executor().try_submit_blocking(task)) task();
+  return Async(std::move(state));
 }
 
 Outcome IndependentAction::Async::join() {
   if (!joined_) {
     joined_ = true;
-    if (outcome_.valid()) result_ = outcome_.get();
-    if (thread_.joinable()) thread_.join();
+    if (state_) {
+      std::unique_lock lock(state_->mutex);
+      state_->done_cv.wait(lock, [&] { return state_->done; });
+      result_ = state_->outcome;
+    }
   }
   return result_;
 }

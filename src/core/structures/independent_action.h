@@ -13,15 +13,18 @@
 //     E coloured blue survives B's abort but not A's).
 //
 // Invocation is synchronous (the invoker continues after the independent
-// action terminates, fig. 7a) or asynchronous on its own thread (fig. 7b).
-// Asynchronous independents are structurally children of the invoker, so the
-// invoker must join() them before it terminates — the same completion rule
-// the rest of the kernel enforces for concurrent children.
+// action terminates, fig. 7a) or asynchronous (fig. 7b) — the body rides the
+// runtime executor's blocking lane rather than a freshly spawned thread, so
+// a hot loop of async spawns reuses warm workers. Asynchronous independents
+// are structurally children of the invoker, so the invoker must join() them
+// before it terminates — the same completion rule the rest of the kernel
+// enforces for concurrent children.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
-#include <future>
-#include <thread>
+#include <memory>
+#include <mutex>
 
 #include "core/atomic_action.h"
 
@@ -55,30 +58,44 @@ class IndependentAction {
   static Outcome run(Runtime& rt, const std::function<void()>& body,
                      Independence independence = Independence::top_level());
 
-  // Handle to an asynchronous independent action.
+  // Handle to an asynchronous independent action. The handle and the task
+  // share ownership of the completion state, so a handle outliving the
+  // Runtime is safe: executor shutdown drains queued tasks, so by the time
+  // the Runtime is gone the outcome has been published and join() just
+  // reads it.
   class Async {
    public:
     Async(Async&&) = default;
     Async& operator=(Async&&) = default;
-    ~Async() { join(); }
+    ~Async() {
+      if (state_) join();
+    }
 
     // Blocks until the action has terminated and returns its outcome.
     Outcome join();
 
    private:
     friend class IndependentAction;
-    Async(std::future<Outcome> outcome, std::thread thread)
-        : outcome_(std::move(outcome)), thread_(std::move(thread)) {}
+    struct State {
+      std::mutex mutex;
+      std::condition_variable done_cv;
+      bool done = false;
+      Outcome outcome = Outcome::Aborted;
+    };
+    explicit Async(std::shared_ptr<State> state) : state_(std::move(state)) {}
 
-    std::future<Outcome> outcome_;
-    std::thread thread_;
+    std::shared_ptr<State> state_;
     bool joined_ = false;
     Outcome result_ = Outcome::Aborted;
   };
 
   // Asynchronously runs `body` as an independent child of the current
-  // action on a new thread (fig. 7b). The invoker must join() the handle
-  // (or let it go out of scope) before terminating itself.
+  // action (fig. 7b), on the runtime executor's blocking lane (the body may
+  // block on locks or join its own children). If the lane cannot take the
+  // task without risking a join() deadlock — every worker busy at the cap —
+  // the body runs synchronously here instead; join() semantics are
+  // identical either way. The invoker must join() the handle (or let it go
+  // out of scope) before terminating itself.
   static Async spawn(Runtime& rt, std::function<void()> body,
                      Independence independence = Independence::top_level());
 };

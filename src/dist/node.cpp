@@ -56,20 +56,23 @@ DistNode::DistNode(Network& network, NodeId id, ObjectStore* store, std::size_t 
       owned_store_(store == nullptr ? std::make_unique<MemoryStore>(StorageClass::Stable)
                                     : nullptr),
       runtime_(std::make_unique<Runtime>(store != nullptr ? *store : *owned_store_)),
-      rpc_(network, id, rpc_workers),
+      rpc_(network, id, rpc_workers, RpcEndpoint::kDefaultReplyCacheCapacity,
+           &runtime_->timers()),
       participants_(*runtime_, [this](const Uid& uid) { return resolve(uid); }) {
   register_standard_types();
   register_services();
-  recovery_thread_ = std::thread([this] { recovery_loop(); });
+  recovery_timer_ = runtime_->timers().schedule_every(
+      recovery_options_.period, [this] { on_recovery_timer(); }, this);
 }
 
 DistNode::~DistNode() {
+  // Stop the recovery daemon: drop its timer entry (and wait out an
+  // in-flight tick), then wait for a pass already handed to the executor.
+  runtime_->timers().cancel_owner(this);
   {
-    const std::scoped_lock lock(recovery_mutex_);
-    recovery_stop_ = true;
+    std::unique_lock lock(recovery_mutex_);
+    recovery_pass_done_.wait(lock, [this] { return !recovery_pass_running_; });
   }
-  recovery_wake_.notify_all();
-  if (recovery_thread_.joinable()) recovery_thread_.join();
   // Quiesce service execution, then disown surviving mirrors: a mirror left
   // behind by a partition must not replay undo against hosted objects whose
   // lifetimes ended before the node's.
@@ -381,6 +384,11 @@ void DistNode::restart() {
 void DistNode::set_recovery_options(RecoveryOptions options) {
   const std::scoped_lock lock(recovery_mutex_);
   recovery_options_ = options;
+  // Re-arm the periodic entry so the new period takes effect now rather
+  // than after the old one elapses.
+  runtime_->timers().cancel(recovery_timer_);
+  recovery_timer_ = runtime_->timers().schedule_every(
+      options.period, [this] { on_recovery_timer(); }, this);
 }
 
 DistNode::RecoveryOptions DistNode::recovery_options() const {
@@ -394,11 +402,14 @@ DistNode::RecoveryStats DistNode::recovery_stats() const {
 }
 
 void DistNode::kick_recovery() {
+  TimerService::TimerId id;
   {
     const std::scoped_lock lock(recovery_mutex_);
     recovery_kicked_ = true;
+    id = recovery_timer_;
   }
-  recovery_wake_.notify_all();
+  // Pull the next periodic fire forward to now; the tick consumes the flag.
+  runtime_->timers().fire_now(id);
 }
 
 void DistNode::recover_once(bool ignore_backoff) {
@@ -469,20 +480,35 @@ void DistNode::recover_once(bool ignore_backoff) {
   }
 }
 
-void DistNode::recovery_loop() {
-  std::unique_lock lock(recovery_mutex_);
-  while (!recovery_stop_) {
+void DistNode::on_recovery_timer() {
+  // Runs on the shared timer thread: flip flags only, never block.
+  bool kicked = false;
+  {
+    const std::scoped_lock lock(recovery_mutex_);
     ++recovery_stats_.ticks;
-    const auto period = recovery_options_.period;
-    recovery_wake_.wait_for(lock, period,
-                            [this] { return recovery_stop_ || recovery_kicked_; });
-    if (recovery_stop_) return;
-    const bool kicked = recovery_kicked_;
+    if (recovery_pass_running_) return;  // a kick waits for the next tick
+    kicked = recovery_kicked_;
     recovery_kicked_ = false;
-    if (down_.load()) continue;
-    lock.unlock();
+    if (down_.load()) return;
+    recovery_pass_running_ = true;
+  }
+  auto pass = [this, kicked] {
     recover_once(/*ignore_backoff=*/kicked);
-    lock.lock();
+    // Notify under the mutex: the destructor destroys the condition
+    // variable as soon as its wait sees the flag drop, so the notify must
+    // complete before the waiter can re-acquire the lock.
+    const std::scoped_lock lock(recovery_mutex_);
+    recovery_pass_running_ = false;
+    recovery_pass_done_.notify_all();
+  };
+  // The pass blocks on tx.status round trips, so it belongs on the blocking
+  // lane. Refused (lane saturated / shutting down) → skip this tick; the
+  // in-doubt set is re-examined on the next one.
+  if (!runtime_->executor().try_submit_blocking(pass)) {
+    const std::scoped_lock lock(recovery_mutex_);
+    recovery_pass_running_ = false;
+    if (kicked) recovery_kicked_ = true;  // don't lose the forced attempt
+    recovery_pass_done_.notify_all();
   }
 }
 

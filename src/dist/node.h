@@ -15,12 +15,14 @@
 // the participant stays in doubt).
 //
 // Recovery is also an always-on background daemon, not only a restart-time
-// sweep: a thread owned by the node periodically re-attempts resolution of
-// every in-doubt prepared action (per-action exponential backoff between
-// attempts), so an action whose coordinator was unreachable at restart — or
-// whose phase-two message was partitioned away while this node kept running
-// — is eventually resolved and its stranded locks released, without anyone
-// calling restart() again.
+// sweep: a periodic entry on the runtime's shared timer service re-attempts
+// resolution of every in-doubt prepared action (per-action exponential
+// backoff between attempts), so an action whose coordinator was unreachable
+// at restart — or whose phase-two message was partitioned away while this
+// node kept running — is eventually resolved and its stranded locks
+// released, without anyone calling restart() again. The tick itself only
+// flips flags; the resolution pass (which blocks on RPCs) runs on the
+// runtime executor's blocking lane.
 //
 // Remote invocation: operations travel by (object uid, operation name,
 // packed args); the server looks up a per-type Dispatcher to run the
@@ -32,7 +34,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
-#include <thread>
 #include <unordered_map>
 
 #include "dist/rpc.h"
@@ -177,7 +178,9 @@ class DistNode {
   // One resolution pass over the in-doubt set. `ignore_backoff` forces an
   // attempt for every entry (used by restart()'s synchronous pass).
   void recover_once(bool ignore_backoff);
-  void recovery_loop();
+  // Periodic timer callback: short, non-blocking — hands the actual pass to
+  // the executor's blocking lane (at most one pass in flight).
+  void on_recovery_timer();
 
   struct Hosted {
     LockManaged* object;
@@ -196,21 +199,23 @@ class DistNode {
   std::mutex hosted_mutex_;
   std::unordered_map<Uid, Hosted> hosted_;
 
-  // Recovery daemon. One thread for the node's lifetime; ticks are no-ops
-  // while the node is down. recovery_mutex_ serialises daemon ticks with
-  // restart()'s synchronous pass and guards options/stats/backoff state.
+  // Recovery daemon: a periodic entry on the runtime's timer service (owner
+  // tag = this node), whose ticks submit passes to the runtime executor.
+  // Ticks are no-ops while the node is down. recovery_mutex_ guards
+  // options/stats/backoff/flag state; recovery_pass_mutex_ serialises whole
+  // passes (a daemon pass vs restart()'s synchronous one).
   mutable std::mutex recovery_mutex_;
   std::mutex recovery_pass_mutex_;  // serialises whole resolution passes
-  std::condition_variable recovery_wake_;
+  std::condition_variable recovery_pass_done_;
   RecoveryOptions recovery_options_;
   RecoveryStats recovery_stats_;
   // action → (next attempt due, current backoff) for unreachable coordinators.
   std::unordered_map<Uid, std::pair<std::chrono::steady_clock::time_point,
                                     std::chrono::milliseconds>>
       recovery_backoff_;
-  bool recovery_stop_ = false;
-  bool recovery_kicked_ = false;  // next pass ignores per-action backoff
-  std::thread recovery_thread_;   // constructed last, joined first
+  bool recovery_kicked_ = false;        // next pass ignores per-action backoff
+  bool recovery_pass_running_ = false;  // a daemon pass is queued or running
+  TimerService::TimerId recovery_timer_ = TimerService::kInvalid;
 };
 
 }  // namespace mca

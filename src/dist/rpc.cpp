@@ -79,24 +79,23 @@ void RpcFuture::on_complete(std::function<void(const RpcResult&)> fn) const {
 }
 
 RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
-                         std::size_t reply_cache_capacity)
+                         std::size_t reply_cache_capacity, TimerService* timers)
     : network_(network),
       id_(id),
       reply_cache_capacity_(reply_cache_capacity),
       jitter_state_(0x6D63615F72706300ULL + id),
-      pool_(workers),
-      timer_thread_([this] { timer_loop(); }) {
+      owned_timers_(timers == nullptr ? std::make_unique<TimerService>("mca-rpc-timer")
+                                      : nullptr),
+      timers_(timers != nullptr ? timers : owned_timers_.get()),
+      pool_(workers) {
   network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
 }
 
 RpcEndpoint::~RpcEndpoint() {
   network_.detach(id_);
-  {
-    const std::scoped_lock lock(timer_mutex_);
-    timer_stop_ = true;
-    timer_cv_.notify_all();
-  }
-  timer_thread_.join();
+  // Barrier against the (possibly shared) timer thread: drop every pending
+  // retransmit slot, wait out an in-flight callback, refuse re-schedules.
+  timers_->cancel_owner(this);
   // Wake anything still blocked on a future; the shared state outlives us.
   std::vector<std::shared_ptr<RpcCallState>> abandoned;
   {
@@ -199,29 +198,11 @@ RpcResult RpcEndpoint::call(NodeId to, const std::string& service, ByteBuffer ar
 
 void RpcEndpoint::schedule_timer(std::chrono::steady_clock::time_point due,
                                  std::shared_ptr<RpcCallState> state) {
-  const std::scoped_lock lock(timer_mutex_);
-  timer_queue_.push(TimerEvent{due, std::move(state)});
-  timer_cv_.notify_all();
-}
-
-void RpcEndpoint::timer_loop() {
-  std::unique_lock lock(timer_mutex_);
-  while (!timer_stop_) {
-    if (timer_queue_.empty()) {
-      timer_cv_.wait(lock);
-      continue;
-    }
-    const auto due = timer_queue_.top().due;
-    if (std::chrono::steady_clock::now() < due) {
-      timer_cv_.wait_until(lock, due);
-      continue;
-    }
-    auto state = timer_queue_.top().state;
-    timer_queue_.pop();
-    lock.unlock();
-    process_call_timer(state);
-    lock.lock();
-  }
+  // One-shot per slot; process_call_timer schedules the next one. Refused
+  // during endpoint teardown (cancel_owner in the destructor bans `this`),
+  // in which case the destructor completes the call as abandoned.
+  (void)timers_->schedule_at(
+      due, [this, state = std::move(state)] { process_call_timer(state); }, this);
 }
 
 void RpcEndpoint::process_call_timer(const std::shared_ptr<RpcCallState>& state) {

@@ -2,8 +2,9 @@
 // invoked via an RPC mechanism).
 //
 // Client side: call_async() registers the call and hands retransmission to
-// the endpoint's timer thread, which resends until a reply arrives or the
-// timeout expires, masking message loss; call() is call_async().get().
+// a timer service (the node runtime's shared one, or a private fallback for
+// standalone endpoints), which resends until a reply arrives or the timeout
+// expires, masking message loss; call() is call_async().get().
 // Retransmission uses exponential backoff with decorrelated jitter (each
 // delay is drawn uniformly from [initial_backoff, min(max_backoff,
 // 3 × previous delay)]), bounded by a retry budget — a failed call costs
@@ -37,13 +38,13 @@
 #include <condition_variable>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
-#include <queue>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "common/timer_service.h"
 #include "sim/network.h"
 
 namespace mca {
@@ -154,8 +155,12 @@ class RpcEndpoint {
 
   static constexpr std::size_t kDefaultReplyCacheCapacity = 1024;
 
+  // `timers` is the timer service driving retransmission — normally the
+  // node runtime's shared one. Endpoints constructed without one (tests,
+  // standalone tools) own a private service.
   RpcEndpoint(Network& network, NodeId id, std::size_t workers = 8,
-              std::size_t reply_cache_capacity = kDefaultReplyCacheCapacity);
+              std::size_t reply_cache_capacity = kDefaultReplyCacheCapacity,
+              TimerService* timers = nullptr);
   ~RpcEndpoint();
 
   RpcEndpoint(const RpcEndpoint&) = delete;
@@ -223,9 +228,8 @@ class RpcEndpoint {
   [[nodiscard]] bool should_fail_fast(NodeId to);
   void note_call_outcome(NodeId to, bool timed_out);
 
-  // Timer thread: pops due retransmit slots and either resends, completes
-  // the call at its deadline, or drops the entry of a finished call.
-  void timer_loop();
+  // Timer callback: resends, completes the call at its deadline, or drops
+  // the entry of a finished call. Runs on the timer service's thread.
   void process_call_timer(const std::shared_ptr<RpcCallState>& state);
   void schedule_timer(std::chrono::steady_clock::time_point due,
                       std::shared_ptr<RpcCallState> state);
@@ -257,19 +261,12 @@ class RpcEndpoint {
   std::unordered_map<NodeId, PeerHealth> peers_;
   std::atomic<std::uint64_t> jitter_state_;  // splitmix64 stream for backoff
 
-  struct TimerEvent {
-    std::chrono::steady_clock::time_point due;
-    std::shared_ptr<RpcCallState> state;
-    bool operator>(const TimerEvent& other) const { return due > other.due; }
-  };
-
-  std::mutex timer_mutex_;
-  std::condition_variable timer_cv_;
-  std::priority_queue<TimerEvent, std::vector<TimerEvent>, std::greater<>> timer_queue_;
-  bool timer_stop_ = false;
+  // Retransmission schedule entries are tagged with `this` as owner; the
+  // destructor's cancel_owner() is the barrier that stops them.
+  std::unique_ptr<TimerService> owned_timers_;  // only when none was shared
+  TimerService* timers_;
 
   ThreadPool pool_;
-  std::thread timer_thread_;  // constructed last, joined first
 };
 
 }  // namespace mca

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <latch>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -102,6 +103,51 @@ void ParticipantTable::drop_marker(const Uid& action) {
   rt_.default_store().remove(marker_uid(action));
 }
 
+void ParticipantTable::write_shadow_batches(
+    std::vector<std::pair<ObjectStore*, std::vector<ObjectState>>>& batches) {
+  if (!AtomicAction::parallel_termination() || batches.size() <= 1) {
+    // Serial reference path — also keeps crash-point hit order deterministic
+    // for the sweep harness when the ablation toggle is off.
+    for (auto& [store, states] : batches) store->write_batch(states, WriteKind::Shadow);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(batches.size());
+  std::latch done(static_cast<std::ptrdiff_t>(batches.size() - 1));
+  for (std::size_t i = 1; i < batches.size(); ++i) {
+    auto work = [&, i] {
+      try {
+        batches[i].first->write_batch(batches[i].second, WriteKind::Shadow);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      done.count_down();
+    };
+    // Refused (queue full / shutdown) → run inline: the serial fallback.
+    if (!rt_.executor().try_submit(work)) work();
+  }
+  try {
+    batches[0].first->write_batch(batches[0].second, WriteKind::Shadow);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  done.wait();
+
+  std::exception_ptr veto;
+  std::exception_ptr kill;
+  for (const std::exception_ptr& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception&) {
+      if (!veto) veto = error;
+    } catch (...) {
+      kill = error;  // CrashPointHit must not be swallowed by the veto path
+    }
+  }
+  if (kill) std::rethrow_exception(kill);
+  if (veto) std::rethrow_exception(veto);
+}
+
 bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& permanent,
                                NodeId coordinator) {
   const std::scoped_lock lock(mutex_);
@@ -136,7 +182,7 @@ bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& per
       }
       mirror.action->adopt_records(std::move(records));
     }
-    for (auto& [store, states] : batches) store->write_batch(states, WriteKind::Shadow);
+    write_shadow_batches(batches);
   } catch (const std::exception& e) {
     MCA_LOG(Warn, "tpc") << "prepare " << action << " failed: " << e.what();
     for (const auto& [uid, colour] : mirror.prepared) {

@@ -118,6 +118,13 @@ class ParticipantTable {
     std::vector<std::pair<Uid, Colour>> prepared;
   };
 
+  // Lands every per-store batch: concurrently on the runtime executor when
+  // parallel termination is on and more than one store is involved, else
+  // serially. std::exception failures surface as-is (prepare vetoes);
+  // anything else — a simulated kill — tunnels out unwrapped.
+  void write_shadow_batches(
+      std::vector<std::pair<ObjectStore*, std::vector<ObjectState>>>& batches);
+
   void write_marker(const Uid& action, NodeId coordinator,
                     const std::vector<std::pair<Uid, Colour>>& prepared);
   void drop_marker(const Uid& action);

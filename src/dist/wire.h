@@ -10,6 +10,16 @@
 
 namespace mca::wire {
 
+// Validated element-count prefix: every element of the sequence occupies at
+// least `min_element_bytes` on the wire, so a count the remaining bytes
+// cannot possibly hold is corruption (or an attacker-controlled frame) —
+// reject it *before* reserving memory for it.
+inline std::uint32_t unpack_count(ByteBuffer& in, std::size_t min_element_bytes) {
+  const std::uint32_t n = in.unpack_u32();
+  if (n > in.remaining() / min_element_bytes) throw BufferUnderflow();
+  return n;
+}
+
 inline void pack_colour(ByteBuffer& out, Colour c) { out.pack_string(c.name()); }
 
 inline Colour unpack_colour(ByteBuffer& in) { return Colour::named(in.unpack_string()); }
@@ -20,7 +30,8 @@ inline void pack_colour_set(ByteBuffer& out, const ColourSet& set) {
 }
 
 inline ColourSet unpack_colour_set(ByteBuffer& in) {
-  const std::uint32_t n = in.unpack_u32();
+  // A colour is a length-prefixed name: ≥ 4 bytes each.
+  const std::uint32_t n = unpack_count(in, 4);
   std::vector<Colour> colours;
   colours.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) colours.push_back(unpack_colour(in));
@@ -33,7 +44,7 @@ inline void pack_path(ByteBuffer& out, const std::vector<Uid>& path) {
 }
 
 inline std::vector<Uid> unpack_path(ByteBuffer& in) {
-  const std::uint32_t n = in.unpack_u32();
+  const std::uint32_t n = unpack_count(in, 16);  // a uid is two u64s
   std::vector<Uid> path;
   path.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) path.push_back(in.unpack_uid());
@@ -55,7 +66,8 @@ inline void pack_plan(ByteBuffer& out, const LockPlan& plan) {
 
 inline LockPlan unpack_plan(ByteBuffer& in) {
   auto unpack_pairs = [&] {
-    const std::uint32_t n = in.unpack_u32();
+    // A pair is a mode byte plus a colour: ≥ 5 bytes each.
+    const std::uint32_t n = unpack_count(in, 5);
     std::vector<std::pair<LockMode, Colour>> pairs;
     pairs.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -91,7 +103,8 @@ inline void pack_heirs(ByteBuffer& out, const std::vector<HeirInfo>& heirs) {
 }
 
 inline std::vector<HeirInfo> unpack_heirs(ByteBuffer& in) {
-  const std::uint32_t n = in.unpack_u32();
+  // colour (≥ 4) + uid (16) + path count (4) + colour-set count (4).
+  const std::uint32_t n = unpack_count(in, 28);
   std::vector<HeirInfo> heirs;
   heirs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_name.h"
+
 namespace mca {
 
 FaultSchedule::FaultSchedule(std::vector<Event> events) : events_(std::move(events)) {
@@ -23,6 +25,7 @@ FaultSchedule FaultSchedule::periodic(DistNode& node, std::chrono::milliseconds 
 
 void FaultSchedule::start() {
   runner_ = std::thread([this] {
+    set_current_thread_name("mca-fault");
     const auto start_time = std::chrono::steady_clock::now();
     for (const Event& event : events_) {
       std::this_thread::sleep_until(start_time + event.at);

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include "common/checksum.h"
+#include "common/thread_name.h"
 
 namespace mca {
 
@@ -133,6 +134,7 @@ Network::Stats Network::stats() const {
 }
 
 void Network::delivery_loop() {
+  set_current_thread_name("mca-netdeliver");
   std::unique_lock lock(mutex_);
   for (;;) {
     if (stopping_) return;

@@ -76,6 +76,32 @@ TEST(Chaos, TransfersStayAtomicAcrossCrashes) {
   faults.finish();
   ASSERT_GE(faults.crashes_executed(), 1);
 
+  if (aborted == 0) {
+    // Whether a transfer straddles a crash window is probabilistic (the
+    // faster the transfers, the narrower the window), so the chaos loop can
+    // finish with every transfer committed. Force the abort fate once so the
+    // run always exercises both paths: with the flaky branch down and the
+    // fault schedule finished, the second add must time out.
+    flaky_branch.crash();
+    AtomicAction transfer(client.runtime());
+    transfer.begin();
+    const std::int64_t amount = 10;
+    try {
+      remote_a.add(-amount);
+      remote_b.add(amount);
+      if (transfer.commit() == Outcome::Committed) {
+        committed_delta += amount;
+        ++committed;
+      } else {
+        ++aborted;
+      }
+    } catch (const std::exception&) {
+      transfer.abort();
+      ++aborted;
+    }
+    flaky_branch.restart();
+  }
+
   // Let recovery settle, then check atomicity of the stable states.
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
   flaky_branch.restart();  // idempotent; re-runs recovery

@@ -8,6 +8,7 @@
 #include "common/buffer.h"
 #include "common/checksum.h"
 #include "common/uid.h"
+#include "dist/wire.h"
 
 namespace mca {
 namespace {
@@ -102,12 +103,106 @@ TEST(ByteBuffer, TruncatedStringThrows) {
   EXPECT_THROW((void)b.unpack_string(), BufferUnderflow);
 }
 
+TEST(ByteBuffer, RemainingTracksCursor) {
+  ByteBuffer b;
+  b.pack_u32(7);
+  b.pack_u8(1);
+  EXPECT_EQ(b.remaining(), 5u);
+  (void)b.unpack_u32();
+  EXPECT_EQ(b.remaining(), 1u);
+  (void)b.unpack_u8();
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(ByteBuffer, HugeBytesLengthPrefixThrowsWithoutAllocating) {
+  // A 4 GiB length prefix with 3 bytes of payload must be rejected up
+  // front, not attempted as an allocation.
+  ByteBuffer b;
+  b.pack_u32(0xFFFF'FFFFu);
+  b.pack_u8(1);
+  b.pack_u8(2);
+  b.pack_u8(3);
+  EXPECT_THROW((void)b.unpack_bytes(), BufferUnderflow);
+}
+
 TEST(ByteBuffer, RewindAllowsRereading) {
   ByteBuffer b;
   b.pack_u32(99);
   EXPECT_EQ(b.unpack_u32(), 99u);
   b.rewind();
   EXPECT_EQ(b.unpack_u32(), 99u);
+}
+
+// --- wire decoder hardening --------------------------------------------------
+// The u32 element counts in wire frames come off the (simulated) network, so
+// they are corruption- and attacker-controlled. A count no remaining bytes
+// could satisfy must raise BufferUnderflow before any allocation sized from
+// it.
+
+TEST(Wire, HugeColourSetCountIsRejected) {
+  ByteBuffer b;
+  b.pack_u32(0xFFFF'FFFFu);  // claims ~4 billion colours; nothing follows
+  EXPECT_THROW((void)wire::unpack_colour_set(b), BufferUnderflow);
+}
+
+TEST(Wire, HugePathCountIsRejected) {
+  ByteBuffer b;
+  b.pack_u32(0x1000'0000u);  // 268 M uids = 4 GiB, in an 8-byte frame
+  b.pack_u64(0);
+  EXPECT_THROW((void)wire::unpack_path(b), BufferUnderflow);
+}
+
+TEST(Wire, HugeHeirCountIsRejected) {
+  ByteBuffer b;
+  b.pack_u32(0x00FF'FFFFu);
+  EXPECT_THROW((void)wire::unpack_heirs(b), BufferUnderflow);
+}
+
+TEST(Wire, HugePlanPairCountIsRejected) {
+  ByteBuffer b;
+  b.pack_u32(0xFFFF'FFFFu);
+  EXPECT_THROW((void)wire::unpack_plan(b), BufferUnderflow);
+}
+
+TEST(Wire, HeirsRoundTrip) {
+  std::vector<wire::HeirInfo> heirs(2);
+  heirs[0].colour = Colour::named("wire-red");
+  heirs[0].heir = Uid();
+  heirs[0].heir_path = {Uid(), Uid()};
+  heirs[0].heir_colours = ColourSet{Colour::named("wire-red"), Colour::named("wire-blue")};
+  heirs[1].colour = Colour::named("wire-blue");
+
+  ByteBuffer b;
+  wire::pack_heirs(b, heirs);
+  const auto out = wire::unpack_heirs(b);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].colour, heirs[0].colour);
+  EXPECT_EQ(out[0].heir, heirs[0].heir);
+  EXPECT_EQ(out[0].heir_path, heirs[0].heir_path);
+  EXPECT_EQ(out[1].colour, heirs[1].colour);
+}
+
+TEST(Wire, TruncatedHeirsFrameAlwaysThrowsNeverHangs) {
+  // Fuzz-by-truncation: every proper prefix of a valid heirs frame must
+  // fail with BufferUnderflow — no crash, no runaway allocation, no
+  // silent short read.
+  std::vector<wire::HeirInfo> heirs(2);
+  heirs[0].colour = Colour::named("trunc-red");
+  heirs[0].heir = Uid();
+  heirs[0].heir_path = {Uid()};
+  heirs[0].heir_colours = ColourSet{Colour::named("trunc-red")};
+  heirs[1].colour = Colour::named("trunc-blue");
+  ByteBuffer full;
+  wire::pack_heirs(full, heirs);
+
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteBuffer cut(std::vector<std::byte>(full.data().begin(),
+                                          full.data().begin() + static_cast<std::ptrdiff_t>(len)));
+    EXPECT_THROW((void)wire::unpack_heirs(cut), BufferUnderflow) << "prefix length " << len;
+  }
+  // And the untruncated frame still parses.
+  ByteBuffer whole(full.data());
+  EXPECT_EQ(wire::unpack_heirs(whole).size(), 2u);
 }
 
 TEST(Checksum, Crc32KnownAnswers) {
