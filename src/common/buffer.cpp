@@ -21,13 +21,15 @@ T to_little_endian(T v) {
 }  // namespace
 
 void ByteBuffer::append(const void* src, std::size_t n) {
+  if (is_view_) throw std::logic_error("ByteBuffer: cannot pack into a read-only view");
   const auto* p = static_cast<const std::byte*>(src);
   data_.insert(data_.end(), p, p + n);
 }
 
 void ByteBuffer::extract(void* dst, std::size_t n) {
-  if (cursor_ + n > data_.size()) throw BufferUnderflow();
-  std::memcpy(dst, data_.data() + cursor_, n);
+  const auto src = bytes();
+  if (cursor_ + n > src.size()) throw BufferUnderflow();
+  std::memcpy(dst, src.data() + cursor_, n);
   cursor_ += n;
 }
 
@@ -86,7 +88,8 @@ std::string ByteBuffer::unpack_string() {
   // Check against remaining() before constructing: a corrupt or hostile
   // length prefix must fail here, not turn into a huge allocation.
   if (len > remaining()) throw BufferUnderflow();
-  std::string s(reinterpret_cast<const char*>(data_.data() + cursor_), len);
+  const auto src = bytes();
+  std::string s(reinterpret_cast<const char*>(src.data() + cursor_), len);
   cursor_ += len;
   return s;
 }
@@ -100,8 +103,9 @@ Uid ByteBuffer::unpack_uid() {
 std::vector<std::byte> ByteBuffer::unpack_bytes() {
   const std::uint32_t len = unpack_u32();
   if (len > remaining()) throw BufferUnderflow();
-  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
-                             data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + len));
+  const auto src = bytes();
+  std::vector<std::byte> out(src.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                             src.begin() + static_cast<std::ptrdiff_t>(cursor_ + len));
   cursor_ += len;
   return out;
 }

@@ -6,6 +6,7 @@
 // Encoding is little-endian, length-prefixed for strings and containers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -30,6 +31,21 @@ class ByteBuffer {
  public:
   ByteBuffer() = default;
   explicit ByteBuffer(std::vector<std::byte> data) : data_(std::move(data)) {}
+
+  // A non-owning read cursor over bytes owned elsewhere (another buffer's
+  // storage, a decoded ObjectState held by the caller). Unpacking works as
+  // usual but nothing is copied; the viewed bytes must outlive the cursor.
+  // Packing into a view throws std::logic_error. This is what restore paths
+  // use to replay a snapshot without duplicating it first.
+  [[nodiscard]] static ByteBuffer reader(std::span<const std::byte> bytes) {
+    ByteBuffer b;
+    b.view_ = bytes;
+    b.is_view_ = true;
+    return b;
+  }
+  [[nodiscard]] static ByteBuffer reader(const ByteBuffer& other) {
+    return reader(other.bytes());
+  }
 
   // -- packing -------------------------------------------------------------
 
@@ -57,20 +73,30 @@ class ByteBuffer {
 
   // -- whole-buffer access ---------------------------------------------------
 
+  // Owning storage; only meaningful for non-view buffers (a view's owned
+  // vector is empty — use bytes() for uniform read access).
   [[nodiscard]] const std::vector<std::byte>& data() const { return data_; }
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  // The readable bytes, whether owned or viewed.
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return is_view_ ? view_ : std::span<const std::byte>(data_);
+  }
+  [[nodiscard]] std::size_t size() const { return bytes().size(); }
   // Bytes left to unpack. Decoders validate length prefixes against this
   // before allocating: a prefix no remaining bytes could satisfy is corrupt.
-  [[nodiscard]] std::size_t remaining() const { return data_.size() - cursor_; }
-  [[nodiscard]] bool exhausted() const { return cursor_ >= data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes().size() - cursor_; }
+  [[nodiscard]] bool exhausted() const { return cursor_ >= bytes().size(); }
   void rewind() { cursor_ = 0; }
   void clear() {
     data_.clear();
+    view_ = {};
+    is_view_ = false;
     cursor_ = 0;
   }
 
   friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) {
-    return a.data_ == b.data_;
+    const auto sa = a.bytes();
+    const auto sb = b.bytes();
+    return std::equal(sa.begin(), sa.end(), sb.begin(), sb.end());
   }
 
  private:
@@ -78,6 +104,8 @@ class ByteBuffer {
   void extract(void* dst, std::size_t n);
 
   std::vector<std::byte> data_;
+  std::span<const std::byte> view_;
+  bool is_view_ = false;
   std::size_t cursor_ = 0;
 };
 

@@ -16,8 +16,10 @@ void StateManager::ensure_activated() {
   const std::scoped_lock lock(activation_mutex_);
   if (activated_) return;
   if (auto committed = store_.read(uid_)) {
-    ByteBuffer state = committed->state();
-    restore_state(state);
+    // Read through a non-owning cursor: the decoded state lives in
+    // `committed` for the duration, so no second copy is needed.
+    ByteBuffer cursor = ByteBuffer::reader(committed->state());
+    restore_state(cursor);
   }
   activated_ = true;
 }
@@ -34,8 +36,11 @@ ByteBuffer StateManager::snapshot_state() const {
 }
 
 void StateManager::apply_state(const ByteBuffer& snapshot) {
-  ByteBuffer copy = snapshot;
-  restore_state(copy);
+  // restore_state wants a mutable unpack cursor, not mutable bytes: a
+  // non-owning view gives it one without copying the whole snapshot on
+  // every activation, undo, or replay.
+  ByteBuffer cursor = ByteBuffer::reader(snapshot);
+  restore_state(cursor);
 }
 
 ObjectState StateManager::make_object_state() const {

@@ -58,7 +58,8 @@ class StateManager {
   // Serialises the current in-memory state.
   [[nodiscard]] ByteBuffer snapshot_state() const;
 
-  // Overwrites the in-memory state from a snapshot (undo).
+  // Overwrites the in-memory state from a snapshot (undo). Reads through a
+  // non-owning cursor — the snapshot is not copied.
   void apply_state(const ByteBuffer& snapshot);
 
   // The current state packaged for a store write.

@@ -4,6 +4,7 @@
 
 #include "dist/node.h"
 #include "storage/file_store.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 
@@ -53,6 +54,19 @@ void check_node(DistNode& node, ConsistencyReport& report) {
     }
     std::error_code ec;
     for (const auto& entry : std::filesystem::directory_iterator(files->directory(), ec)) {
+      if (entry.path().filename().string().ends_with(".tmp")) {
+        add(report, node.id(), "stale temp file: " + entry.path().filename().string());
+      }
+    }
+  } else if (auto* wal = dynamic_cast<WalStore*>(&store)) {
+    // Post-recovery the log must walk cleanly: any torn tail was truncated
+    // and a corrupt checkpoint quarantined, so fsck hits mean replay let
+    // damage through.
+    for (const auto& path : wal->fsck()) {
+      add(report, node.id(), "corrupt durable state: " + path.filename().string());
+    }
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(wal->directory(), ec)) {
       if (entry.path().filename().string().ends_with(".tmp")) {
         add(report, node.id(), "stale temp file: " + entry.path().filename().string());
       }

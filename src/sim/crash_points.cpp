@@ -18,6 +18,21 @@ constexpr Info kPoints[] = {
     {"store.file.commit_shadow.pre_rename",
      "FileStore commit_shadow: shadow present, promote rename not done — shadow and old committed "
      "state both survive"},
+    {"store.wal.append.mid_record",
+     "WalStore append: record header on disk, body not — torn tail; replay CRC-checks the frame, "
+     "truncates at the last whole record"},
+    {"store.wal.append.pre_fsync",
+     "WalStore append: record fully appended, fsync not issued — under the simulated crash model "
+     "(page cache survives) the record is durable and replay keeps it"},
+    {"store.wal.checkpoint.mid_write",
+     "WalStore checkpoint: checkpoint.tmp partially written — recovery deletes the tmp and "
+     "replays the old checkpoint plus the full log"},
+    {"store.wal.checkpoint.pre_rename",
+     "WalStore checkpoint: checkpoint.tmp complete, rename not done — old checkpoint still "
+     "authoritative, recovery discards the tmp"},
+    {"store.wal.checkpoint.pre_compact",
+     "WalStore checkpoint: new checkpoint durable, covered segments not yet deleted — replay "
+     "skips segments at or below the checkpoint's covered sequence"},
     {"tpc.participant.prepare.pre_shadow",
      "participant prepare: vote requested, nothing durable yet — coordinator sees no vote, "
      "presumes abort"},

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -52,15 +53,6 @@ std::optional<ObjectState> decode_state_file(const fs::path& path) {
   return ObjectState::decode(buf);  // throws StateCorrupt / BufferUnderflow
 }
 
-void fsync_path(const fs::path& path, std::uint64_t& counter) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-    ++counter;
-  }
-}
-
 }  // namespace
 
 FileStore::FileStore(fs::path directory) : FileStore(std::move(directory), Options{}) {}
@@ -72,6 +64,28 @@ FileStore::FileStore(fs::path directory, Options options)
     const std::scoped_lock lock(mutex_);
     scavenge_locked();
   }
+}
+
+// The old fsync helper ignored failures from both ::open and ::fsync, so a
+// flush the kernel refused was still counted as durable and the write
+// reported as committed. Now either failure throws: the caller's write is
+// not durable and must not claim to be.
+void FileStore::fsync_or_throw(const fs::path& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    stats_.fsync_failures.fetch_add(1, std::memory_order_relaxed);
+    throw DurabilityError("cannot open " + path.string() + " to fsync: " +
+                          std::strerror(errno));
+  }
+  const int rc = options_.fsync_fn ? options_.fsync_fn(fd) : ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    stats_.fsync_failures.fetch_add(1, std::memory_order_relaxed);
+    throw DurabilityError("fsync of " + path.string() + " failed: " +
+                          std::strerror(saved_errno));
+  }
+  stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
 }
 
 fs::path FileStore::committed_file_path(const Uid& uid) const { return dir_ / uid_filename(uid); }
@@ -89,7 +103,7 @@ std::optional<ObjectState> FileStore::read_and_quarantine(const fs::path& path) 
     std::error_code ec;
     fs::rename(path, aside, ec);
     if (ec) fs::remove(path, ec);  // rename races are best-effort; never re-read
-    ++stats_.quarantined;
+    stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
     MCA_LOG(Warn, "store") << "quarantined " << path.filename().string() << ": " << e.what();
     return std::nullopt;
   }
@@ -106,12 +120,12 @@ void FileStore::write_atomically(const fs::path& path, const ObjectState& state,
     out.flush();
     if (!out) throw std::runtime_error("FileStore: failed writing " + tmp.string());
   }
-  if (options_.fsync_before_rename) fsync_path(tmp, stats_.fsyncs);
+  if (options_.fsync_before_rename) fsync_or_throw(tmp);
   // A kill here is the torn-write window: the .tmp exists, the target does
   // not change. The startup scavenger reclaims the orphan.
   MCA_CRASHPOINT("store.file.write.pre_rename");
   fs::rename(tmp, path);  // atomic commit point
-  if (options_.fsync_before_rename && !defer_dir_fsync) fsync_path(dir_, stats_.fsyncs);
+  if (options_.fsync_before_rename && !defer_dir_fsync) fsync_or_throw(dir_);
 }
 
 void FileStore::write_batch(const std::vector<ObjectState>& states, WriteKind kind) {
@@ -127,7 +141,7 @@ void FileStore::write_batch(const std::vector<ObjectState>& states, WriteKind ki
   }
   // One directory-wide barrier makes the whole batch's renames durable
   // together; each file's data was already fsynced individually above.
-  if (options_.fsync_before_rename) fsync_path(dir_, stats_.fsyncs);
+  if (options_.fsync_before_rename) fsync_or_throw(dir_);
 }
 
 std::optional<ObjectState> FileStore::read(const Uid& uid) const {
@@ -178,7 +192,7 @@ bool FileStore::commit_shadow(const Uid& uid) {
   // simply promotes it again.
   MCA_CRASHPOINT("store.file.commit_shadow.pre_rename");
   fs::rename(shadow, committed_file_path(uid));
-  if (options_.fsync_before_rename) fsync_path(dir_, stats_.fsyncs);
+  if (options_.fsync_before_rename) fsync_or_throw(dir_);
   return true;
 }
 
@@ -216,7 +230,7 @@ void FileStore::scavenge_locked() {
     std::error_code ec;
     fs::remove(tmp, ec);
     if (!ec) {
-      ++stats_.scavenged_tmp;
+      stats_.scavenged_tmp.fetch_add(1, std::memory_order_relaxed);
       MCA_LOG(Info, "store") << "scavenged stale tmp " << tmp.filename().string();
     }
   }
@@ -234,15 +248,22 @@ void FileStore::scavenge_locked() {
     if (ec || shadow_time >= committed_time) continue;
     fs::remove(shadow, ec);
     if (!ec) {
-      ++stats_.scavenged_shadows;
+      stats_.scavenged_shadows.fetch_add(1, std::memory_order_relaxed);
       MCA_LOG(Info, "store") << "scavenged stale shadow " << name;
     }
   }
 }
 
 FileStore::Stats FileStore::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  // Lock-free snapshot: the counters are atomics (see Counters in the
+  // header), so observers never contend with writers for the store mutex.
+  Stats out;
+  out.quarantined = stats_.quarantined.load(std::memory_order_relaxed);
+  out.scavenged_tmp = stats_.scavenged_tmp.load(std::memory_order_relaxed);
+  out.scavenged_shadows = stats_.scavenged_shadows.load(std::memory_order_relaxed);
+  out.fsyncs = stats_.fsyncs.load(std::memory_order_relaxed);
+  out.fsync_failures = stats_.fsync_failures.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<fs::path> FileStore::fsck() const {

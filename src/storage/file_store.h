@@ -18,7 +18,10 @@
 // before the rename and the directory is fsynced after it, closing the
 // "rename survived the crash but the data didn't" window real filesystems
 // have. Off by default — the simulation's crash model doesn't lose the page
-// cache, and the benchmarks record what the flag costs.
+// cache, and the benchmarks record what the flag costs. A *failed* fsync (or
+// a failed open of the path to sync) throws DurabilityError and is counted
+// in Stats::fsync_failures: a flush the kernel refused must surface as a
+// failed write (NO vote, abort), never be silently counted as durable.
 //
 // Scavenging: opening a store (and DistNode::restart via scavenge()) sweeps
 // stale ".tmp" files — torn writes that never reached their rename — and
@@ -28,7 +31,9 @@
 // protocol-level sweep (discard_unreferenced_shadows) owns their fate.
 #pragma once
 
+#include <atomic>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 
 #include "storage/object_store.h"
@@ -48,6 +53,11 @@ class FileStore final : public ObjectStore {
     // N-write prepare batch instead of 2N. Only meaningful together with
     // fsync_before_rename.
     bool group_commit = true;
+    // Fault-injection hook in the FaultyStore tradition: replaces ::fsync
+    // for this store. A non-zero return is a failed flush (DurabilityError,
+    // counted in Stats::fsync_failures). Tests use this to prove a failed
+    // fsync can never be reported as a committed write. Default: ::fsync.
+    std::function<int(int fd)> fsync_fn;
   };
 
   struct Stats {
@@ -55,6 +65,7 @@ class FileStore final : public ObjectStore {
     std::uint64_t scavenged_tmp = 0;      // stale .tmp files removed
     std::uint64_t scavenged_shadows = 0;  // stale (older-than-committed) shadows removed
     std::uint64_t fsyncs = 0;             // file + directory fsyncs issued
+    std::uint64_t fsync_failures = 0;     // flushes the kernel refused (surfaced as throws)
   };
 
   // Creates the directory if needed. Throws std::filesystem::filesystem_error
@@ -100,11 +111,26 @@ class FileStore final : public ObjectStore {
   void write_atomically(const std::filesystem::path& path, const ObjectState& state,
                         bool defer_dir_fsync = false);
   void scavenge_locked();
+  // fsyncs `path` (file or directory). Throws DurabilityError when the path
+  // cannot be opened or the kernel refuses the flush.
+  void fsync_or_throw(const std::filesystem::path& path) const;
+
+  // Counters are atomics, not mutex-guarded fields: PR 4/5 made shadow
+  // writers concurrent across stores and the stats must stay exact (and
+  // tsan-clean) even if a future path touches them outside mutex_; stats()
+  // also no longer has to take the store lock.
+  struct Counters {
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> scavenged_tmp{0};
+    std::atomic<std::uint64_t> scavenged_shadows{0};
+    std::atomic<std::uint64_t> fsyncs{0};
+    std::atomic<std::uint64_t> fsync_failures{0};
+  };
 
   mutable std::mutex mutex_;
   std::filesystem::path dir_;
   Options options_;
-  mutable Stats stats_;
+  mutable Counters stats_;
 };
 
 }  // namespace mca

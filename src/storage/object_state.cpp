@@ -28,6 +28,14 @@ ByteBuffer ObjectState::encode() const {
   return out;
 }
 
+ObjectState ObjectState::decode_unchecked(ByteBuffer& in) {
+  ObjectState s;
+  s.uid_ = in.unpack_uid();
+  s.type_name_ = in.unpack_string();
+  s.state_ = ByteBuffer(in.unpack_bytes());
+  return s;
+}
+
 ObjectState ObjectState::decode(ByteBuffer& in) {
   if (in.unpack_u32() != kMagic) {
     throw StateCorrupt("bad magic word (not a state encoding, or header torn)");
@@ -39,11 +47,7 @@ ObjectState ObjectState::decode(ByteBuffer& in) {
   if (crc32(body.data()) != expected_crc) {
     throw StateCorrupt("CRC-32 mismatch (bit flip or torn write)");
   }
-  ObjectState s;
-  s.uid_ = body.unpack_uid();
-  s.type_name_ = body.unpack_string();
-  s.state_ = ByteBuffer(body.unpack_bytes());
-  return s;
+  return decode_unchecked(body);
 }
 
 }  // namespace mca

@@ -45,8 +45,15 @@ class ObjectState {
   [[nodiscard]] ByteBuffer encode() const;
 
   // The body without the integrity header — the checksum-off baseline the
-  // robustness benchmarks compare against. Not decodable by decode().
+  // robustness benchmarks compare against, and the payload format of WAL
+  // records (whose framing carries its own CRC, making the inner header
+  // redundant). Not decodable by decode().
   [[nodiscard]] ByteBuffer encode_unchecked() const;
+
+  // Inverse of encode_unchecked(): no integrity verification — the caller
+  // (e.g. the WAL's record framing) must have checksummed the bytes itself.
+  // Throws BufferUnderflow on truncated input.
+  static ObjectState decode_unchecked(ByteBuffer& in);
 
   // Throws StateCorrupt (bad magic / CRC mismatch) or BufferUnderflow
   // (truncated inside a length-prefixed field) on damaged input.

@@ -11,11 +11,23 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "storage/object_state.h"
 
 namespace mca {
+
+// Thrown by stable stores when a write that must be durable cannot be made
+// durable (open/fsync failure, a wedged log). Derives from std::exception on
+// purpose: the commit machinery's defensive catches turn it into a clean NO
+// vote or an abort — never into a write reported as committed.
+class DurabilityError : public std::runtime_error {
+ public:
+  explicit DurabilityError(const std::string& what)
+      : std::runtime_error("store durability: " + what) {}
+};
 
 enum class StorageClass { Stable, Volatile };
 

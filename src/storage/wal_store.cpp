@@ -1,0 +1,723 @@
+#include "storage/wal_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "common/thread_name.h"
+#include "sim/crash_points.h"
+
+namespace mca {
+namespace fs = std::filesystem;
+
+namespace {
+
+// "MWL1" / "MWC1" little-endian: record frames and checkpoint files carry
+// distinct magics so neither can ever be mistaken for the other (or for an
+// ObjectState file).
+constexpr std::uint32_t kRecordMagic = 0x314C574Du;
+constexpr std::uint32_t kCheckpointMagic = 0x3143574Du;
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".log";
+constexpr const char* kCheckpointName = "checkpoint";
+constexpr const char* kCheckpointTmpName = "checkpoint.tmp";
+constexpr const char* kQuarantineSuffix = ".quarantined";
+
+// Shortest possible frame: magic + crc + the body's length prefix.
+constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class Op : std::uint8_t {
+  kPut = 1,           // committed state; payload = encode_unchecked fields
+  kPutShadow = 2,     // shadow state; same payload
+  kRemove = 3,        // payload = uid
+  kCommitShadow = 4,  // payload = uid
+  kDiscardShadow = 5, // payload = uid
+};
+
+std::optional<std::uint64_t> parse_segment_seq(const std::string& name) {
+  if (!name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix)) return std::nullopt;
+  const std::string middle = name.substr(
+      std::strlen(kSegmentPrefix),
+      name.size() - std::strlen(kSegmentPrefix) - std::strlen(kSegmentSuffix));
+  try {
+    std::size_t used = 0;
+    const std::uint64_t seq = std::stoull(middle, &used, 16);
+    if (used != middle.size()) return std::nullopt;
+    return seq;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::byte> read_whole_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DurabilityError("cannot read " + path.string());
+  std::vector<std::byte> raw;
+  in.seekg(0, std::ios::end);
+  raw.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+  if (!in) throw DurabilityError("short read of " + path.string());
+  return raw;
+}
+
+// Appends one framed record to `out`. Put/PutShadow payloads are the
+// ObjectState::encode_unchecked() field sequence (uid, type, state) — the
+// frame's CRC covers the whole body, so the state's own integrity header
+// would be redundant.
+void frame_record(std::vector<std::byte>& out, Op op, const ObjectState* state, const Uid& uid) {
+  ByteBuffer body;
+  body.pack_u8(static_cast<std::uint8_t>(op));
+  if (state != nullptr) {
+    body.pack_uid(state->uid());
+    body.pack_string(state->type_name());
+    body.pack_bytes(state->state().bytes());
+  } else {
+    body.pack_uid(uid);
+  }
+  ByteBuffer frame;
+  frame.pack_u32(kRecordMagic);
+  frame.pack_u32(crc32(body.bytes()));
+  frame.pack_bytes(body.bytes());
+  const auto& raw = frame.data();
+  out.insert(out.end(), raw.begin(), raw.end());
+}
+
+// Applies one decoded record body to the image. Returns false on an op the
+// store does not know — corrupt bytes that beat the CRC, never expected.
+bool apply_record(ByteBuffer& body, std::map<Uid, ObjectState>& committed,
+                  std::map<Uid, ObjectState>& shadows) {
+  switch (static_cast<Op>(body.unpack_u8())) {
+    case Op::kPut: {
+      ObjectState state = ObjectState::decode_unchecked(body);
+      const Uid uid = state.uid();
+      committed.insert_or_assign(uid, std::move(state));
+      return true;
+    }
+    case Op::kPutShadow: {
+      ObjectState state = ObjectState::decode_unchecked(body);
+      const Uid uid = state.uid();
+      shadows.insert_or_assign(uid, std::move(state));
+      return true;
+    }
+    case Op::kRemove:
+      committed.erase(body.unpack_uid());
+      return true;
+    case Op::kCommitShadow: {
+      const Uid uid = body.unpack_uid();
+      // A shadow the image no longer holds means the promotion's effect is
+      // already in the checkpoint this replay started from — a no-op, which
+      // is what makes re-replaying a suffix of the log safe.
+      const auto it = shadows.find(uid);
+      if (it != shadows.end()) {
+        committed.insert_or_assign(uid, std::move(it->second));
+        shadows.erase(it);
+      }
+      return true;
+    }
+    case Op::kDiscardShadow:
+      shadows.erase(body.unpack_uid());
+      return true;
+  }
+  return false;
+}
+
+// Walks the frames in `raw`, applying each whole CRC-clean record to the
+// maps. Returns the offset just past the last good record (== raw.size()
+// for a clean file); everything beyond it is a torn tail. `applied` (when
+// non-null) counts the records that were applied.
+std::size_t walk_frames(std::span<const std::byte> raw, std::map<Uid, ObjectState>& committed,
+                        std::map<Uid, ObjectState>& shadows, std::uint64_t* applied) {
+  ByteBuffer in = ByteBuffer::reader(raw);
+  std::size_t good = 0;
+  while (!in.exhausted()) {
+    bool ok = false;
+    try {
+      if (in.remaining() >= kFrameHeaderBytes && in.unpack_u32() == kRecordMagic) {
+        const std::uint32_t expected_crc = in.unpack_u32();
+        const std::vector<std::byte> body_bytes = in.unpack_bytes();  // BufferUnderflow if torn
+        if (crc32(body_bytes) == expected_crc) {
+          ByteBuffer body = ByteBuffer::reader(body_bytes);
+          ok = apply_record(body, committed, shadows);
+        }
+      }
+    } catch (const BufferUnderflow&) {
+      ok = false;
+    }
+    if (!ok) break;
+    good = raw.size() - in.remaining();
+    if (applied != nullptr) ++*applied;
+  }
+  return good;
+}
+
+// Decodes a checkpoint file; throws StateCorrupt / BufferUnderflow on any
+// damage. Returns the covered segment sequence.
+std::uint64_t decode_checkpoint(std::span<const std::byte> raw,
+                                std::map<Uid, ObjectState>& committed,
+                                std::map<Uid, ObjectState>& shadows) {
+  ByteBuffer in = ByteBuffer::reader(raw);
+  if (in.unpack_u32() != kCheckpointMagic) {
+    throw StateCorrupt("bad checkpoint magic");
+  }
+  const std::uint32_t expected_crc = in.unpack_u32();
+  const std::vector<std::byte> body_bytes = in.unpack_bytes();
+  if (crc32(body_bytes) != expected_crc) {
+    throw StateCorrupt("checkpoint CRC-32 mismatch");
+  }
+  ByteBuffer body = ByteBuffer::reader(body_bytes);
+  const std::uint64_t covered = body.unpack_u64();
+  for (auto* image : {&committed, &shadows}) {
+    const std::uint32_t count = body.unpack_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ObjectState state = ObjectState::decode_unchecked(body);
+      const Uid uid = state.uid();
+      image->insert_or_assign(uid, std::move(state));
+    }
+  }
+  return covered;
+}
+
+void write_fully(int fd, const std::byte* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw DurabilityError(std::string("wal append failed: ") + std::strerror(errno));
+    }
+    data += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+WalStore::WalStore(fs::path directory) : WalStore(std::move(directory), Options{}) {}
+
+WalStore::WalStore(fs::path directory, Options options)
+    : dir_(std::move(directory)), options_(std::move(options)) {
+  const std::scoped_lock lock(mutex_);
+  recover_locked();
+}
+
+WalStore::~WalStore() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+fs::path WalStore::segment_path(std::uint64_t seq) const {
+  std::ostringstream os;
+  os << kSegmentPrefix << std::hex << std::setw(16) << std::setfill('0') << seq << kSegmentSuffix;
+  return dir_ / os.str();
+}
+
+fs::path WalStore::checkpoint_path() const { return dir_ / kCheckpointName; }
+fs::path WalStore::checkpoint_tmp_path() const { return dir_ / kCheckpointTmpName; }
+
+std::vector<std::pair<std::uint64_t, fs::path>> WalStore::list_segments() const {
+  std::vector<std::pair<std::uint64_t, fs::path>> out;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (const auto seq = parse_segment_seq(entry.path().filename().string())) {
+      out.emplace_back(*seq, entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// -- reads (served from the in-memory image) ---------------------------------
+
+std::optional<ObjectState> WalStore::read(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = committed_.find(uid);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Uid> WalStore::uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  out.reserve(committed_.size());
+  for (const auto& [uid, state] : committed_) out.push_back(uid);
+  return out;
+}
+
+std::optional<ObjectState> WalStore::read_shadow(const Uid& uid) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = shadows_.find(uid);
+  if (it == shadows_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Uid> WalStore::shadow_uids() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Uid> out;
+  out.reserve(shadows_.size());
+  for (const auto& [uid, state] : shadows_) out.push_back(uid);
+  return out;
+}
+
+// -- writes (logged, group-committed) -----------------------------------------
+
+void WalStore::write(const ObjectState& state) {
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  std::vector<std::byte> bytes;
+  frame_record(bytes, Op::kPut, &state, state.uid());
+  committed_.insert_or_assign(state.uid(), state);
+  log_and_wait(lock, std::move(bytes), 1);
+}
+
+void WalStore::write_shadow(const ObjectState& state) {
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  std::vector<std::byte> bytes;
+  frame_record(bytes, Op::kPutShadow, &state, state.uid());
+  shadows_.insert_or_assign(state.uid(), state);
+  log_and_wait(lock, std::move(bytes), 1);
+}
+
+void WalStore::write_batch(const std::vector<ObjectState>& states, WriteKind kind) {
+  if (states.empty()) return;
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  const Op op = kind == WriteKind::Shadow ? Op::kPutShadow : Op::kPut;
+  auto& image = kind == WriteKind::Shadow ? shadows_ : committed_;
+  std::vector<std::byte> bytes;
+  for (const ObjectState& state : states) {
+    frame_record(bytes, op, &state, state.uid());
+    image.insert_or_assign(state.uid(), state);
+  }
+  // One contiguous run of records, one ticket, one durability barrier for
+  // the whole batch — and the committer may merge it with other writers'.
+  log_and_wait(lock, std::move(bytes), states.size());
+}
+
+bool WalStore::remove(const Uid& uid) {
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  const auto it = committed_.find(uid);
+  if (it == committed_.end()) return false;
+  committed_.erase(it);
+  std::vector<std::byte> bytes;
+  frame_record(bytes, Op::kRemove, nullptr, uid);
+  log_and_wait(lock, std::move(bytes), 1);
+  return true;
+}
+
+bool WalStore::commit_shadow(const Uid& uid) {
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  const auto it = shadows_.find(uid);
+  if (it == shadows_.end()) return false;
+  committed_.insert_or_assign(uid, std::move(it->second));
+  shadows_.erase(it);
+  std::vector<std::byte> bytes;
+  frame_record(bytes, Op::kCommitShadow, nullptr, uid);
+  log_and_wait(lock, std::move(bytes), 1);
+  return true;
+}
+
+bool WalStore::discard_shadow(const Uid& uid) {
+  std::unique_lock lock(mutex_);
+  throw_if_wedged_locked();
+  const auto it = shadows_.find(uid);
+  if (it == shadows_.end()) return false;
+  shadows_.erase(it);
+  std::vector<std::byte> bytes;
+  frame_record(bytes, Op::kDiscardShadow, nullptr, uid);
+  log_and_wait(lock, std::move(bytes), 1);
+  return true;
+}
+
+// -- group commit --------------------------------------------------------------
+
+void WalStore::throw_if_wedged_locked() const {
+  if (wedge_) std::rethrow_exception(wedge_);
+}
+
+void WalStore::ensure_committer_locked() {
+  if (!committer_.joinable()) {
+    committer_ = std::thread([this] { committer_loop(); });
+  }
+}
+
+void WalStore::log_and_wait(std::unique_lock<std::mutex>& lock, std::vector<std::byte> bytes,
+                            std::size_t record_count) {
+  const std::uint64_t my_epoch = epoch_;
+  pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+  const std::uint64_t ticket = ++last_ticket_;
+  pending_ticket_ = ticket;
+  stats_.records.fetch_add(record_count, std::memory_order_relaxed);
+  ensure_committer_locked();
+  work_cv_.notify_one();
+  // The epoch check must win over the ticket check: crash() resets tickets,
+  // so a post-crash durable_ticket_ catching up to our stale ticket must
+  // never read as success.
+  durable_cv_.wait(lock, [&] {
+    return epoch_ != my_epoch || wedge_ != nullptr || durable_ticket_ >= ticket;
+  });
+  if (epoch_ != my_epoch) {
+    throw DurabilityError("store crashed while the write was in flight");
+  }
+  if (durable_ticket_ < ticket) {
+    // Our records never became durable; surface the flush's own error (a
+    // DurabilityError, or a CrashPointHit tunnelling to the node-kill
+    // catcher). The in-memory image is ahead of the disk now — only
+    // crash()+recovery reconciles that, which is exactly what the commit
+    // machinery does with this exception.
+    std::rethrow_exception(wedge_);
+  }
+  maybe_checkpoint_locked(lock);
+}
+
+void WalStore::committer_loop() {
+  set_current_thread_name("mca-wal");
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (wedge_) {
+      // Nothing may reach the disk past a failed flush: drop what queued up
+      // behind it and let the waiters rethrow the wedge error.
+      pending_.clear();
+      durable_cv_.notify_all();
+      if (stop_) return;
+      continue;
+    }
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<std::byte> batch = std::move(pending_);
+    pending_.clear();
+    const std::uint64_t batch_ticket = pending_ticket_;
+    const std::uint64_t my_epoch = epoch_;
+    const int fd = fd_;
+    flushing_ = true;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      append_and_sync(fd, batch);
+    } catch (...) {  // DurabilityError or a CrashPointHit kill
+      error = std::current_exception();
+    }
+    lock.lock();
+    flushing_ = false;
+    if (epoch_ == my_epoch) {
+      if (error) {
+        wedge_ = error;
+      } else {
+        durable_ticket_ = std::max(durable_ticket_, batch_ticket);
+        active_size_ += batch.size();
+        stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Wakes durable waiters, a draining checkpoint, and a crash() waiting
+    // for this flush to land.
+    durable_cv_.notify_all();
+  }
+}
+
+void WalStore::append_and_sync(int fd, const std::vector<std::byte>& bytes) {
+  if (crash_points::any_armed()) {
+    // Split the append so a kill between the halves leaves a torn record —
+    // the first frame's header without (all of) its body. Unarmed runs take
+    // the single-write path below.
+    const std::size_t head = std::min(bytes.size(), kFrameHeaderBytes);
+    write_fully(fd, bytes.data(), head);
+    MCA_CRASHPOINT("store.wal.append.mid_record");
+    write_fully(fd, bytes.data() + head, bytes.size() - head);
+  } else {
+    write_fully(fd, bytes.data(), bytes.size());
+  }
+  // The bytes are appended but not flushed. Under the simulated crash model
+  // (page cache survives a process kill) a record here IS durable; on real
+  // hardware this is the window the fsync below closes.
+  MCA_CRASHPOINT("store.wal.append.pre_fsync");
+  if (options_.sync) fsync_fd(fd);
+}
+
+void WalStore::fsync_fd(int fd) const {
+  const int rc = options_.fsync_fn ? options_.fsync_fn(fd) : ::fsync(fd);
+  if (rc != 0) {
+    stats_.fsync_failures.fetch_add(1, std::memory_order_relaxed);
+    throw DurabilityError(std::string("wal fsync failed: ") + std::strerror(errno));
+  }
+  stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WalStore::fsync_path(const fs::path& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    stats_.fsync_failures.fetch_add(1, std::memory_order_relaxed);
+    throw DurabilityError("cannot open " + path.string() + " to fsync: " + std::strerror(errno));
+  }
+  try {
+    fsync_fd(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+// -- checkpoint / compaction -----------------------------------------------------
+
+void WalStore::checkpoint() {
+  std::unique_lock lock(mutex_);
+  checkpoint_locked(lock);
+}
+
+void WalStore::maybe_checkpoint_locked(std::unique_lock<std::mutex>& lock) {
+  if (options_.checkpoint_threshold_bytes == 0) return;
+  if (active_size_ < options_.checkpoint_threshold_bytes) return;
+  checkpoint_locked(lock);
+}
+
+void WalStore::checkpoint_locked(std::unique_lock<std::mutex>& lock) {
+  throw_if_wedged_locked();
+  const std::uint64_t my_epoch = epoch_;
+  // Drain the committer so the image covers every appended record; releasing
+  // the lock here lets it finish.
+  durable_cv_.wait(lock, [&] {
+    return (pending_.empty() && !flushing_) || wedge_ != nullptr || epoch_ != my_epoch;
+  });
+  if (epoch_ != my_epoch) return;  // crashed under us — the rebuilt image is already clean
+  // A wedged image is ahead of the disk; snapshotting it would launder
+  // never-durable records into the checkpoint.
+  throw_if_wedged_locked();
+
+  const std::uint64_t covered = active_seq_;
+  ByteBuffer body;
+  body.pack_u64(covered);
+  for (const auto* image : {&committed_, &shadows_}) {
+    body.pack_u32(static_cast<std::uint32_t>(image->size()));
+    for (const auto& [uid, state] : *image) {
+      // encode_unchecked's field order — decode_unchecked reads it back.
+      body.pack_uid(state.uid());
+      body.pack_string(state.type_name());
+      body.pack_bytes(state.state().bytes());
+    }
+  }
+  ByteBuffer file;
+  file.pack_u32(kCheckpointMagic);
+  file.pack_u32(crc32(body.bytes()));
+  file.pack_bytes(body.bytes());
+
+  const fs::path tmp = checkpoint_tmp_path();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const auto& raw = file.data();
+    const auto* chars = reinterpret_cast<const char*>(raw.data());
+    if (crash_points::any_armed()) {
+      const std::size_t head = raw.size() / 2;
+      out.write(chars, static_cast<std::streamsize>(head));
+      out.flush();
+      // A kill here leaves a half-written checkpoint.tmp; recovery deletes
+      // it and the previous checkpoint stays authoritative.
+      MCA_CRASHPOINT("store.wal.checkpoint.mid_write");
+      out.write(chars + head, static_cast<std::streamsize>(raw.size() - head));
+    } else {
+      out.write(chars, static_cast<std::streamsize>(raw.size()));
+    }
+    out.flush();
+    if (!out) throw DurabilityError("failed writing " + tmp.string());
+  }
+  if (options_.sync) fsync_path(tmp);
+  // The tmp is complete; the rename below is the atomic cut-over.
+  MCA_CRASHPOINT("store.wal.checkpoint.pre_rename");
+  fs::rename(tmp, checkpoint_path());
+  if (options_.sync) fsync_path(dir_);
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  // New checkpoint durable, covered segments still on disk — replay skips
+  // them by sequence, and the compaction below (re-run by recovery) is pure
+  // garbage collection.
+  MCA_CRASHPOINT("store.wal.checkpoint.pre_compact");
+
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  active_seq_ = covered + 1;
+  open_active_segment_locked();
+  for (const auto& [seq, path] : list_segments()) {
+    if (seq > covered) continue;
+    std::error_code ec;
+    if (fs::remove(path, ec)) {
+      stats_.compacted_segments.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (options_.sync) fsync_path(dir_);
+  MCA_LOG(Info, "store") << "wal checkpoint: covered through segment " << covered << ", "
+                         << committed_.size() << " committed + " << shadows_.size()
+                         << " shadow state(s)";
+}
+
+// -- crash / recovery -------------------------------------------------------------
+
+void WalStore::crash() {
+  std::unique_lock lock(mutex_);
+  // Volatile state dies here: queued-but-unappended records vanish and every
+  // blocked writer is released with a DurabilityError (epoch check) — its
+  // records may or may not have reached the disk, like a real power cut.
+  ++epoch_;
+  pending_.clear();
+  durable_cv_.notify_all();
+  // An in-flight flush finishes against the old epoch (its outcome is
+  // discarded); recovery must not replay a file mid-append.
+  durable_cv_.wait(lock, [&] { return !flushing_; });
+  recover_locked();
+}
+
+void WalStore::recover_locked() {
+  fs::create_directories(dir_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  committed_.clear();
+  shadows_.clear();
+  pending_.clear();
+  wedge_ = nullptr;
+  last_ticket_ = 0;
+  pending_ticket_ = 0;
+  durable_ticket_ = 0;
+  active_size_ = 0;
+
+  // An incomplete checkpoint never becomes authoritative.
+  std::error_code ec;
+  fs::remove(checkpoint_tmp_path(), ec);
+
+  std::uint64_t covered = 0;
+  if (fs::exists(checkpoint_path())) {
+    try {
+      const auto raw = read_whole_file(checkpoint_path());
+      covered = decode_checkpoint(raw, committed_, shadows_);
+    } catch (const std::exception& e) {
+      // Corrupt checkpoint: quarantine it and fall back to pure log replay —
+      // the segments it covered are only deleted after the checkpoint is
+      // durable, so a checkpoint that cannot be read implies they are still
+      // here.
+      committed_.clear();
+      shadows_.clear();
+      covered = 0;
+      fs::path aside = checkpoint_path();
+      aside += kQuarantineSuffix;
+      fs::rename(checkpoint_path(), aside, ec);
+      if (ec) fs::remove(checkpoint_path(), ec);
+      stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+      MCA_LOG(Warn, "store") << "quarantined corrupt wal checkpoint: " << e.what();
+    }
+  }
+
+  std::uint64_t max_seq = covered;
+  for (const auto& [seq, path] : list_segments()) {
+    if (seq <= covered) {
+      // A kill in the pre_compact window leaves covered segments behind;
+      // finishing the deletion here completes the interrupted compaction.
+      if (fs::remove(path, ec)) {
+        stats_.compacted_segments.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    replay_segment(path);
+    max_seq = std::max(max_seq, seq);
+  }
+
+  active_seq_ = std::max(max_seq, covered + 1);
+  open_active_segment_locked();
+}
+
+void WalStore::replay_segment(const fs::path& path) {
+  const auto raw = read_whole_file(path);
+  std::uint64_t applied = 0;
+  const std::size_t good = walk_frames(raw, committed_, shadows_, &applied);
+  stats_.recovered_records.fetch_add(applied, std::memory_order_relaxed);
+  if (good < raw.size()) {
+    // Torn tail: a record the crash cut short. Everything before it is
+    // intact; drop the fragment so the next append starts at a frame
+    // boundary.
+    if (::truncate(path.c_str(), static_cast<off_t>(good)) != 0) {
+      throw DurabilityError("cannot truncate torn wal tail of " + path.string() + ": " +
+                            std::strerror(errno));
+    }
+    stats_.truncated_tails.fetch_add(1, std::memory_order_relaxed);
+    MCA_LOG(Warn, "store") << "truncated torn wal tail: " << path.filename().string() << " at "
+                           << good << " of " << raw.size() << " bytes";
+  }
+}
+
+void WalStore::open_active_segment_locked() {
+  const fs::path path = segment_path(active_seq_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw DurabilityError("cannot open wal segment " + path.string() + ": " +
+                          std::strerror(errno));
+  }
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  active_size_ = ec ? 0 : size;
+}
+
+// -- introspection ------------------------------------------------------------------
+
+WalStore::Stats WalStore::stats() const {
+  Stats out;
+  out.records = stats_.records.load(std::memory_order_relaxed);
+  out.flushes = stats_.flushes.load(std::memory_order_relaxed);
+  out.fsyncs = stats_.fsyncs.load(std::memory_order_relaxed);
+  out.fsync_failures = stats_.fsync_failures.load(std::memory_order_relaxed);
+  out.checkpoints = stats_.checkpoints.load(std::memory_order_relaxed);
+  out.compacted_segments = stats_.compacted_segments.load(std::memory_order_relaxed);
+  out.recovered_records = stats_.recovered_records.load(std::memory_order_relaxed);
+  out.truncated_tails = stats_.truncated_tails.load(std::memory_order_relaxed);
+  out.quarantined = stats_.quarantined.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<fs::path> WalStore::fsck() const {
+  std::unique_lock lock(mutex_);
+  // Quiesce so a concurrent append is not misread as a torn tail.
+  durable_cv_.wait(lock, [&] { return (pending_.empty() && !flushing_) || wedge_ != nullptr; });
+  std::vector<fs::path> bad;
+  std::map<Uid, ObjectState> scratch_committed;
+  std::map<Uid, ObjectState> scratch_shadows;
+  if (fs::exists(checkpoint_path())) {
+    try {
+      const auto raw = read_whole_file(checkpoint_path());
+      (void)decode_checkpoint(raw, scratch_committed, scratch_shadows);
+    } catch (const std::exception&) {
+      bad.push_back(checkpoint_path());
+    }
+  }
+  for (const auto& [seq, path] : list_segments()) {
+    try {
+      scratch_committed.clear();
+      scratch_shadows.clear();
+      const auto raw = read_whole_file(path);
+      if (walk_frames(raw, scratch_committed, scratch_shadows, nullptr) != raw.size()) {
+        bad.push_back(path);
+      }
+    } catch (const std::exception&) {
+      bad.push_back(path);
+    }
+  }
+  return bad;
+}
+
+}  // namespace mca

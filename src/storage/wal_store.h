@@ -1,0 +1,218 @@
+// Log-structured stable object store: a group-committed write-ahead log.
+//
+// Where FileStore pays one file write + rename (+fsyncs) per object state,
+// WalStore appends every mutation — committed writes, shadow writes, shadow
+// promotion/discard, removes — as a CRC-framed record to an append-only
+// segment file and serves all reads from an in-memory image of the log. One
+// multi-object commit is one contiguous run of records made durable by a
+// single fsync, and *concurrent* commits coalesce: a dedicated committer
+// thread swaps out the whole pending queue, appends it with one write and
+// one fsync, and wakes every waiter whose records it covered. Under
+// contention the store does strictly less than one fsync per commit.
+//
+// Record framing: [u32 magic 'MWL1'][u32 crc32(body)][u32 len][body]; body is
+// [u8 op][payload] where Put/PutShadow carry ObjectState::encode_unchecked()
+// (the frame CRC makes the state's own integrity header redundant) and
+// Remove/CommitShadow/DiscardShadow carry just the uid. Replay walks the
+// frames; the first bad magic, impossible length, or CRC mismatch is a torn
+// tail — the file is physically truncated at the last whole record and
+// everything before it is kept. A record is the unit of atomicity; the
+// commit protocol's shadows and markers (which are just records here) own
+// multi-record recovery, exactly as they do over FileStore.
+//
+// Checkpoint/compaction: when the active segment outgrows
+// Options::checkpoint_threshold_bytes (checked by writers after their commit
+// is durable), the store snapshots its in-memory image into checkpoint.tmp,
+// fsyncs, renames to `checkpoint` (the atomic cut-over), starts a fresh
+// segment, and deletes the segments the checkpoint covers. Recovery loads
+// the checkpoint (a corrupt one is quarantined and ignored — the log still
+// replays), discards any checkpoint.tmp, deletes covered segments a crash
+// left behind, and replays the rest in sequence order.
+//
+// Durability policy: a failed fsync (or failed append) *wedges* the log —
+// the error is captured, every waiter and every subsequent write rethrows
+// it, and nothing after the failure point is ever reported as committed.
+// The commit machinery turns the DurabilityError into a NO vote or an
+// abort; only crash()+recovery (i.e. a node restart) clears the wedge, by
+// rebuilding from what actually reached the disk.
+//
+// Threading: the committer thread is owned by the store and started lazily
+// on the first logged write — stores are constructed before the Runtime
+// spine exists, so it cannot live on the shared Executor. It is named
+// "mca-wal" and joined in the destructor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "storage/object_store.h"
+
+namespace mca {
+
+class WalStore final : public ObjectStore {
+ public:
+  struct Options {
+    // fsync the segment after each coalesced append and the directory after
+    // segment/checkpoint renames. The simulated crash model keeps the page
+    // cache, so tests that only need replay coverage can turn this off.
+    bool sync = true;
+    // Active-segment size that triggers a checkpoint + compaction, checked
+    // by writers once their own commit is durable. 0 disables automatic
+    // checkpoints (checkpoint() still works).
+    std::uint64_t checkpoint_threshold_bytes = 4ull << 20;
+    // Fault-injection hook: replaces ::fsync for this store. A non-zero
+    // return wedges the log (DurabilityError, counted in fsync_failures).
+    std::function<int(int fd)> fsync_fn;
+  };
+
+  struct Stats {
+    std::uint64_t records = 0;            // logical records appended
+    std::uint64_t flushes = 0;            // coalesced appends (one write syscall each)
+    std::uint64_t fsyncs = 0;             // segment + checkpoint + directory fsyncs
+    std::uint64_t fsync_failures = 0;     // flushes the kernel refused (log wedged)
+    std::uint64_t checkpoints = 0;        // checkpoint files cut over
+    std::uint64_t compacted_segments = 0; // covered segments deleted
+    std::uint64_t recovered_records = 0;  // records replayed at open / crash recovery
+    std::uint64_t truncated_tails = 0;    // torn tails physically truncated
+    std::uint64_t quarantined = 0;        // corrupt checkpoints moved aside
+  };
+
+  // Opens (creating if needed) the store directory and runs recovery:
+  // checkpoint load, covered-segment compaction, log replay, tail
+  // truncation. Throws std::filesystem::filesystem_error when the directory
+  // cannot be created.
+  explicit WalStore(std::filesystem::path directory);
+  WalStore(std::filesystem::path directory, Options options);
+  ~WalStore() override;
+
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  [[nodiscard]] std::optional<ObjectState> read(const Uid& uid) const override;
+  void write(const ObjectState& state) override;
+  bool remove(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> uids() const override;
+
+  // One contiguous run of records, one durability wait for the whole batch.
+  void write_batch(const std::vector<ObjectState>& states, WriteKind kind) override;
+
+  void write_shadow(const ObjectState& state) override;
+  [[nodiscard]] std::optional<ObjectState> read_shadow(const Uid& uid) const override;
+  bool commit_shadow(const Uid& uid) override;
+  bool discard_shadow(const Uid& uid) override;
+  [[nodiscard]] std::vector<Uid> shadow_uids() const override;
+
+  // Simulated node crash: volatile state (the in-memory image, the pending
+  // queue, any blocked writers' claims) is lost; the image is rebuilt by
+  // re-running recovery against the files, truncating any torn tail the
+  // kill produced. Writers blocked mid-commit are released with a
+  // DurabilityError — their records may or may not have survived, exactly
+  // like a real machine losing power mid-fsync.
+  void crash() override;
+
+  // Recovery already ran in the constructor / crash(); nothing left to sweep.
+  void scavenge() override {}
+
+  [[nodiscard]] StorageClass storage_class() const override { return StorageClass::Stable; }
+
+  // Forces a checkpoint + compaction now (also runs automatically past
+  // Options::checkpoint_threshold_bytes).
+  void checkpoint();
+
+  [[nodiscard]] const std::filesystem::path& directory() const { return dir_; }
+  [[nodiscard]] Stats stats() const;
+
+  // Read-only integrity scan: re-walks the checkpoint and every segment's
+  // frames and returns the files that fail. After recovery this must be
+  // empty — the invariant checker asserts it.
+  [[nodiscard]] std::vector<std::filesystem::path> fsck() const;
+
+ private:
+  struct Counters {
+    std::atomic<std::uint64_t> records{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> fsyncs{0};
+    std::atomic<std::uint64_t> fsync_failures{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> compacted_segments{0};
+    std::atomic<std::uint64_t> recovered_records{0};
+    std::atomic<std::uint64_t> truncated_tails{0};
+    std::atomic<std::uint64_t> quarantined{0};
+  };
+
+  [[nodiscard]] std::filesystem::path segment_path(std::uint64_t seq) const;
+  [[nodiscard]] std::filesystem::path checkpoint_path() const;
+  [[nodiscard]] std::filesystem::path checkpoint_tmp_path() const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::filesystem::path>> list_segments() const;
+
+  // Enqueues the already-framed `bytes`, wakes the committer and blocks
+  // until every record in them is durable (or the log wedges / the store
+  // crashes under us). Caller holds `lk` and has already applied the
+  // mutation to the in-memory image.
+  void log_and_wait(std::unique_lock<std::mutex>& lk, std::vector<std::byte> bytes,
+                    std::size_t record_count);
+  void ensure_committer_locked();
+  void committer_loop();
+  // The committer's unlocked section: append `bytes` to `fd`, fsync if
+  // configured. Hosts the append-window crash points.
+  void append_and_sync(int fd, const std::vector<std::byte>& bytes);
+
+  void throw_if_wedged_locked() const;
+
+  // Checkpoint + compaction with the store lock held; drains the committer
+  // first so the checkpoint covers every appended record.
+  void checkpoint_locked(std::unique_lock<std::mutex>& lk);
+  void maybe_checkpoint_locked(std::unique_lock<std::mutex>& lk);
+
+  // Full recovery with the lock held: loads the checkpoint, compacts covered
+  // segments, replays the rest (truncating a torn tail), opens the active
+  // segment for append.
+  void recover_locked();
+  // Replays one segment into the image; physically truncates a torn tail.
+  void replay_segment(const std::filesystem::path& path);
+  void open_active_segment_locked();
+
+  // Both throw DurabilityError and count Stats::fsync_failures on refusal.
+  void fsync_fd(int fd) const;
+  void fsync_path(const std::filesystem::path& path) const;
+
+  std::filesystem::path dir_;
+  Options options_;
+  mutable Counters stats_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable work_cv_;     // committer sleeps here
+  mutable std::condition_variable durable_cv_;  // writers (and crash()) sleep here
+
+  // In-memory image of the log (what replay would rebuild).
+  std::map<Uid, ObjectState> committed_;
+  std::map<Uid, ObjectState> shadows_;
+
+  // Group-commit state. Tickets order records: a writer's commit is durable
+  // once durable_ticket_ catches up to the ticket it was assigned.
+  std::vector<std::byte> pending_;      // framed records awaiting append
+  std::uint64_t pending_ticket_ = 0;    // ticket of the newest record in pending_
+  std::uint64_t last_ticket_ = 0;
+  std::uint64_t durable_ticket_ = 0;
+  bool flushing_ = false;               // committer is in its unlocked I/O section
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;             // bumped by crash(); stale flush results are discarded
+  std::exception_ptr wedge_;            // set once a flush fails; cleared only by recovery
+
+  std::thread committer_;               // lazily started, joined in ~WalStore
+
+  // Active segment.
+  int fd_ = -1;
+  std::uint64_t active_seq_ = 1;
+  std::uint64_t active_size_ = 0;       // durable bytes in the active segment
+};
+
+}  // namespace mca

@@ -36,6 +36,7 @@
 #include "sim/crash_points.h"
 #include "storage/faulty_store.h"
 #include "storage/file_store.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 namespace {
@@ -77,13 +78,16 @@ struct TempDir {
   }
 };
 
-// Coordinator node 1, participants 2 and 3, all on stable FileStores.
+// Coordinator node 1, participants 2 and 3, all on the same kind of stable
+// store (FileStore for the classic sweep, WalStore for the log-structured
+// one — the protocol must converge identically over either backend).
 // Node 3's store is wrapped in a FaultyStore so a case can make it veto
 // phase one (clean NO vote) and push the coordinator down the abort path.
-struct Cluster {
+template <typename StoreT>
+struct BasicCluster {
   TempDir dir;
   Network net;
-  FileStore c_store, p1_store, p2_files;
+  StoreT c_store, p1_store, p2_files;
   std::shared_ptr<std::atomic<bool>> veto_p2;
   FaultyStore p2_store;
   DistNode c, p1, p2;
@@ -91,12 +95,12 @@ struct Cluster {
 
   // The directory embeds a fresh Uid: ctest runs sweep cases as concurrent
   // processes, which must not share (and remove_all) each other's stores.
-  explicit Cluster(const std::string& tag)
+  explicit BasicCluster(const std::string& tag, typename StoreT::Options store_options = {})
       : dir(fs::temp_directory_path() / ("mca_crash_sweep_" + tag + "_" + Uid().to_string())),
         net(fast_config()),
-        c_store(dir.path / "c"),
-        p1_store(dir.path / "p1"),
-        p2_files(dir.path / "p2"),
+        c_store(dir.path / "c", store_options),
+        p1_store(dir.path / "p1", store_options),
+        p2_files(dir.path / "p2", store_options),
         veto_p2(std::make_shared<std::atomic<bool>>(false)),
         p2_store(p2_files,
                  [flag = veto_p2](FaultyStore::Op op, const Uid&) {
@@ -147,7 +151,7 @@ struct Cluster {
     consistency::check_node(c, report);
     consistency::check_node(p1, report);
     consistency::check_node(p2, report);
-    // Node 3's FileStore hides behind the FaultyStore decorator, invisible
+    // Node 3's real store hides behind the FaultyStore decorator, invisible
     // to check_node's dynamic_cast: fsck it directly.
     for (const auto& path : p2_files.fsck()) {
       report.violations.push_back("node 3: corrupt durable state: " +
@@ -192,6 +196,8 @@ struct Cluster {
     signal_heal_all();
   }
 };
+
+using Cluster = BasicCluster<FileStore>;
 
 // ---------------------------------------------------------------------------
 // Registry unit tests
@@ -303,10 +309,12 @@ const SweepCase kSweepCases[] = {
 
 class CrashSweep : public ::testing::TestWithParam<SweepCase> {};
 
-TEST_P(CrashSweep, KillWindowThenConverge) {
-  const SweepCase& sc = GetParam();
+// One sweep case, generic over the stable-store backend: arm, transfer into
+// the window, restart the victim, converge, run the invariant battery.
+template <typename StoreT>
+void run_kill_window_case(const SweepCase& sc, typename StoreT::Options store_options = {}) {
   crash_points::reset();
-  Cluster cl("sweep");
+  BasicCluster<StoreT> cl("sweep", store_options);
   cl.veto_p2->store(sc.veto);
 
   crash_points::arm(sc.point, sc.skip);
@@ -317,8 +325,7 @@ TEST_P(CrashSweep, KillWindowThenConverge) {
   crash_points::disarm_all();
   cl.veto_p2->store(false);
 
-  const bool any_down =
-      !cl.c.up() || !cl.p1.up() || !cl.p2.up();
+  const bool any_down = !cl.c.up() || !cl.p1.up() || !cl.p2.up();
   ASSERT_TRUE(any_down) << "the fired crash point killed no node";
 
   cl.recover_cluster();
@@ -329,6 +336,10 @@ TEST_P(CrashSweep, KillWindowThenConverge) {
   ConsistencyReport report;
   cl.check(action, report);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(CrashSweep, KillWindowThenConverge) {
+  run_kill_window_case<FileStore>(GetParam());
 }
 
 std::string sweep_case_name(const ::testing::TestParamInfo<SweepCase>& info) {
@@ -343,6 +354,78 @@ std::string sweep_case_name(const ::testing::TestParamInfo<SweepCase>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllWindows, CrashSweep, ::testing::ValuesIn(kSweepCases),
                          sweep_case_name);
+
+// ---------------------------------------------------------------------------
+// The same sweep over WalStore: kill inside the log append itself
+// ---------------------------------------------------------------------------
+
+// Prepare is serial, so the first five WAL flushes land in a deterministic
+// order: [0] node2 shadow batch, [1] node2 prepared marker, [2] node3 shadow
+// batch, [3] node3 prepared marker, [4] coordinator log. Flush [5] is the
+// first phase-two commit_shadow record (parallel termination races which
+// participant gets there first, but the expected outcome is the same either
+// way).
+const SweepCase kWalSweepCases[] = {
+    // Torn mid-record: the frame fails its CRC walk on replay and the tail
+    // is truncated, so the record was never written — presumed abort through
+    // the decision, commit once the coordinator log record [4] is past.
+    {"store.wal.append.mid_record", 0, false, false},
+    {"store.wal.append.mid_record", 1, false, false},
+    {"store.wal.append.mid_record", 2, false, false},
+    {"store.wal.append.mid_record", 3, false, false},
+    {"store.wal.append.mid_record", 4, false, false},
+    {"store.wal.append.mid_record", 5, true, false},
+    // Appended but never fsynced: under the simulated crash model the page
+    // cache survives the kill, so the record IS durable — but the store
+    // reported nothing, so the protocol never advanced. Votes that never
+    // reached the coordinator still abort; a fully appended coordinator log
+    // record [4] means the decision is durable and recovery must commit.
+    {"store.wal.append.pre_fsync", 0, false, false},
+    {"store.wal.append.pre_fsync", 1, false, false},
+    {"store.wal.append.pre_fsync", 2, false, false},
+    {"store.wal.append.pre_fsync", 3, false, false},
+    {"store.wal.append.pre_fsync", 4, true, false},
+    // Veto path over the WAL backend: same windows as the FileStore sweep.
+    {"tpc.coord.abort.pre_send", 0, false, true},
+    {"tpc.participant.abort.pre_discard", 0, false, true},
+};
+
+class WalCrashSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(WalCrashSweep, KillWindowThenConverge) {
+  run_kill_window_case<WalStore>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(WalWindows, WalCrashSweep, ::testing::ValuesIn(kWalSweepCases),
+                         sweep_case_name);
+
+// Checkpoint windows need a cluster whose stores checkpoint on every write:
+// a one-byte threshold turns the first flush after arming into a checkpoint
+// attempt, and the armed point kills node 2 inside it (its shadow batch for
+// the prepare is the first write). The vote never leaves the node, so the
+// transfer aborts — and recovery must come back clean from whatever stage
+// the checkpoint died at (partial .tmp, renamed-but-uncompacted, or fully
+// compacted).
+class WalCheckpointWindows : public ::testing::Test {
+ protected:
+  static void run(const char* point) {
+    WalStore::Options options;
+    options.checkpoint_threshold_bytes = 1;
+    run_kill_window_case<WalStore>(SweepCase{point, 0, false, false}, options);
+  }
+};
+
+TEST_F(WalCheckpointWindows, TornCheckpointImageIsIgnored) {
+  run("store.wal.checkpoint.mid_write");
+}
+
+TEST_F(WalCheckpointWindows, UnrenamedTmpIsDiscarded) {
+  run("store.wal.checkpoint.pre_rename");
+}
+
+TEST_F(WalCheckpointWindows, InterruptedCompactionCompletesOnRecovery) {
+  run("store.wal.checkpoint.pre_compact");
+}
 
 // ---------------------------------------------------------------------------
 // Recovery-window double kills: the node dies again *while recovering*.

@@ -2,13 +2,18 @@
 // file-store persistence across reopen, and fault injection.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <filesystem>
+#include <thread>
 
+#include "core/atomic_action.h"
+#include "objects/recoverable_int.h"
 #include "storage/faulty_store.h"
 #include "storage/file_store.h"
 #include "storage/memory_store.h"
 #include "storage/torn_store.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 namespace {
@@ -34,12 +39,16 @@ TEST(ObjectState, EncodeDecodeRoundTrip) {
   EXPECT_EQ(payload_of(decoded), "payload");
 }
 
-// Both store implementations must satisfy the same contract.
+// All store implementations must satisfy the same contract.
 class StoreContractTest : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
     if (GetParam() == "memory") {
       store_ = std::make_unique<MemoryStore>(StorageClass::Stable);
+    } else if (GetParam() == "wal") {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("mca_store_test_" + Uid().to_string());
+      store_ = std::make_unique<WalStore>(dir_);
     } else {
       dir_ = std::filesystem::temp_directory_path() /
              ("mca_store_test_" + Uid().to_string());
@@ -133,7 +142,8 @@ TEST_P(StoreContractTest, StableStoreSurvivesCrash) {
   EXPECT_TRUE(store_->read_shadow(uid).has_value());
 }
 
-INSTANTIATE_TEST_SUITE_P(Stores, StoreContractTest, ::testing::Values("memory", "file"),
+INSTANTIATE_TEST_SUITE_P(Stores, StoreContractTest,
+                         ::testing::Values("memory", "file", "wal"),
                          [](const auto& info) { return info.param; });
 
 TEST(MemoryStore, VolatileStoreLosesEverythingOnCrash) {
@@ -321,6 +331,100 @@ TEST(FileStore, FsyncBeforeRenameIssuesFsyncs) {
     store.write(make_state(Uid(), "durable"));
     // One fsync for the temp file, one for the directory after the rename.
     EXPECT_EQ(store.stats().fsyncs, 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Regression for the silent-durability bug: the old fsync helper ignored
+// failures from ::open and ::fsync, so a flush the kernel refused was still
+// counted as durable and the write reported as committed. A failed fsync
+// must surface as a failed write — nothing may claim the state committed.
+TEST(FileStore, FailedFsyncIsNeverReportedCommitted) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_fsyncfail_" + Uid().to_string());
+  const Uid uid;
+  {
+    FileStore::Options options;
+    options.fsync_before_rename = true;
+    options.fsync_fn = [](int) {
+      errno = EIO;
+      return -1;
+    };
+    FileStore store(dir, options);
+    EXPECT_THROW(store.write(make_state(uid, "refused")), DurabilityError);
+    EXPECT_GE(store.stats().fsync_failures, 1u);
+    EXPECT_EQ(store.stats().fsyncs, 0u);
+    // The throw fired before the rename: the committed state never appeared.
+    EXPECT_FALSE(store.read(uid).has_value());
+  }
+  {
+    // Nor does it appear after a clean reopen — the bytes were never
+    // promoted past the .tmp, which the scavenger reclaims.
+    FileStore reopened(dir);
+    EXPECT_FALSE(reopened.read(uid).has_value());
+    EXPECT_TRUE(reopened.uids().empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ...and at the action level: a commit whose permanence write cannot be
+// flushed must come back Aborted (clean prepare failure), with the object
+// rolled back, never Committed.
+TEST(FileStore, FailedFsyncTurnsCommitIntoAbort) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_fsyncabort_" + Uid().to_string());
+  {
+    FileStore::Options options;
+    options.fsync_before_rename = true;
+    options.fsync_fn = [](int) {
+      errno = EIO;
+      return -1;
+    };
+    FileStore store(dir, options);
+    Runtime rt(store);
+    RecoverableInt counter(rt, 7);
+    AtomicAction a(rt);
+    a.begin();
+    counter.set(99);
+    EXPECT_EQ(a.commit(), Outcome::Aborted);
+    EXPECT_EQ(rt.action_stats().prepare_failures, 1u);
+    EXPECT_FALSE(store.read(counter.uid()).has_value());
+    AtomicAction check(rt);
+    check.begin();
+    EXPECT_EQ(counter.value(), 7);
+    check.abort();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The stats counters are atomics: concurrent writers (parallel shadow-batch
+// prepares land on sibling stores, but nothing stops two actions sharing
+// one) must never lose or race an increment. Run under the tsan preset this
+// also asserts data-race freedom; anywhere it asserts exactness.
+TEST(FileStore, StatsAreExactUnderConcurrentWriters) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mca_stats_" + Uid().to_string());
+  {
+    FileStore::Options options;
+    options.fsync_before_rename = true;
+    FileStore store(dir, options);
+    constexpr int kThreads = 8;
+    constexpr int kWritesPerThread = 16;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&store] {
+        for (int i = 0; i < kWritesPerThread; ++i) {
+          store.write(make_state(Uid(), "concurrent"));
+          (void)store.stats();  // reader racing the writers
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    // Every write is exactly one temp-file fsync plus one directory fsync.
+    EXPECT_EQ(store.stats().fsyncs, 2u * kThreads * kWritesPerThread);
+    EXPECT_EQ(store.stats().fsync_failures, 0u);
+    EXPECT_EQ(store.uids().size(), static_cast<std::size_t>(kThreads * kWritesPerThread));
   }
   std::filesystem::remove_all(dir);
 }

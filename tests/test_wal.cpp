@@ -1,0 +1,348 @@
+// WalStore unit tests: recovery by replay, torn-tail truncation, group
+// commit coalescing, checkpoint/compaction, the fsync-failure wedge, and a
+// workload-equivalence check against FileStore (the two stable backends
+// must be observationally identical behind the ObjectStore interface).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+
+#include "storage/file_store.h"
+#include "storage/wal_store.h"
+
+namespace mca {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+ObjectState make_state(const Uid& uid, const std::string& payload) {
+  ByteBuffer b;
+  b.pack_string(payload);
+  return ObjectState(uid, "Test", std::move(b));
+}
+
+std::string payload_of(const ObjectState& s) {
+  ByteBuffer b = ByteBuffer::reader(s.state());
+  return b.unpack_string();
+}
+
+// Fresh store directory, cleaned up afterwards.
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() : dir_(fs::temp_directory_path() / ("mca_wal_" + Uid().to_string())) {}
+  ~WalTest() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path active_segment() const {
+    // The single live segment (tests that checkpoint re-derive it).
+    fs::path newest;
+    std::uintmax_t unused = 0;
+    (void)unused;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const auto name = entry.path().filename().string();
+      if (name.starts_with("wal-") && name.ends_with(".log")) {
+        if (newest.empty() || entry.path().filename() > newest.filename()) newest = entry.path();
+      }
+    }
+    return newest;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalTest, ReopenReplaysTheLog) {
+  const Uid a, b, c, d;
+  {
+    WalStore store(dir_);
+    store.write(make_state(a, "committed"));
+    store.write(make_state(b, "doomed"));
+    EXPECT_TRUE(store.remove(b));
+    store.write_shadow(make_state(c, "pending"));
+    store.write_shadow(make_state(d, "promote me"));
+    EXPECT_TRUE(store.commit_shadow(d));
+  }
+  WalStore reopened(dir_);
+  EXPECT_EQ(payload_of(*reopened.read(a)), "committed");
+  EXPECT_FALSE(reopened.read(b).has_value());
+  EXPECT_EQ(payload_of(*reopened.read_shadow(c)), "pending");
+  EXPECT_EQ(payload_of(*reopened.read(d)), "promote me");
+  EXPECT_FALSE(reopened.read_shadow(d).has_value());
+  // Six records went in; replay saw all six.
+  EXPECT_EQ(reopened.stats().recovered_records, 6u);
+  EXPECT_TRUE(reopened.fsck().empty());
+}
+
+TEST_F(WalTest, TornTailIsTruncatedAtTheLastWholeRecord) {
+  const Uid a, b;
+  std::uintmax_t good_size = 0;
+  fs::path segment;
+  {
+    WalStore store(dir_);
+    store.write(make_state(a, "keep me"));
+    store.write(make_state(b, "also keep"));
+    segment = active_segment();
+    good_size = fs::file_size(segment);
+    // A third record the crash cuts short: append only a prefix of a frame
+    // (a plausible header, no body) — what a kill mid-append leaves behind.
+    std::ofstream out(segment, std::ios::binary | std::ios::app);
+    const char torn[] = {'M', 'W', 'L', '1', '\x42', '\x42', '\x42'};
+    out.write(torn, sizeof torn);
+  }
+  ASSERT_GT(fs::file_size(segment), good_size);
+
+  WalStore reopened(dir_);
+  EXPECT_EQ(reopened.stats().truncated_tails, 1u);
+  EXPECT_EQ(reopened.stats().recovered_records, 2u);
+  EXPECT_EQ(fs::file_size(segment), good_size);  // physically truncated
+  EXPECT_EQ(payload_of(*reopened.read(a)), "keep me");
+  EXPECT_EQ(payload_of(*reopened.read(b)), "also keep");
+  EXPECT_TRUE(reopened.fsck().empty());
+
+  // The truncated log appends cleanly from the record boundary.
+  const Uid c;
+  reopened.write(make_state(c, "after the tear"));
+  EXPECT_EQ(payload_of(*reopened.read(c)), "after the tear");
+}
+
+TEST_F(WalTest, TruncationInsideARecordDropsOnlyThatRecord) {
+  const Uid a, b;
+  std::uintmax_t first_size = 0;
+  fs::path segment;
+  {
+    WalStore store(dir_);
+    store.write(make_state(a, "survives"));
+    segment = active_segment();
+    first_size = fs::file_size(segment);
+    store.write(make_state(b, "torn away"));
+  }
+  // Cut the second record mid-body.
+  fs::resize_file(segment, first_size + 5);
+
+  WalStore reopened(dir_);
+  EXPECT_EQ(payload_of(*reopened.read(a)), "survives");
+  EXPECT_FALSE(reopened.read(b).has_value());
+  EXPECT_EQ(reopened.stats().truncated_tails, 1u);
+  EXPECT_EQ(fs::file_size(segment), first_size);
+  EXPECT_TRUE(reopened.fsck().empty());
+}
+
+// Group commit, deterministically: the first flush is held hostage inside
+// fsync while four more writers enqueue; releasing it must drain all four
+// in ONE further flush with ONE further fsync.
+TEST_F(WalTest, ConcurrentCommitsCoalesceIntoOneFlush) {
+  std::atomic<int> in_fsync{0};
+  std::atomic<int> release{0};
+  WalStore::Options options;
+  options.fsync_fn = [&](int fd) {
+    const int my_turn = in_fsync.fetch_add(1) + 1;
+    while (release.load() < my_turn) std::this_thread::sleep_for(100us);
+    return ::fsync(fd);
+  };
+  WalStore store(dir_, options);
+
+  std::thread first([&] { store.write(make_state(Uid(), "flush 1")); });
+  while (in_fsync.load() < 1) std::this_thread::sleep_for(100us);  // flush 1 is inside fsync
+
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 4; ++i) {
+    writers.emplace_back([&store, i] { store.write(make_state(Uid(), "w" + std::to_string(i))); });
+  }
+  // All four must be enqueued (records counted at enqueue) before we let
+  // flush 1 finish.
+  while (store.stats().records < 5) std::this_thread::sleep_for(100us);
+  release.store(1);  // flush 1 lands
+  first.join();
+  release.store(2);  // flush 2 carries the coalesced four
+  for (std::thread& w : writers) w.join();
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.records, 5u);
+  EXPECT_EQ(stats.flushes, 2u);
+  EXPECT_EQ(stats.fsyncs, 2u);
+  EXPECT_EQ(store.uids().size(), 5u);
+}
+
+TEST_F(WalTest, CheckpointCompactsAndRecoveryLoadsIt) {
+  const int kWrites = 64;
+  std::vector<Uid> uids(kWrites);
+  WalStore::Options options;
+  options.checkpoint_threshold_bytes = 512;  // force frequent checkpoints
+  {
+    WalStore store(dir_, options);
+    for (int i = 0; i < kWrites; ++i) {
+      store.write(make_state(uids[i], "value " + std::to_string(i)));
+    }
+    const auto stats = store.stats();
+    EXPECT_GE(stats.checkpoints, 1u);
+    EXPECT_GE(stats.compacted_segments, 1u);
+    EXPECT_TRUE(store.fsck().empty());
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "checkpoint"));
+
+  WalStore reopened(dir_, options);
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(reopened.read(uids[i]).has_value()) << i;
+    EXPECT_EQ(payload_of(*reopened.read(uids[i])), "value " + std::to_string(i));
+  }
+  // Most of the image came from the checkpoint, not replay: only the records
+  // logged after the last checkpoint replayed.
+  EXPECT_LT(reopened.stats().recovered_records, static_cast<std::uint64_t>(kWrites));
+  EXPECT_TRUE(reopened.fsck().empty());
+}
+
+TEST_F(WalTest, CorruptCheckpointIsQuarantinedAndTheLogStillReplays) {
+  const Uid a;
+  WalStore::Options options;
+  options.checkpoint_threshold_bytes = 0;  // manual checkpoints only
+  {
+    WalStore store(dir_, options);
+    store.write(make_state(a, "checkpointed"));
+    store.checkpoint();
+    // The covered segment is gone; damage the checkpoint afterwards. This
+    // loses the state — recovery must degrade gracefully (quarantine, empty
+    // image), never deserialise garbage.
+  }
+  {
+    std::fstream f(dir_ / "checkpoint", std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(9);
+    f.put('\x7f');
+  }
+  WalStore reopened(dir_, options);
+  EXPECT_EQ(reopened.stats().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(dir_ / "checkpoint"));
+  EXPECT_TRUE(fs::exists(dir_ / "checkpoint.quarantined"));
+  EXPECT_FALSE(reopened.read(a).has_value());
+  EXPECT_TRUE(reopened.fsck().empty());
+  // The store still works.
+  reopened.write(make_state(a, "rewritten"));
+  EXPECT_EQ(payload_of(*reopened.read(a)), "rewritten");
+}
+
+TEST_F(WalTest, FailedFsyncWedgesTheLogUntilRecovery) {
+  auto fail = std::make_shared<std::atomic<bool>>(false);
+  WalStore::Options options;
+  options.fsync_fn = [fail](int fd) {
+    if (fail->load()) {
+      errno = EIO;
+      return -1;
+    }
+    return ::fsync(fd);
+  };
+  WalStore store(dir_, options);
+  const Uid ok, refused, blocked;
+  store.write(make_state(ok, "before"));
+
+  fail->store(true);
+  EXPECT_THROW(store.write(make_state(refused, "refused")), DurabilityError);
+  EXPECT_GE(store.stats().fsync_failures, 1u);
+  // The log is wedged: nothing past a failed flush may be reported durable,
+  // so even later writes fail fast.
+  EXPECT_THROW(store.write(make_state(blocked, "blocked")), DurabilityError);
+
+  // Only crash()+recovery (a node restart) clears the wedge, rebuilding the
+  // image from what actually reached the disk.
+  fail->store(false);
+  store.crash();
+  EXPECT_EQ(payload_of(*store.read(ok)), "before");
+  store.write(make_state(blocked, "after recovery"));
+  EXPECT_EQ(payload_of(*store.read(blocked)), "after recovery");
+  EXPECT_TRUE(store.fsck().empty());
+}
+
+TEST_F(WalTest, BatchIsOneFlushOneFsync) {
+  WalStore store(dir_);
+  std::vector<ObjectState> batch;
+  for (int i = 0; i < 16; ++i) batch.push_back(make_state(Uid(), "b" + std::to_string(i)));
+  const auto before = store.stats();
+  store.write_batch(batch, WriteKind::Committed);
+  const auto after = store.stats();
+  EXPECT_EQ(after.records - before.records, 16u);
+  EXPECT_EQ(after.flushes - before.flushes, 1u);
+  EXPECT_EQ(after.fsyncs - before.fsyncs, 1u);
+  EXPECT_EQ(store.uids().size(), 16u);
+}
+
+// The two stable backends must agree on every observable after the same
+// workload — both live and after a crash/reopen cycle.
+TEST_F(WalTest, MatchesFileStoreOnTheSameWorkload) {
+  const fs::path file_dir = dir_.string() + "_file";
+  FileStore files(file_dir);
+  WalStore wal(dir_);
+
+  std::mt19937 rng(0xD15C);
+  std::vector<Uid> universe(24);
+  std::uniform_int_distribution<std::size_t> pick_uid(0, universe.size() - 1);
+  std::uniform_int_distribution<int> pick_op(0, 5);
+
+  for (int step = 0; step < 400; ++step) {
+    const Uid& uid = universe[pick_uid(rng)];
+    const std::string payload = "step " + std::to_string(step);
+    switch (pick_op(rng)) {
+      case 0:
+      case 1: {  // writes dominate, like the real workload
+        const ObjectState s = make_state(uid, payload);
+        files.write(s);
+        wal.write(s);
+        break;
+      }
+      case 2: {
+        const ObjectState s = make_state(uid, payload);
+        files.write_shadow(s);
+        wal.write_shadow(s);
+        break;
+      }
+      case 3:
+        EXPECT_EQ(files.commit_shadow(uid), wal.commit_shadow(uid)) << step;
+        break;
+      case 4:
+        EXPECT_EQ(files.discard_shadow(uid), wal.discard_shadow(uid)) << step;
+        break;
+      case 5:
+        EXPECT_EQ(files.remove(uid), wal.remove(uid)) << step;
+        break;
+    }
+  }
+
+  const auto diff_stores = [&](ObjectStore& a, ObjectStore& b, const char* when) {
+    auto auids = a.uids();
+    auto buids = b.uids();
+    std::sort(auids.begin(), auids.end());
+    std::sort(buids.begin(), buids.end());
+    EXPECT_EQ(auids, buids) << when;
+    for (const Uid& uid : universe) {
+      const auto sa = a.read(uid);
+      const auto sb = b.read(uid);
+      ASSERT_EQ(sa.has_value(), sb.has_value()) << when << " " << uid.to_string();
+      if (sa) EXPECT_EQ(*sa, *sb) << when << " " << uid.to_string();
+      const auto ha = a.read_shadow(uid);
+      const auto hb = b.read_shadow(uid);
+      ASSERT_EQ(ha.has_value(), hb.has_value()) << when << " " << uid.to_string();
+      if (ha) EXPECT_EQ(*ha, *hb) << when << " " << uid.to_string();
+    }
+  };
+  diff_stores(files, wal, "live");
+
+  // Power-cycle both; the images must still agree (and with themselves).
+  // Reopen the FileStore with the stale-shadow sweep off: scavenging is a
+  // recovery-time *policy* (DistNode::restart invokes it explicitly), and
+  // this test compares the raw durable images, which WAL replay preserves
+  // in full.
+  files.crash();  // no-op: state is on disk
+  wal.crash();    // full replay
+  FileStore::Options raw;
+  raw.scavenge_on_open = false;
+  FileStore files2(file_dir, raw);
+  diff_stores(files2, wal, "after crash + reopen");
+
+  fs::remove_all(file_dir);
+}
+
+}  // namespace
+}  // namespace mca
