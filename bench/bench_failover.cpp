@@ -1,0 +1,246 @@
+// Failover cost (robustness issue): what a replica crash and a coordinator
+// death actually cost the application, measured and gated.
+//
+// Two sections:
+//
+//   * replica-group commit latency — a 3-replica ReplicatedMap at write
+//     quorum 2, per-commit wall time with every replica healthy vs with one
+//     replica crashed AND demoted (the failure-detector verdict has landed,
+//     so writes skip the dead copy instead of waiting out its timeout).
+//     The acceptance gate: degraded median <= 1.5x healthy median. This is
+//     the property that demotion buys — without it every write would pay
+//     the dead replica's full RPC timeout;
+//
+//   * coordinator-death resolution — a witnessed 2PC (two participants, two
+//     decision mirrors) whose coordinator dies after sealing + mirroring
+//     the decision but before phase two. Both participants are left holding
+//     prepared markers. Measured: wall time from the recovery probe (the
+//     kick after the death is noticed) to every marker drained, resolved
+//     from witness state alone — the coordinator STAYS DOWN. The gate:
+//     median resolution within one recovery probe interval.
+//
+// Emits BENCH_failover.json and exits non-zero on a missed gate so CI
+// catches a regression of the demotion or witness-recovery paths.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "dist/remote.h"
+#include "objects/recoverable_int.h"
+#include "objects/recoverable_map.h"
+#include "replication/replica_group.h"
+#include "sim/crash_points.h"
+
+namespace mca {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(200);
+  return c;
+}
+
+template <typename Pred>
+bool wait_until(Pred&& pred, std::chrono::milliseconds deadline) {
+  const auto end = Clock::now() + deadline;
+  while (Clock::now() < end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? samples[n / 2] : (samples[n / 2 - 1] + samples[n / 2]) / 2);
+}
+
+// --- section 1: replica commit latency, healthy vs one-dead-demoted --------
+
+struct ReplicaLatency {
+  double healthy_ms = 0;
+  double degraded_ms = 0;
+};
+
+ReplicaLatency replica_commit_latency(int writes) {
+  Network net(fast_config());
+  DistNode client(net, 1);
+  client.set_invoke_timeout(500ms);
+  std::vector<std::unique_ptr<DistNode>> nodes;
+  std::vector<std::unique_ptr<RecoverableMap>> maps;
+  for (NodeId id = 2; id <= 4; ++id) {
+    nodes.push_back(std::make_unique<DistNode>(net, id));
+    maps.push_back(std::make_unique<RecoverableMap>(nodes.back()->runtime()));
+    nodes.back()->host(*maps.back());
+  }
+  std::vector<RemoteMap> proxies;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    proxies.emplace_back(client, nodes[i]->id(), maps[i]->uid());
+  }
+  ReplicatedMap group(std::move(proxies));
+  group.set_write_quorum(2);
+  group.attach_runtime(client.runtime());
+  group.set_probe_interval(60'000ms);  // no auto-rejoin mid-measurement
+
+  auto timed_writes = [&](const std::string& tag) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(writes));
+    for (int i = 0; i < writes; ++i) {
+      const auto t0 = Clock::now();
+      AtomicAction a(client.runtime());
+      a.begin();
+      group.insert(tag + std::to_string(i), "v");
+      if (a.commit() != Outcome::Committed) std::abort();
+      samples.push_back(std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+    }
+    return median_ms(std::move(samples));
+  };
+
+  ReplicaLatency out;
+  for (int warm = 0; warm < 3; ++warm) {
+    AtomicAction a(client.runtime());
+    a.begin();
+    group.insert("warm" + std::to_string(warm), "v");
+    (void)a.commit();
+  }
+  out.healthy_ms = timed_writes("healthy");
+
+  // Kill one replica and apply the detector's verdict; steady-state degraded
+  // writes fan out to the two survivors only.
+  nodes[2]->crash();
+  group.mark_stale(2);
+  out.degraded_ms = timed_writes("degraded");
+  return out;
+}
+
+// --- section 2: coordinator death resolved from witnesses ------------------
+
+struct WitnessResolve {
+  double median_resolve_ms = 0;
+  double worst_resolve_ms = 0;
+  bool all_resolved = true;
+};
+
+WitnessResolve coordinator_death_resolution(int rounds, std::chrono::milliseconds period) {
+  Network net(fast_config());
+  DistNode c(net, 1), p1(net, 2), p2(net, 3), w1(net, 4), w2(net, 5);
+  std::vector<DistNode*> all{&c, &p1, &p2, &w1, &w2};
+  for (DistNode* n : all) {
+    n->set_recovery_options(DistNode::RecoveryOptions{period, /*call_timeout=*/50ms,
+                                                      /*backoff_max=*/2 * period});
+    n->set_tpc_call_timeout(300ms);
+    n->set_invoke_timeout(2'000ms);
+  }
+  c.set_coordinator_mirrors({w1.id(), w2.id()});
+  RecoverableInt a(p1.runtime(), 0);
+  RecoverableInt b(p2.runtime(), 0);
+  p1.host(a);
+  p2.host(b);
+
+  std::vector<double> samples;
+  WitnessResolve out;
+  for (int round = 0; round < rounds; ++round) {
+    crash_points::reset();
+    crash_points::arm("tpc.coord.post_log_pre_phase2", 0);
+    AtomicAction act(c.runtime());
+    act.begin();
+    try {
+      RemoteInt ra(c, p1.id(), a.uid());
+      RemoteInt rb(c, p2.id(), b.uid());
+      ra.add(1);
+      rb.add(1);
+      (void)act.commit();
+      std::abort();  // the armed window must fire
+    } catch (const CrashPointHit&) {
+      c.crash();
+      act.abandon();
+    }
+    crash_points::disarm_all();
+
+    // The death is noticed; the next probe must finish the job. Measure
+    // probe -> both markers drained, coordinator still down throughout.
+    const auto t0 = Clock::now();
+    p1.kick_recovery();
+    p2.kick_recovery();
+    const bool drained = wait_until(
+        [&] { return p1.in_doubt_count() == 0 && p2.in_doubt_count() == 0; }, 5'000ms);
+    const double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!drained) out.all_resolved = false;
+    samples.push_back(ms);
+
+    // Next round needs a live coordinator again.
+    c.restart();
+    for (DistNode* n : all) {
+      if (n != &c) n->rpc().reset_peer_health(c.id());
+    }
+  }
+  out.median_resolve_ms = median_ms(samples);
+  out.worst_resolve_ms = *std::max_element(samples.begin(), samples.end());
+  return out;
+}
+
+}  // namespace
+
+int run(bool smoke, const char* out_path) {
+  const int writes = smoke ? 30 : 200;
+  const int rounds = smoke ? 5 : 20;
+  constexpr auto kPeriod = 100ms;
+  constexpr double kLatencyGate = 1.5;  // degraded / healthy ceiling
+
+  std::printf("bench_failover (%s mode)\n", smoke ? "smoke" : "full");
+
+  const ReplicaLatency lat = replica_commit_latency(writes);
+  const double ratio = lat.healthy_ms > 0 ? lat.degraded_ms / lat.healthy_ms : 0.0;
+  const bool latency_pass = ratio <= kLatencyGate;
+  std::printf("replica commit latency: healthy %.2f ms, one-dead-demoted %.2f ms "
+              "(%.2fx, gate %.1fx) — %s\n",
+              lat.healthy_ms, lat.degraded_ms, ratio, kLatencyGate,
+              latency_pass ? "PASS" : "FAIL");
+
+  const WitnessResolve res = coordinator_death_resolution(rounds, kPeriod);
+  const bool resolve_pass =
+      res.all_resolved && res.median_resolve_ms <= static_cast<double>(kPeriod.count());
+  std::printf("coordinator-death resolve from witnesses: median %.1f ms, worst %.1f ms "
+              "(gate: one probe interval = %lld ms) — %s\n",
+              res.median_resolve_ms, res.worst_resolve_ms,
+              static_cast<long long>(kPeriod.count()), resolve_pass ? "PASS" : "FAIL");
+
+  const bool pass = latency_pass && resolve_pass;
+  bench::Json result = bench::Json::object();
+  result.set("bench", "failover")
+      .set("mode", smoke ? "smoke" : "full")
+      .set("healthy_commit_ms", lat.healthy_ms)
+      .set("one_dead_demoted_commit_ms", lat.degraded_ms)
+      .set("degraded_over_healthy", ratio)
+      .set("latency_gate", kLatencyGate)
+      .set("latency_gate_pass", latency_pass)
+      .set("witness_resolve_median_ms", res.median_resolve_ms)
+      .set("witness_resolve_worst_ms", res.worst_resolve_ms)
+      .set("recovery_period_ms", static_cast<std::size_t>(kPeriod.count()))
+      .set("resolve_gate_pass", resolve_pass)
+      .set("pass", pass);
+  result.write_file(out_path);
+  return pass ? 0 : 1;
+}
+
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_failover.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  return mca::run(smoke, out_path);
+}

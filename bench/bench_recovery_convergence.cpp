@@ -13,16 +13,37 @@
 //   * the shape report — attempts and datagrams burned during a fixed
 //     partitioned window, exponential per-action backoff vs a
 //     fixed-interval daemon (backoff capped at one period).
+// Both nodes run on WalStore in a fresh temp directory, so the measured
+// resolution path includes the real durable-log writes a production
+// participant would pay (marker drop, shadow promotion), not MemoryStore
+// costs.
 #include "bench_common.h"
 
+#include <filesystem>
 #include <thread>
 
 #include "dist/remote.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 namespace {
 
 using namespace std::chrono_literals;
+namespace fs = std::filesystem;
+
+// Created before (destroyed after) the stores that live inside it.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(fs::path p) : path(std::move(p)) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
 
 NetworkConfig fast_config() {
   NetworkConfig c;
@@ -87,9 +108,12 @@ std::chrono::duration<double> stranded_cycle(Network& net, DistNode& client, Dis
 
 void BM_HealToResolution(benchmark::State& state) {
   const auto period = std::chrono::milliseconds(state.range(0));
+  TempDir dir(fs::temp_directory_path() / ("mca_bench_recovery_" + Uid().to_string()));
   Network net(fast_config());
-  DistNode client(net, 1);
-  DistNode server(net, 2);
+  WalStore client_store(dir.path / "client");
+  WalStore server_store(dir.path / "server");
+  DistNode client(net, 1, &client_store);
+  DistNode server(net, 2, &server_store);
   server.set_recovery_options(
       DistNode::RecoveryOptions{period, /*call_timeout=*/200ms, /*backoff_max=*/4 * period});
   RecoverableInt obj(server.runtime(), 0);
@@ -128,9 +152,12 @@ void recovery_backoff_report() {
       {"exponential backoff (cap 800 ms)", 800ms, 0, 0, 0.0},
   };
   for (auto& row : rows) {
+    TempDir dir(fs::temp_directory_path() / ("mca_bench_backoff_" + Uid().to_string()));
     Network net(fast_config());
-    DistNode client(net, 1);
-    DistNode server(net, 2);
+    WalStore client_store(dir.path / "client");
+    WalStore server_store(dir.path / "server");
+    DistNode client(net, 1, &client_store);
+    DistNode server(net, 2, &server_store);
     server.set_recovery_options(
         DistNode::RecoveryOptions{/*period=*/50ms, /*call_timeout=*/200ms, row.backoff_max});
     RecoverableInt obj(server.runtime(), 0);

@@ -507,6 +507,35 @@ Outcome AtomicAction::commit() {
   // Every vote is in but the decision is not durable anywhere: a kill here
   // must resolve as abort (presumed abort — the log record is the commit).
   MCA_CRASHPOINT("tpc.coord.post_prepare_pre_log");
+  // Decision point: participants make the decision durable (the coordinator
+  // log writes — and mirrors — its record here, before any promotion). A
+  // participant that cannot do so turns the commit into an abort while that
+  // is still sound. CrashPointHit is not a std::exception, so a simulated
+  // kill inside the window tunnels out instead of being read as a refusal.
+  {
+    std::vector<Uid> prepared_uids;
+    prepared_uids.reserve(prepared.size());
+    for (UndoRecord* r : prepared) prepared_uids.push_back(r->object->uid());
+    bool decided = true;
+    for (auto& p : participants) {
+      try {
+        if (!p->decide_commit(uid_, prepared_uids)) {
+          decided = false;
+          break;
+        }
+      } catch (const std::exception& e) {
+        MCA_LOG(Warn, "action") << "participant decide threw: " << e.what();
+        decided = false;
+        break;
+      }
+    }
+    if (!decided) {
+      for (UndoRecord* r : prepared) r->object->store().discard_shadow(r->object->uid());
+      rt_.note_prepare_failure();
+      abort();
+      return Outcome::Aborted;
+    }
+  }
   // Phase two: promote shadows, then process locks and records per colour.
   for (UndoRecord* r : prepared) r->object->store().commit_shadow(r->object->uid());
 

@@ -94,6 +94,19 @@ class TerminationParticipant {
   virtual ~TerminationParticipant() = default;
   // Phase one for the colours that become permanent; false vetoes the commit.
   virtual bool prepare(const Uid& action, const std::vector<Colour>& permanent_colours) = 0;
+  // Decision point: called once on the terminating thread after every vote
+  // is in and before anything — shadow promotion, lock release, phase two —
+  // happens. This is where a participant makes the commit decision durable
+  // (the coordinator log writes and mirrors its record here); returning
+  // false turns the commit into an abort while that is still sound (no
+  // record sealed, nothing promoted anywhere). `prepared_objects` are the
+  // uids whose local shadows the kernel is about to promote, so the log can
+  // record what a post-decision crash must redo.
+  virtual bool decide_commit(const Uid& action, const std::vector<Uid>& prepared_objects) {
+    (void)action;
+    (void)prepared_objects;
+    return true;
+  }
   // Phase two: apply the per-colour dispositions.
   virtual void commit(const Uid& action, const std::vector<ColourDisposition>& dispositions) = 0;
   virtual void abort(const Uid& action) = 0;

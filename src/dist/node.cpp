@@ -190,8 +190,15 @@ void DistNode::register_services() {
     std::vector<Colour> permanent;
     permanent.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) permanent.push_back(wire::unpack_colour(args));
+    // Trailing witness list (absent from pre-mirror coordinators).
+    std::vector<NodeId> witnesses;
+    if (args.remaining() > 0) {
+      const std::uint32_t wn = args.unpack_u32();
+      witnesses.reserve(wn);
+      for (std::uint32_t i = 0; i < wn; ++i) witnesses.push_back(args.unpack_u32());
+    }
     ByteBuffer reply;
-    reply.pack_bool(participants_.prepare(action, permanent, coordinator));
+    reply.pack_bool(participants_.prepare(action, permanent, coordinator, witnesses));
     return reply;
   });
 
@@ -212,20 +219,59 @@ void DistNode::register_services() {
 
   rpc_.register_service("tx.status", [this](ByteBuffer& args) {
     const Uid action = args.unpack_uid();
-    // Three-valued: a commit record wins; otherwise an action still
-    // registered in this node's ancestry is live (deciding) and the asker
-    // must stay in doubt; only a finished action without a commit record is
-    // presumed aborted.
-    TxStatus status = TxStatus::Aborted;
-    if (CoordinatorLogParticipant::committed(*runtime_, action)) {
-      status = TxStatus::Committed;
-    } else if (!runtime_->ancestry().path_of(action).empty()) {
+    // Three-valued: a sealed commit record wins; a pending record (mirror
+    // fan-out interrupted) or an action still registered in this node's
+    // ancestry is live (deciding) and the asker must stay in doubt; only a
+    // finished action without a commit record is presumed aborted.
+    TxStatus status = CoordinatorLogParticipant::logged_status(*runtime_, action);
+    if (status == TxStatus::Aborted && !runtime_->ancestry().path_of(action).empty()) {
       status = TxStatus::Pending;
     }
     ByteBuffer reply;
     reply.pack_u8(static_cast<std::uint8_t>(status));
     return reply;
   });
+
+  // Witness role: store (tx.mirror) and report-or-fence (tx.mstatus) a
+  // coordinator's mirrored commit decision. The shared mutex closes the
+  // check-then-write race between a late-arriving mirror and a recovering
+  // participant's fence.
+  register_crashable("tx.mirror", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    const std::scoped_lock lock(witness_mutex_);
+    ByteBuffer reply;
+    reply.pack_bool(/*fenced=*/!WitnessLog::record_decision(*runtime_, action));
+    return reply;
+  });
+
+  register_crashable("tx.mstatus", [this](ByteBuffer& args) {
+    if (down_.load()) throw std::runtime_error("node down");
+    const Uid action = args.unpack_uid();
+    const std::scoped_lock lock(witness_mutex_);
+    ByteBuffer reply;
+    reply.pack_u8(static_cast<std::uint8_t>(WitnessLog::status_or_fence(*runtime_, action)));
+    return reply;
+  });
+
+  // Heartbeat probe for the fault-detector hierarchy. A reply proves the
+  // node is up; the RPC layer's per-peer suspicion state absorbs failures.
+  rpc_.register_service("fd.ping", [this](ByteBuffer&) {
+    if (down_.load()) throw std::runtime_error("node down");
+    ByteBuffer reply;
+    reply.pack_u32(id_);
+    return reply;
+  });
+}
+
+void DistNode::set_coordinator_mirrors(std::vector<NodeId> witnesses) {
+  const std::scoped_lock lock(mirror_config_mutex_);
+  coordinator_mirrors_ = std::move(witnesses);
+}
+
+std::vector<NodeId> DistNode::coordinator_mirrors() const {
+  const std::scoped_lock lock(mirror_config_mutex_);
+  return coordinator_mirrors_;
 }
 
 RpcResult DistNode::call_blocking(NodeId target, const std::string& service,
@@ -245,13 +291,17 @@ ByteBuffer DistNode::invoke(NodeId target, const Uid& object, const std::string&
                             ByteBuffer args) {
   AtomicAction& action = ActionContext::require();
   if (!action.has_participant("coordlog")) {
-    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*runtime_), "coordlog");
+    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*this), "coordlog");
   }
   const std::string key = RpcParticipant::key_for(target);
   auto participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
   if (participant == nullptr) {
-    participant = std::make_shared<RpcParticipant>(*this, target, action);
-    action.add_participant(participant, key);
+    action.add_participant(std::make_shared<RpcParticipant>(*this, target, action), key);
+    // Re-fetch instead of trusting our instance: a concurrent registration
+    // for the same node may have won the keyed dedup, and only the
+    // registered participant is driven at termination (so only it may carry
+    // the armed flag).
+    participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
   }
 
   ByteBuffer request;
@@ -292,13 +342,14 @@ LockOutcome DistNode::remote_lock(NodeId target, const Uid& object, LockMode mod
     throw std::logic_error("remote_lock: action does not possess colour " + colour.name());
   }
   if (!action.has_participant("coordlog")) {
-    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*runtime_), "coordlog");
+    action.add_participant(std::make_shared<CoordinatorLogParticipant>(*this), "coordlog");
   }
   const std::string key = RpcParticipant::key_for(target);
   auto participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
   if (participant == nullptr) {
-    participant = std::make_shared<RpcParticipant>(*this, target, action);
-    action.add_participant(participant, key);
+    action.add_participant(std::make_shared<RpcParticipant>(*this, target, action), key);
+    // Same re-fetch as invoke(): the registered instance is the armed one.
+    participant = std::dynamic_pointer_cast<RpcParticipant>(action.participant(key));
   }
 
   ByteBuffer request;
@@ -422,7 +473,19 @@ void DistNode::recover_once(bool ignore_backoff) {
     const std::scoped_lock lock(recovery_mutex_);
     opts = recovery_options_;
   }
-  for (const auto& [action, coordinator] : participants_.in_doubt()) {
+  // Our own coordinator log first: an interrupted local promotion or mirror
+  // fan-out is resolved before we go asking anyone about markers.
+  try {
+    reconcile_coordinator_log(opts);
+  } catch (const CrashPointHit& hit) {
+    MCA_LOG(Info, "node") << "node " << id_ << " killed at crash point " << hit.point()
+                          << " during log reconciliation";
+    crash();
+    return;
+  }
+  for (const auto& entry : participants_.in_doubt()) {
+    const Uid& action = entry.action;
+    const NodeId coordinator = entry.coordinator;
     if (down_.load() || !rpc_.up()) break;
     {
       const std::scoped_lock lock(recovery_mutex_);
@@ -439,6 +502,12 @@ void DistNode::recover_once(bool ignore_backoff) {
                             CallOptions{opts.call_timeout, std::chrono::milliseconds(50),
                                         std::chrono::milliseconds(200), /*retry_budget=*/4});
     if (!r.ok()) {
+      // Dead coordinator: its witness mirrors (named by the prepared
+      // marker) can resolve the outcome without waiting for it to return.
+      if (!entry.witnesses.empty() && resolve_from_witnesses(entry, opts)) {
+        if (down_.load()) return;  // a crash point fired mid-resolution
+        continue;
+      }
       const std::scoped_lock lock(recovery_mutex_);
       ++recovery_stats_.coordinator_unreachable;
       auto& [due, backoff] = recovery_backoff_[action];
@@ -477,6 +546,109 @@ void DistNode::recover_once(bool ignore_backoff) {
     }
     MCA_LOG(Info, "node") << "recovery: action " << action << " resolved as "
                           << (committed ? "committed" : "aborted");
+  }
+}
+
+bool DistNode::resolve_from_witnesses(const ParticipantTable::InDoubtEntry& entry,
+                                      const RecoveryOptions& opts) {
+  // Commit once ANY witness holds the mirrored decision; abort once EVERY
+  // witness answered with a fence. The fences are sticky, so the two
+  // verdicts are mutually exclusive even across retries and other
+  // recovering participants. Anything less — some witness unreachable, no
+  // copy found yet — keeps the action in doubt.
+  bool committed = false;
+  bool all_fenced = true;
+  for (const NodeId w : entry.witnesses) {
+    ByteBuffer args;
+    args.pack_uid(entry.action);
+    RpcResult r = rpc_.call(w, "tx.mstatus", std::move(args),
+                            CallOptions{opts.call_timeout, std::chrono::milliseconds(50),
+                                        std::chrono::milliseconds(200), /*retry_budget=*/4});
+    if (!r.ok()) {
+      all_fenced = false;
+      continue;
+    }
+    if (static_cast<TxStatus>(r.payload.unpack_u8()) == TxStatus::Committed) {
+      committed = true;
+      break;
+    }
+  }
+  if (!committed && !all_fenced) return false;
+  try {
+    MCA_CRASHPOINT("node.recovery.post_status_pre_resolve");
+    participants_.resolve_prepared(entry.action, committed);
+  } catch (const CrashPointHit& hit) {
+    MCA_LOG(Info, "node") << "node " << id_ << " killed at crash point " << hit.point()
+                          << " during witness recovery";
+    crash();
+    return true;  // the caller checks down_ and ends the pass
+  }
+  {
+    const std::scoped_lock lock(recovery_mutex_);
+    ++(committed ? recovery_stats_.resolved_committed : recovery_stats_.resolved_aborted);
+    ++recovery_stats_.resolved_from_witness;
+    recovery_backoff_.erase(entry.action);
+  }
+  MCA_LOG(Info, "node") << "recovery: action " << entry.action << " resolved as "
+                        << (committed ? "committed" : "aborted") << " from "
+                        << entry.witnesses.size() << " witness(es); coordinator "
+                        << entry.coordinator << " still down";
+  return true;
+}
+
+void DistNode::reconcile_coordinator_log(const RecoveryOptions& opts) {
+  using CLP = CoordinatorLogParticipant;
+  const auto redo = [this](const std::vector<Uid>& uids) {
+    for (const Uid& u : uids) {
+      runtime_->default_store().commit_shadow(u);
+      if (LockManaged* obj = resolve(u)) obj->invalidate_activation();
+    }
+  };
+  for (const Uid& action : CLP::logged_actions(*runtime_)) {
+    auto rec = CLP::read_record(*runtime_, action);
+    if (!rec || rec->state == CLP::RecordState::Applied) continue;
+    if (rec->state == CLP::RecordState::Sealed) {
+      if (rec->redo_uids.empty()) continue;  // legacy or pure-client record
+      // The crash hit between sealing the decision and promoting our own
+      // shadows: redo the promotion, then retire the list.
+      redo(rec->redo_uids);
+      CLP::write_record(*runtime_, action, CLP::RecordState::Applied, rec->witnesses, {});
+      continue;
+    }
+    // Pending: the mirror fan-out was interrupted mid-decision. Resolve the
+    // record exactly the way a recovering participant would.
+    bool committed = false;
+    bool all_fenced = true;
+    for (const NodeId w : rec->witnesses) {
+      ByteBuffer args;
+      args.pack_uid(action);
+      RpcResult r = rpc_.call(w, "tx.mstatus", std::move(args),
+                              CallOptions{opts.call_timeout, std::chrono::milliseconds(50),
+                                          std::chrono::milliseconds(200), /*retry_budget=*/4});
+      if (!r.ok()) {
+        all_fenced = false;
+        continue;
+      }
+      if (static_cast<TxStatus>(r.payload.unpack_u8()) == TxStatus::Committed) {
+        committed = true;
+        break;
+      }
+    }
+    if (committed) {
+      CLP::write_record(*runtime_, action, CLP::RecordState::Sealed, rec->witnesses,
+                        rec->redo_uids);
+      redo(rec->redo_uids);
+      CLP::write_record(*runtime_, action, CLP::RecordState::Applied, rec->witnesses, {});
+      MCA_LOG(Info, "node") << "reconcile: pending decision " << action
+                            << " sealed from a surviving witness copy";
+    } else if (all_fenced) {
+      for (const Uid& u : rec->redo_uids) runtime_->default_store().discard_shadow(u);
+      CLP::remove_record(*runtime_, action);
+      MCA_LOG(Info, "node") << "reconcile: pending decision " << action
+                            << " fenced by every witness — presumed abort";
+    }
+    // else: some witness unreachable — leave the record Pending; tx.status
+    // keeps answering Pending and the next pass retries.
   }
 }
 

@@ -103,6 +103,15 @@ class DistNode {
   void set_tpc_call_timeout(std::chrono::milliseconds t) { tpc_call_timeout_ = t; }
   [[nodiscard]] std::chrono::milliseconds tpc_call_timeout() const { return tpc_call_timeout_; }
 
+  // Coordinator-log mirroring: commit decisions this node coordinates are
+  // replicated to these witness nodes before the commit proceeds (f+1
+  // witnesses tolerate f witness deaths). Empty (the default) keeps the
+  // unmirrored protocol, where only this node's restart can resolve its
+  // participants. Applies to actions whose coordinator log is registered
+  // after the call.
+  void set_coordinator_mirrors(std::vector<NodeId> witnesses);
+  [[nodiscard]] std::vector<NodeId> coordinator_mirrors() const;
+
   // Acquires (mode, colour) on the remote `object` for the current action —
   // the remote counterpart of AtomicAction::lock_explicit, used by structure
   // helpers (e.g. gluing a remote object, dist/remote_glue.h). Registers
@@ -142,6 +151,8 @@ class DistNode {
     std::uint64_t resolved_aborted = 0;
     std::uint64_t coordinator_unreachable = 0;
     std::uint64_t still_pending = 0;
+    // Resolutions that bypassed a dead coordinator via its witness mirrors.
+    std::uint64_t resolved_from_witness = 0;
   };
 
   void set_recovery_options(RecoveryOptions options);
@@ -178,6 +189,14 @@ class DistNode {
   // One resolution pass over the in-doubt set. `ignore_backoff` forces an
   // attempt for every entry (used by restart()'s synchronous pass).
   void recover_once(bool ignore_backoff);
+  // Coordinator unreachable: try the witness mirrors its prepared marker
+  // names. True when the entry was resolved (or this node died trying).
+  bool resolve_from_witnesses(const ParticipantTable::InDoubtEntry& entry,
+                              const RecoveryOptions& opts);
+  // Restart/daemon reconciliation of this node's own coordinator log:
+  // redo interrupted local promotions of Sealed records, resolve Pending
+  // records against their witnesses. May throw CrashPointHit.
+  void reconcile_coordinator_log(const RecoveryOptions& opts);
   // Periodic timer callback: short, non-blocking — hands the actual pass to
   // the executor's blocking lane (at most one pass in flight).
   void on_recovery_timer();
@@ -195,6 +214,12 @@ class DistNode {
   std::atomic<bool> down_{false};
   std::chrono::milliseconds invoke_timeout_{15'000};
   std::chrono::milliseconds tpc_call_timeout_{2'000};
+
+  // Witness role: serialises tx.mirror against tx.mstatus so a decision
+  // record can never land after a fence was answered (and vice versa).
+  std::mutex witness_mutex_;
+  mutable std::mutex mirror_config_mutex_;
+  std::vector<NodeId> coordinator_mirrors_;
 
   std::mutex hosted_mutex_;
   std::unordered_map<Uid, Hosted> hosted_;

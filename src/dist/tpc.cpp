@@ -24,6 +24,16 @@ Uid log_uid(const Uid& action) {
   return Uid(action.hi() ^ 0x4D43415F434C4F47ULL, action.lo());
 }
 
+// Witness-side keys: the mirrored decision copy and the sticky fence a
+// recovering participant leaves when it finds no copy.
+Uid mirror_uid(const Uid& action) {
+  return Uid(action.hi() ^ 0x4D43415F4D495252ULL, action.lo());
+}
+
+Uid tomb_uid(const Uid& action) {
+  return Uid(action.hi() ^ 0x4D43415F544F4D42ULL, action.lo());
+}
+
 // Number of blocking re-deliveries a phase-two wait() makes after the
 // initial async attempt fails. With peer suspicion the early retries burn a
 // call timeout each and later ones fail fast at the probe slots; a node
@@ -87,7 +97,8 @@ std::size_t ParticipantTable::mirror_count() const {
 }
 
 void ParticipantTable::write_marker(const Uid& action, NodeId coordinator,
-                                    const std::vector<std::pair<Uid, Colour>>& prepared) {
+                                    const std::vector<std::pair<Uid, Colour>>& prepared,
+                                    const std::vector<NodeId>& witnesses) {
   ByteBuffer payload;
   payload.pack_u32(coordinator);
   payload.pack_u32(static_cast<std::uint32_t>(prepared.size()));
@@ -95,6 +106,10 @@ void ParticipantTable::write_marker(const Uid& action, NodeId coordinator,
     payload.pack_uid(uid);
     wire::pack_colour(payload, colour);
   }
+  // Trailing so markers written before witnesses existed still parse; readers
+  // that only care about the prepared list never reach these bytes.
+  payload.pack_u32(static_cast<std::uint32_t>(witnesses.size()));
+  for (const NodeId w : witnesses) payload.pack_u32(w);
   rt_.default_store().write(ObjectState(marker_uid(action), kPreparedMarkerType,
                                         std::move(payload)));
 }
@@ -149,7 +164,7 @@ void ParticipantTable::write_shadow_batches(
 }
 
 bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& permanent,
-                               NodeId coordinator) {
+                               NodeId coordinator, const std::vector<NodeId>& witnesses) {
   const std::scoped_lock lock(mutex_);
   auto it = mirrors_.find(action);
   if (it == mirrors_.end()) {
@@ -195,7 +210,7 @@ bool ParticipantTable::prepare(const Uid& action, const std::vector<Colour>& per
   // coordinator yet. A kill here must come back as a presumed abort with the
   // orphaned shadows swept by discard_unreferenced_shadows().
   MCA_CRASHPOINT("tpc.participant.post_shadow_pre_marker");
-  write_marker(action, coordinator, mirror.prepared);
+  write_marker(action, coordinator, mirror.prepared, witnesses);
   MCA_CRASHPOINT("tpc.participant.prepare.post_marker");
   return true;
 }
@@ -284,26 +299,48 @@ void ParticipantTable::crash() {
   mirrors_.clear();
 }
 
-std::vector<std::pair<Uid, NodeId>> ParticipantTable::in_doubt() const {
-  std::vector<std::pair<Uid, NodeId>> out;
+std::vector<ParticipantTable::InDoubtEntry> ParticipantTable::in_doubt() const {
+  std::vector<InDoubtEntry> out;
   for (const Uid& uid : rt_.default_store().uids()) {
     auto state = rt_.default_store().read(uid);
     if (!state || state->type_name() != kPreparedMarkerType) continue;
     ByteBuffer payload = state->state();
-    const NodeId coordinator = payload.unpack_u32();
+    InDoubtEntry entry;
+    entry.coordinator = payload.unpack_u32();
+    const std::uint32_t n = payload.unpack_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      (void)payload.unpack_uid();
+      (void)wire::unpack_colour(payload);
+    }
+    // Witness list is a trailing extension: absent in pre-witness markers.
+    if (payload.remaining() > 0) {
+      const std::uint32_t wn = payload.unpack_u32();
+      for (std::uint32_t i = 0; i < wn; ++i) entry.witnesses.push_back(payload.unpack_u32());
+    }
     // Reverse the marker-key derivation to recover the action uid.
-    const Uid action(uid.hi() ^ 0x4D43415F5052455BULL, uid.lo());
-    out.emplace_back(action, coordinator);
+    entry.action = Uid(uid.hi() ^ 0x4D43415F5052455BULL, uid.lo());
+    out.push_back(std::move(entry));
   }
   return out;
 }
 
 std::size_t ParticipantTable::discard_unreferenced_shadows() {
-  // Collect every object uid referenced by a surviving prepared marker.
+  // Collect every object uid referenced by a surviving prepared marker, plus
+  // the redo lists of this node's own coordinator-log records: a sealed (or
+  // still-pending) record's shadows must stay until reconciliation promotes
+  // or discards them with the record's outcome.
   std::unordered_set<Uid> referenced;
   for (const Uid& uid : rt_.default_store().uids()) {
     auto state = rt_.default_store().read(uid);
-    if (!state || state->type_name() != kPreparedMarkerType) continue;
+    if (!state) continue;
+    if (state->type_name() == kCoordinatorLogType) {
+      const Uid action(uid.hi() ^ 0x4D43415F434C4F47ULL, uid.lo());
+      if (auto rec = CoordinatorLogParticipant::read_record(rt_, action)) {
+        for (const Uid& u : rec->redo_uids) referenced.insert(u);
+      }
+      continue;
+    }
+    if (state->type_name() != kPreparedMarkerType) continue;
     ByteBuffer payload = state->state();
     (void)payload.unpack_u32();  // coordinator
     const std::uint32_t n = payload.unpack_u32();
@@ -412,11 +449,20 @@ TerminationParticipant::Pending RpcParticipant::start_prepare(
                    std::move(cleanup.cancel),
                    [](std::function<void(bool)> fn) { fn(true); }};
   }
+  // Ship the coordinator log's witness list so the participant's prepared
+  // marker can name who else may know the outcome if we die.
+  std::vector<NodeId> witnesses;
+  if (auto log = std::dynamic_pointer_cast<CoordinatorLogParticipant>(
+          owner_.participant("coordlog"))) {
+    witnesses = log->witnesses();
+  }
   ByteBuffer args;
   args.pack_uid(action);
   args.pack_u32(local_.id());
   args.pack_u32(static_cast<std::uint32_t>(permanent.size()));
   for (const Colour c : permanent) wire::pack_colour(args, c);
+  args.pack_u32(static_cast<std::uint32_t>(witnesses.size()));
+  for (const NodeId w : witnesses) args.pack_u32(w);
   RpcFuture fut = local_.rpc().call_async(
       target_, "tx.prepare", std::move(args),
       CallOptions{local_.tpc_call_timeout(), std::chrono::milliseconds(100)});
@@ -449,8 +495,8 @@ TerminationParticipant::Pending RpcParticipant::start_commit(
         // The heir inherits responsibility for this node: give it a
         // participant (and a coordinator log) of its own.
         if (!heir_action->has_participant("coordlog")) {
-          heir_action->add_participant(
-              std::make_shared<CoordinatorLogParticipant>(owner_.runtime()), "coordlog");
+          heir_action->add_participant(std::make_shared<CoordinatorLogParticipant>(local_),
+                                       "coordlog");
         }
         auto heir_participant = std::dynamic_pointer_cast<RpcParticipant>(
             heir_action->participant(key_for(target_)));
@@ -531,17 +577,153 @@ TerminationParticipant::Pending RpcParticipant::start_abort(const Uid& action) {
                  }};
 }
 
+CoordinatorLogParticipant::CoordinatorLogParticipant(DistNode& node)
+    : rt_(node.runtime()), node_(&node), witnesses_(node.coordinator_mirrors()) {}
+
+bool CoordinatorLogParticipant::decide_commit(const Uid& action,
+                                              const std::vector<Uid>& prepared_objects) {
+  redo_uids_ = prepared_objects;
+  if (node_ == nullptr || witnesses_.empty()) {
+    // Witness-less mode: one sealed write is the whole decision. Keeping it
+    // to a single durable write preserves the store flush order the crash
+    // sweep pins down for the unmirrored protocol.
+    write_record(rt_, action, RecordState::Sealed, {}, redo_uids_);
+    decided_ = true;
+    return true;
+  }
+
+  write_record(rt_, action, RecordState::Pending, witnesses_, redo_uids_);
+  // A coordinator dying in this window left a pending record and zero-or-
+  // more mirrors: participants resolve from the witnesses (copy anywhere →
+  // commit; all fenced → abort), and restart reconciliation does the same.
+  MCA_CRASHPOINT("tpc.coord.post_log_pre_mirror");
+
+  ByteBuffer args;
+  args.pack_uid(action);
+  const CallOptions options{node_->tpc_call_timeout(), std::chrono::milliseconds(100)};
+  std::size_t acks = 0;
+  for (const NodeId w : witnesses_) {
+    // Fires once per witness: armed with skip=k, the coordinator dies having
+    // mirrored the decision to exactly k witnesses.
+    MCA_CRASHPOINT("tpc.coord.mirror.pre_send");
+    RpcResult r = node_->rpc().call(w, "tx.mirror", args, options);
+    if (!r.ok()) continue;
+    ByteBuffer payload = r.payload;
+    if (!payload.unpack_bool()) ++acks;  // false = not fenced: decision recorded
+  }
+  if (acks == 0) {
+    // No mirror holds the decision, so a recovering participant that fences
+    // every witness will presume abort — the only decision still consistent
+    // with that verdict is to abort ourselves. Sound because nothing has
+    // been promoted anywhere yet.
+    remove_record(rt_, action);
+    MCA_LOG(Warn, "tpc") << "commit " << action
+                         << ": no witness acknowledged the decision record — aborting";
+    return false;
+  }
+  write_record(rt_, action, RecordState::Sealed, witnesses_, redo_uids_);
+  decided_ = true;
+  return true;
+}
+
 void CoordinatorLogParticipant::commit(const Uid& action,
                                        const std::vector<ColourDisposition>&) {
-  rt_.default_store().write(ObjectState(log_uid(action), kCoordinatorLogType, ByteBuffer{}));
+  if (!decided_) {
+    // Direct phase-two callers that bypassed the kernel's decision point
+    // (recovery benches drive commit() by hand) still get a durable record.
+    rt_.default_store().write(ObjectState(log_uid(action), kCoordinatorLogType, ByteBuffer{}));
+  } else if (!redo_uids_.empty()) {
+    // The kernel has promoted our local shadows by now: retire the redo list
+    // so this record can never promote a *later* action's shadow on the same
+    // object during restart reconciliation.
+    write_record(rt_, action, RecordState::Applied, witnesses_, {});
+  }
   // The decision is durable but no participant has heard it: every remote
   // mirror is in doubt and only recovery-vs-the-log can finish the commit.
   MCA_CRASHPOINT("tpc.coord.post_log_pre_phase2");
 }
 
 bool CoordinatorLogParticipant::committed(Runtime& rt, const Uid& action) {
+  return logged_status(rt, action) == TxStatus::Committed;
+}
+
+TxStatus CoordinatorLogParticipant::logged_status(Runtime& rt, const Uid& action) {
+  auto rec = read_record(rt, action);
+  if (!rec) return TxStatus::Aborted;
+  return rec->state == RecordState::Pending ? TxStatus::Pending : TxStatus::Committed;
+}
+
+void CoordinatorLogParticipant::write_record(Runtime& rt, const Uid& action, RecordState state,
+                                             const std::vector<NodeId>& witnesses,
+                                             const std::vector<Uid>& redo_uids) {
+  ByteBuffer payload;
+  payload.pack_u8(static_cast<std::uint8_t>(state));
+  payload.pack_u32(static_cast<std::uint32_t>(witnesses.size()));
+  for (const NodeId w : witnesses) payload.pack_u32(w);
+  payload.pack_u32(static_cast<std::uint32_t>(redo_uids.size()));
+  for (const Uid& u : redo_uids) payload.pack_uid(u);
+  rt.default_store().write(
+      ObjectState(log_uid(action), kCoordinatorLogType, std::move(payload)));
+}
+
+std::optional<CoordinatorLogParticipant::Record> CoordinatorLogParticipant::read_record(
+    Runtime& rt, const Uid& action) {
   auto state = rt.default_store().read(log_uid(action));
-  return state.has_value() && state->type_name() == kCoordinatorLogType;
+  if (!state || state->type_name() != kCoordinatorLogType) return std::nullopt;
+  Record rec;
+  ByteBuffer payload = state->state();
+  if (payload.exhausted()) return rec;  // legacy empty record: sealed decision
+  rec.state = static_cast<RecordState>(payload.unpack_u8());
+  const std::uint32_t wn = payload.unpack_u32();
+  for (std::uint32_t i = 0; i < wn; ++i) rec.witnesses.push_back(payload.unpack_u32());
+  const std::uint32_t un = payload.unpack_u32();
+  for (std::uint32_t i = 0; i < un; ++i) rec.redo_uids.push_back(payload.unpack_uid());
+  return rec;
+}
+
+void CoordinatorLogParticipant::remove_record(Runtime& rt, const Uid& action) {
+  rt.default_store().remove(log_uid(action));
+}
+
+std::vector<Uid> CoordinatorLogParticipant::logged_actions(Runtime& rt) {
+  std::vector<Uid> out;
+  for (const Uid& uid : rt.default_store().uids()) {
+    auto state = rt.default_store().read(uid);
+    if (state && state->type_name() == kCoordinatorLogType) {
+      // Reverse the log-key derivation to recover the action uid.
+      out.emplace_back(uid.hi() ^ 0x4D43415F434C4F47ULL, uid.lo());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Witness side
+// ---------------------------------------------------------------------------
+
+bool WitnessLog::record_decision(Runtime& rt, const Uid& action) {
+  if (has_tombstone(rt, action)) return false;
+  rt.default_store().write(ObjectState(mirror_uid(action), kMirrorDecisionType, ByteBuffer{}));
+  return true;
+}
+
+TxStatus WitnessLog::status_or_fence(Runtime& rt, const Uid& action) {
+  if (has_decision(rt, action)) return TxStatus::Committed;
+  // The fence: from here on this witness permanently refuses the decision
+  // record, so "all witnesses fenced" can never later coexist with "a copy
+  // exists somewhere".
+  rt.default_store().write(ObjectState(tomb_uid(action), kMirrorTombstoneType, ByteBuffer{}));
+  return TxStatus::Aborted;
+}
+
+bool WitnessLog::has_decision(Runtime& rt, const Uid& action) {
+  auto state = rt.default_store().read(mirror_uid(action));
+  return state.has_value() && state->type_name() == kMirrorDecisionType;
+}
+
+bool WitnessLog::has_tombstone(Runtime& rt, const Uid& action) {
+  auto state = rt.default_store().read(tomb_uid(action));
+  return state.has_value() && state->type_name() == kMirrorTombstoneType;
 }
 
 }  // namespace mca

@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/atomic_action.h"
@@ -40,6 +41,10 @@ class DistNode;
 // Reserved type names for protocol records kept in object stores.
 inline constexpr const char* kPreparedMarkerType = "__mca_prepared__";
 inline constexpr const char* kCoordinatorLogType = "__mca_coordlog__";
+// Witness-side copies of a coordinator's decision, and the sticky fence a
+// recovering participant leaves when it finds no copy (see WitnessLog).
+inline constexpr const char* kMirrorDecisionType = "__mca_mirrorlog__";
+inline constexpr const char* kMirrorTombstoneType = "__mca_mirrortomb__";
 
 // Answer of a coordinator's tx.status service (wire value, u8). Pending
 // means the coordinator still knows the action as live — it has not decided
@@ -66,9 +71,11 @@ class ParticipantTable {
   [[nodiscard]] bool has_mirror(const Uid& action) const;
 
   // Phase one. Returns false (veto) when the mirror is missing (e.g. lost in
-  // a crash) or a shadow write fails.
+  // a crash) or a shadow write fails. `witnesses` are the coordinator-log
+  // mirror nodes, recorded in the prepared marker so in-doubt recovery can
+  // resolve the outcome from a surviving mirror when the coordinator dies.
   bool prepare(const Uid& action, const std::vector<Colour>& permanent,
-               NodeId coordinator);
+               NodeId coordinator, const std::vector<NodeId>& witnesses = {});
 
   // Phase two. Missing mirrors fall back to marker-driven recovery
   // (promote the prepared shadows and nothing else).
@@ -87,8 +94,14 @@ class ParticipantTable {
   // the whole node is going away.
   void drop_mirrors();
 
-  // Stable prepared markers awaiting resolution, with their coordinators.
-  [[nodiscard]] std::vector<std::pair<Uid, NodeId>> in_doubt() const;
+  // Stable prepared markers awaiting resolution, with their coordinators
+  // and (possibly empty) witness lists.
+  struct InDoubtEntry {
+    Uid action;
+    NodeId coordinator = 0;
+    std::vector<NodeId> witnesses;
+  };
+  [[nodiscard]] std::vector<InDoubtEntry> in_doubt() const;
   [[nodiscard]] std::size_t in_doubt_count() const { return in_doubt().size(); }
 
   // Marker-driven resolution used at recovery.
@@ -126,7 +139,8 @@ class ParticipantTable {
       std::vector<std::pair<ObjectStore*, std::vector<ObjectState>>>& batches);
 
   void write_marker(const Uid& action, NodeId coordinator,
-                    const std::vector<std::pair<Uid, Colour>>& prepared);
+                    const std::vector<std::pair<Uid, Colour>>& prepared,
+                    const std::vector<NodeId>& witnesses);
   void drop_marker(const Uid& action);
 
   Runtime& rt_;
@@ -174,23 +188,95 @@ class RpcParticipant final : public TerminationParticipant {
   std::atomic<bool> armed_{false};
 };
 
-// Writes the coordinator's stable commit record before any remote commit is
-// sent (registered first on the action so its commit callback runs first).
-// tx.status answers come from this record: present = committed, absent =
+// Makes the coordinator's commit decision durable at the kernel's decision
+// point (decide_commit runs before any shadow is promoted) and — when the
+// owning node is configured with coordinator mirrors — replicates the
+// decision record to those witness nodes before the commit proceeds, so the
+// in-doubt recovery daemon can resolve participants from a surviving mirror
+// when the coordinator dies. tx.status answers come from the local record:
+// sealed record = committed, pending record = still deciding, absent =
 // presumed abort.
+//
+// Record states (payload byte 0; a legacy empty payload reads as Sealed):
+//   Pending  written before the mirror fan-out. A coordinator that dies
+//            here is resolved by its witnesses: participants that find a
+//            mirrored copy commit; participants that fence every witness
+//            abort — and the fences are sticky, so the two verdicts are
+//            mutually exclusive. Restart reconciliation resolves the local
+//            record the same way.
+//   Sealed   the decision is final (no witnesses configured, or at least
+//            one mirror acknowledged). The payload carries the uids of the
+//            coordinator-local shadows the kernel promotes next, so restart
+//            can redo a promotion the crash interrupted.
+//   Applied  local promotion done; the redo list is cleared so a later
+//            transaction's shadow on the same object can never be promoted
+//            by this record.
 class CoordinatorLogParticipant final : public TerminationParticipant {
  public:
+  enum class RecordState : std::uint8_t { Pending = 0, Sealed = 1, Applied = 2 };
+
+  // Local-only log: no witnesses, decisions are durable on this node alone
+  // (the pre-mirror behaviour, still used by purely local coordinators).
   explicit CoordinatorLogParticipant(Runtime& rt) : rt_(rt) {}
 
+  // Node-attached log: mirrors every decision to node.coordinator_mirrors().
+  explicit CoordinatorLogParticipant(DistNode& node);
+
   bool prepare(const Uid&, const std::vector<Colour>&) override { return true; }
+  bool decide_commit(const Uid& action, const std::vector<Uid>& prepared_objects) override;
   void commit(const Uid& action, const std::vector<ColourDisposition>&) override;
   void abort(const Uid&) override {}
 
-  // True when `action` committed according to this coordinator's log.
+  [[nodiscard]] const std::vector<NodeId>& witnesses() const { return witnesses_; }
+
+  // True when `action` committed according to this coordinator's log (a
+  // sealed or applied record; a pending record is not yet a decision).
   static bool committed(Runtime& rt, const Uid& action);
+
+  // The record as a TxStatus: Committed (sealed/applied), Pending (mirror
+  // fan-out interrupted, reconciliation owed), or Aborted (no record).
+  static TxStatus logged_status(Runtime& rt, const Uid& action);
+
+  // Durable record surgery shared with restart reconciliation.
+  static void write_record(Runtime& rt, const Uid& action, RecordState state,
+                           const std::vector<NodeId>& witnesses,
+                           const std::vector<Uid>& redo_uids);
+  struct Record {
+    RecordState state = RecordState::Sealed;
+    std::vector<NodeId> witnesses;
+    std::vector<Uid> redo_uids;
+  };
+  [[nodiscard]] static std::optional<Record> read_record(Runtime& rt, const Uid& action);
+  static void remove_record(Runtime& rt, const Uid& action);
+  // Actions with a coordinator-log record in `rt`'s store (restart
+  // reconciliation enumerates these).
+  [[nodiscard]] static std::vector<Uid> logged_actions(Runtime& rt);
 
  private:
   Runtime& rt_;
+  DistNode* node_ = nullptr;
+  std::vector<NodeId> witnesses_;
+  bool decided_ = false;            // decide_commit wrote + sealed the record
+  std::vector<Uid> redo_uids_;      // local shadows the record promises to promote
+};
+
+// Witness-side mirrored-decision log (services tx.mirror / tx.mstatus).
+// The fencing rule makes "a copy exists somewhere" and "every witness is
+// fenced" mutually exclusive: a tombstone written by status_or_fence
+// permanently refuses any later record_decision for that action, so once a
+// recovering participant has fenced all witnesses no commit record can ever
+// appear, and once a record landed anywhere the all-fenced verdict is
+// unreachable. Callers serialise the read-modify-write externally (DistNode
+// holds the per-node witness mutex).
+struct WitnessLog {
+  // Records the coordinator's decision durably; false when the action was
+  // already fenced here.
+  static bool record_decision(Runtime& rt, const Uid& action);
+  // Committed when a mirrored copy exists; otherwise writes the sticky
+  // tombstone and answers Aborted (the fence).
+  static TxStatus status_or_fence(Runtime& rt, const Uid& action);
+  [[nodiscard]] static bool has_decision(Runtime& rt, const Uid& action);
+  [[nodiscard]] static bool has_tombstone(Runtime& rt, const Uid& action);
 };
 
 }  // namespace mca

@@ -1,0 +1,156 @@
+#include "replication/fault_detector.h"
+
+#include "common/logging.h"
+#include "dist/node.h"
+
+namespace mca {
+
+LocalFaultDetector::LocalFaultDetector(DistNode& node)
+    : LocalFaultDetector(node, Options()) {}
+
+LocalFaultDetector::LocalFaultDetector(DistNode& node, Options options)
+    : node_(node), options_(options) {}
+
+LocalFaultDetector::~LocalFaultDetector() { stop(); }
+
+void LocalFaultDetector::watch(NodeId peer) {
+  const std::scoped_lock lock(mutex_);
+  for (const NodeId w : watched_) {
+    if (w == peer) return;
+  }
+  watched_.push_back(peer);
+  last_alive_.emplace(peer, true);
+}
+
+void LocalFaultDetector::set_observer(Observer observer) {
+  const std::scoped_lock lock(mutex_);
+  observer_ = std::move(observer);
+}
+
+void LocalFaultDetector::start() {
+  const std::scoped_lock lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  timer_ = node_.runtime().timers().schedule_every(options_.interval, [this] { on_tick(); },
+                                                   this);
+}
+
+void LocalFaultDetector::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // Drop the timer entry (waiting out an in-flight tick), then wait for a
+  // probe pass already handed to the executor.
+  node_.runtime().timers().cancel_owner(this);
+  std::unique_lock lock(mutex_);
+  pass_done_.wait(lock, [this] { return !pass_running_; });
+  timer_ = TimerService::kInvalid;
+}
+
+bool LocalFaultDetector::last_alive(NodeId peer) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = last_alive_.find(peer);
+  return it == last_alive_.end() || it->second;
+}
+
+std::uint64_t LocalFaultDetector::probe_passes() const {
+  const std::scoped_lock lock(mutex_);
+  return passes_;
+}
+
+void LocalFaultDetector::on_tick() {
+  // Shared timer thread: flip flags only, never block.
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_ || pass_running_ || watched_.empty()) return;
+    pass_running_ = true;
+  }
+  if (!node_.runtime().executor().try_submit_blocking([this] { probe_pass(); })) {
+    const std::scoped_lock lock(mutex_);
+    pass_running_ = false;
+    pass_done_.notify_all();
+  }
+}
+
+void LocalFaultDetector::probe_pass() {
+  std::vector<NodeId> peers;
+  Observer observer;
+  {
+    const std::scoped_lock lock(mutex_);
+    peers = watched_;
+    observer = observer_;
+  }
+  for (const NodeId peer : peers) {
+    // The heartbeat is an ordinary RPC, so a missed one also feeds the
+    // endpoint's per-peer suspicion: application calls to a dead peer start
+    // failing fast before any verdict lands.
+    const RpcResult r = node_.rpc().call(peer, "fd.ping", ByteBuffer{},
+                                         CallOptions{options_.timeout,
+                                                     std::chrono::milliseconds(20)});
+    const bool alive = r.ok();
+    {
+      const std::scoped_lock lock(mutex_);
+      last_alive_[peer] = alive;
+    }
+    if (observer) observer(peer, alive);
+  }
+  const std::scoped_lock lock(mutex_);
+  ++passes_;
+  pass_running_ = false;
+  pass_done_.notify_all();
+}
+
+GroupFaultDetector::GroupFaultDetector() : GroupFaultDetector(Options()) {}
+
+GroupFaultDetector::GroupFaultDetector(Options options) : options_(options) {
+  if (options_.demote_after == 0 || options_.rejoin_after == 0) {
+    throw std::invalid_argument("fault-detector thresholds must be positive");
+  }
+}
+
+void GroupFaultDetector::set_verdict_handler(VerdictHandler handler) {
+  const std::scoped_lock lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+void GroupFaultDetector::report(NodeId peer, bool alive) {
+  VerdictHandler handler;
+  Verdict transition;
+  bool fire = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    PeerState& s = peers_[peer];
+    if (alive) {
+      s.miss_streak = 0;
+      ++s.ok_streak;
+      if (s.verdict == Verdict::Down && s.ok_streak >= options_.rejoin_after) {
+        s.verdict = Verdict::Up;
+        fire = true;
+      }
+    } else {
+      s.ok_streak = 0;
+      ++s.miss_streak;
+      if (s.verdict == Verdict::Up && s.miss_streak >= options_.demote_after) {
+        s.verdict = Verdict::Down;
+        fire = true;
+      }
+    }
+    transition = s.verdict;
+    handler = handler_;
+  }
+  if (fire) {
+    MCA_LOG(Info, "replication") << "fault detector: peer " << peer << " is "
+                                 << (transition == Verdict::Down ? "down" : "up");
+    if (handler) handler(peer, transition);
+  }
+}
+
+GroupFaultDetector::Verdict GroupFaultDetector::verdict(NodeId peer) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? Verdict::Up : it->second.verdict;
+}
+
+}  // namespace mca

@@ -1,0 +1,122 @@
+// Fault-detector hierarchy for managed replica groups (after the RM /
+// global-detector / local-detector topology of classical FT frameworks, and
+// De Florio's argument for keeping detection policy a separate layer over
+// the application).
+//
+// LocalFaultDetector: one per observing node. A periodic TimerService tick
+// schedules a probe pass on the executor's blocking lane (one in flight);
+// the pass sends an "fd.ping" heartbeat to every watched peer over the
+// node's RpcEndpoint — so each failed probe also feeds the RPC layer's
+// per-peer suspicion state, making subsequent application calls to that peer
+// fail fast — and reports each peer's up/down answer to its observer.
+//
+// GroupFaultDetector: aggregates those per-probe reports into membership
+// verdicts with hysteresis: a peer is demoted (verdict Down) only after
+// `demote_after` consecutive missed heartbeats and re-admitted (verdict Up)
+// only after `rejoin_after` consecutive answers. The verdict handler fires
+// on transitions only, outside the detector's lock — a flapping peer
+// produces few transitions, not one per probe.
+//
+// Both layers are mechanism, not policy: what a Down verdict *means*
+// (demote a replica, move its traffic) belongs to ReplicaManager.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer_service.h"
+#include "dist/rpc.h"
+
+namespace mca {
+
+class DistNode;
+
+class LocalFaultDetector {
+ public:
+  struct Options {
+    // Heartbeat period.
+    std::chrono::milliseconds interval{100};
+    // Per-probe reply deadline; kept below the interval so one pass cannot
+    // overrun the next tick even when every peer times out.
+    std::chrono::milliseconds timeout{80};
+  };
+
+  // One report per watched peer per probe pass.
+  using Observer = std::function<void(NodeId peer, bool alive)>;
+
+  explicit LocalFaultDetector(DistNode& node);
+  LocalFaultDetector(DistNode& node, Options options);
+  ~LocalFaultDetector();
+
+  LocalFaultDetector(const LocalFaultDetector&) = delete;
+  LocalFaultDetector& operator=(const LocalFaultDetector&) = delete;
+
+  void watch(NodeId peer);
+  void set_observer(Observer observer);
+
+  void start();
+  void stop();
+
+  // Last probe answer for `peer` (true until the first probe completes).
+  [[nodiscard]] bool last_alive(NodeId peer) const;
+  [[nodiscard]] std::uint64_t probe_passes() const;
+
+ private:
+  void on_tick();
+  void probe_pass();
+
+  DistNode& node_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<NodeId> watched_;
+  std::unordered_map<NodeId, bool> last_alive_;
+  Observer observer_;
+  bool running_ = false;
+  bool pass_running_ = false;
+  std::uint64_t passes_ = 0;
+  std::condition_variable pass_done_;
+  TimerService::TimerId timer_ = TimerService::kInvalid;
+};
+
+class GroupFaultDetector {
+ public:
+  struct Options {
+    // Consecutive missed heartbeats before a peer's verdict turns Down.
+    unsigned demote_after = 3;
+    // Consecutive answered heartbeats before a Down peer turns Up again.
+    unsigned rejoin_after = 2;
+  };
+
+  enum class Verdict : std::uint8_t { Up = 0, Down = 1 };
+
+  // Fired on verdict *transitions* only, outside the detector's lock.
+  using VerdictHandler = std::function<void(NodeId peer, Verdict verdict)>;
+
+  GroupFaultDetector();
+  explicit GroupFaultDetector(Options options);
+
+  void set_verdict_handler(VerdictHandler handler);
+
+  // Feed from a LocalFaultDetector's observer (or directly in tests).
+  void report(NodeId peer, bool alive);
+
+  [[nodiscard]] Verdict verdict(NodeId peer) const;  // Up until proven down
+
+ private:
+  struct PeerState {
+    unsigned miss_streak = 0;
+    unsigned ok_streak = 0;
+    Verdict verdict = Verdict::Up;
+  };
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<NodeId, PeerState> peers_;
+  VerdictHandler handler_;
+};
+
+}  // namespace mca

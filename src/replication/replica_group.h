@@ -3,32 +3,52 @@
 // replica-consistency protocols").
 //
 // ReplicatedMap keeps k copies of a map on k nodes and applies
-// read-one / write-all inside the calling action:
+// read-one / write-all-down-to-quorum inside the calling action:
 //
-//   * updates go to every reachable replica; because all writes of one
+//   * updates go to every writable replica; because all writes of one
 //     action commit atomically (the action's 2PC spans the replica nodes),
 //     copies remain mutually consistent;
-//   * lookups try replicas in order and return the first answer, so reads
-//     survive up to k-1 crashed replicas;
+//   * lookups try Healthy replicas in order and return the first answer, so
+//     reads survive up to k-1 crashed replicas and never touch a copy that
+//     missed writes;
 //   * a replica that was down during updates must be re-synchronised before
-//     rejoining (resync()), the usual recovery step of a read-one/write-all
-//     scheme. Writes issued while a replica is down throw
-//     ReplicaUnavailable unless the group is told to tolerate it
-//     (set_write_quorum), in which case the action continues with the
-//     reachable copies and the unavailable one is marked stale;
-//   * stale replicas are re-probed automatically: every probe_interval, the
-//     next write first attempts a resync of each stale replica, so a node
-//     that came back rejoins the write set without a manual resync() call.
+//     rejoining (resync()). The rejoin is *transactional*: resync copies the
+//     data and moves the replica to Rejoining, and only the enclosing
+//     action's commit promotes it to Healthy — an aborted resync (whose data
+//     the abort reverts) drops the replica back to Stale instead of leaving
+//     a cleared flag over reverted data;
+//   * writes issued while a replica is down throw ReplicaUnavailable unless
+//     the group is told to tolerate it (set_write_quorum), in which case the
+//     action continues with the reachable copies and the unavailable one is
+//     marked stale;
+//   * stale replicas are re-probed automatically. Standalone groups probe on
+//     the write path (every probe_interval, the next write first attempts a
+//     resync of each stale replica). A group attached to a runtime
+//     (attach_runtime) instead rides mca::TimerService: probes fire on the
+//     shared timer thread and run their resyncs in detached root actions on
+//     the executor's blocking lane, so stale replicas rejoin even on a
+//     read-only (or idle) workload — and writes stop paying the probe tax.
 //
-// Thread safe: the stale set and probe clock are mutex-guarded; remote calls
-// are made outside the lock, so concurrent readers are not serialised
+// attach_runtime also turns on parallel write fan-out: the per-replica
+// updates of one logical write overlap on the executor instead of paying
+// k round trips serially.
+//
+// Membership policy (who is demoted when, who drives rejoin) lives one layer
+// up in ReplicaManager; this class only executes the mechanics and reports
+// health transitions through the observer hook.
+//
+// Thread safe: health state and the probe clock are mutex-guarded; remote
+// calls are made outside the lock, so concurrent readers are not serialised
 // behind a slow replica.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <vector>
 
+#include "common/timer_service.h"
 #include "dist/remote.h"
 
 namespace mca {
@@ -38,15 +58,36 @@ class ReplicaUnavailable : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Healthy    in the read set and the write set.
+// Stale      missed writes; excluded from reads, skipped by writes until a
+//            resync brings it back.
+// Rejoining  a resync copied the data inside a still-running action: it
+//            receives new writes (so it stays caught up if the action
+//            commits) but is not read from until the rejoin commits.
+enum class ReplicaHealth : std::uint8_t { Healthy = 0, Stale = 1, Rejoining = 2 };
+
+[[nodiscard]] constexpr std::string_view to_string(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::Healthy: return "healthy";
+    case ReplicaHealth::Stale: return "stale";
+    case ReplicaHealth::Rejoining: return "rejoining";
+  }
+  return "?";
+}
+
 class ReplicatedMap {
  public:
   // `replicas` are proxies for the same logical map on distinct nodes.
   explicit ReplicatedMap(std::vector<RemoteMap> replicas);
+  ~ReplicatedMap();
+
+  ReplicatedMap(const ReplicatedMap&) = delete;
+  ReplicatedMap& operator=(const ReplicatedMap&) = delete;
 
   // Minimum number of replicas a write must reach (default: all).
   void set_write_quorum(std::size_t quorum);
 
-  // Read-one: first reachable replica answers.
+  // Read-one: first reachable Healthy replica answers.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
 
   // Write-all (down to the quorum): replicas that cannot be reached are
@@ -55,32 +96,73 @@ class ReplicatedMap {
   void erase(const std::string& key);
 
   // Copies the full contents of a healthy replica onto `replica_index` and
-  // clears its stale mark. Call inside an action.
+  // starts its rejoin. Call inside an action: the replica turns Healthy when
+  // that action commits and falls back to Stale when it aborts (matching
+  // what happened to the copied data). Without a current action the health
+  // flip is immediate.
   void resync(std::size_t replica_index);
 
-  // How often a write re-probes stale replicas (auto-resync). Zero probes on
-  // every write; tests use that for determinism.
+  // How often stale replicas are re-probed (auto-resync). Zero probes on
+  // every write in standalone mode; tests use that for determinism.
   void set_probe_interval(std::chrono::milliseconds interval);
 
+  // Switches the group to runtime-backed operation: probe scheduling moves
+  // from the write path to `rt`'s TimerService (resyncs run in detached root
+  // actions on the blocking lane) and write fan-out parallelises on `rt`'s
+  // executor. The group must not outlive `rt`.
+  void attach_runtime(Runtime& rt);
+
+  // Demotes a replica to Stale (failure-detector verdict, or a write that
+  // found it unreachable). An in-flight rejoin is overridden.
+  void mark_stale(std::size_t replica_index);
+
+  // Health transitions, fired outside the group's lock. May be called from
+  // writer threads, termination callbacks and the probe pass concurrently.
+  using HealthObserver = std::function<void(std::size_t replica_index, ReplicaHealth now)>;
+  void set_health_observer(HealthObserver observer);
+
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] ReplicaHealth health(std::size_t replica_index) const;
+  // Anything not Healthy counts as stale to callers gating on membership.
   [[nodiscard]] bool stale(std::size_t replica_index) const;
 
  private:
+  class RejoinParticipant;
+
   template <typename Fn>
   void write_all(Fn&& op);
 
-  // Attempts resync of every stale replica when a probe is due. Failures
-  // leave the replica stale; the next due probe tries again.
+  // Write-path probing (standalone mode): attempts resync of every stale
+  // replica when a probe is due. Failures leave the replica stale; the next
+  // due probe tries again.
   void maybe_probe_stale();
 
-  [[nodiscard]] std::vector<std::size_t> healthy_indices() const;
+  // Timer-path probing: the tick only flips flags; the pass (which blocks on
+  // RPC) runs on the executor's blocking lane, one in flight.
+  void on_probe_timer();
+  void probe_pass();
+  void arm_probe_timer();
+
+  void set_health(std::size_t index, ReplicaHealth next);
+  // Rejoin outcome from the enclosing action's termination; only a replica
+  // still Rejoining transitions (a concurrent mark_stale wins).
+  void finish_rejoin(std::size_t index, bool committed);
+
+  [[nodiscard]] std::vector<std::size_t> indices_in(ReplicaHealth a,
+                                                    ReplicaHealth b = ReplicaHealth::Healthy) const;
 
   std::vector<RemoteMap> replicas_;
-  mutable std::mutex mutex_;  // guards stale_, quorum_, probe clock
-  std::vector<bool> stale_;
+  mutable std::mutex mutex_;  // guards health_, quorum_, probe state, observer
+  std::vector<ReplicaHealth> health_;
   std::size_t quorum_;
+  HealthObserver observer_;
   std::chrono::milliseconds probe_interval_{500};
   std::chrono::steady_clock::time_point last_probe_{};
+
+  Runtime* rt_ = nullptr;
+  TimerService::TimerId probe_timer_ = TimerService::kInvalid;
+  bool probe_running_ = false;
+  std::condition_variable probe_done_;
 };
 
 }  // namespace mca

@@ -1,0 +1,134 @@
+#include "replication/replica_manager.h"
+
+#include "common/logging.h"
+#include "dist/node.h"
+
+namespace mca {
+
+ReplicaManager::ReplicaManager(DistNode& node, ReplicatedMap& group,
+                               std::vector<Member> members)
+    : ReplicaManager(node, group, std::move(members), Options()) {}
+
+ReplicaManager::ReplicaManager(DistNode& node, ReplicatedMap& group,
+                               std::vector<Member> members, Options options)
+    : node_(node),
+      group_(group),
+      options_(options),
+      local_(node, options.detector),
+      verdicts_(options.verdicts) {
+  for (const Member& m : members) {
+    if (m.replica_index >= group_.replica_count()) {
+      throw std::invalid_argument("member replica index out of range");
+    }
+    index_of_[m.node] = m.replica_index;
+    local_.watch(m.node);
+  }
+  // Every health transition — from any source: our demotions, our rejoins,
+  // a write that found the node dead first — versions the membership.
+  group_.set_health_observer([this](std::size_t index, ReplicaHealth now) {
+    epoch_.fetch_add(1);
+    MCA_LOG(Info, "replication") << "membership epoch " << epoch_.load() << ": replica "
+                                 << index << " -> " << to_string(now);
+  });
+  local_.set_observer([this](NodeId peer, bool alive) { verdicts_.report(peer, alive); });
+  verdicts_.set_verdict_handler(
+      [this](NodeId peer, GroupFaultDetector::Verdict v) { on_verdict(peer, v); });
+}
+
+ReplicaManager::~ReplicaManager() { stop(); }
+
+void ReplicaManager::start() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  local_.start();
+}
+
+void ReplicaManager::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  local_.stop();  // no further verdicts once this returns
+  std::unique_lock lock(mutex_);
+  rejoins_done_.wait(lock, [this] { return rejoins_in_flight_ == 0; });
+  group_.set_health_observer({});
+}
+
+std::uint64_t ReplicaManager::epoch() const { return epoch_.load(); }
+
+GroupFaultDetector::Verdict ReplicaManager::verdict(NodeId peer) const {
+  return verdicts_.verdict(peer);
+}
+
+std::uint64_t ReplicaManager::rejoin_attempts() const {
+  const std::scoped_lock lock(mutex_);
+  return rejoin_attempts_;
+}
+
+void ReplicaManager::on_verdict(NodeId peer, GroupFaultDetector::Verdict verdict) {
+  const auto it = index_of_.find(peer);
+  if (it == index_of_.end()) return;
+  const std::size_t index = it->second;
+  if (verdict == GroupFaultDetector::Verdict::Down) {
+    // Demote now: reads stop consulting the replica and writes stop waiting
+    // out its timeout before the next write ever touches it.
+    group_.mark_stale(index);
+    return;
+  }
+  // Up again: attempt a rejoin, rate-limited per member so a flapping node
+  // burns its own backoff rather than the group's time.
+  bool launch = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    const auto now = std::chrono::steady_clock::now();
+    auto due = rejoin_due_.find(index);
+    if (due == rejoin_due_.end() || now >= due->second) {
+      rejoin_due_[index] = now + options_.rejoin_backoff;
+      ++rejoins_in_flight_;
+      launch = true;
+    }
+  }
+  if (!launch) return;
+  // The resync blocks on RPC round trips: blocking lane. Refused (shutdown
+  // or saturation) → drop the attempt; the next Up verdict retries.
+  if (!node_.runtime().executor().try_submit_blocking([this, index] { try_rejoin(index); })) {
+    const std::scoped_lock lock(mutex_);
+    --rejoins_in_flight_;
+    rejoins_done_.notify_all();
+  }
+}
+
+void ReplicaManager::try_rejoin(std::size_t replica_index) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++rejoin_attempts_;
+  }
+  if (group_.health(replica_index) == ReplicaHealth::Stale) {
+    try {
+      // A detached root action: the rejoin's data copy and health flip
+      // commit (or revert) together, independent of any caller.
+      AtomicAction rejoin(node_.runtime(), nullptr, ColourSet{Colour::plain()});
+      rejoin.begin();
+      try {
+        group_.resync(replica_index);
+      } catch (...) {
+        rejoin.abort();
+        throw;
+      }
+      (void)rejoin.commit();
+    } catch (const std::exception& e) {
+      MCA_LOG(Info, "replication") << "rejoin of replica " << replica_index
+                                   << " failed: " << e.what() << " (will retry)";
+    }
+  }
+  const std::scoped_lock lock(mutex_);
+  --rejoins_in_flight_;
+  rejoins_done_.notify_all();
+}
+
+}  // namespace mca

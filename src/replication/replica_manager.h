@@ -1,0 +1,88 @@
+// ReplicaManager: the policy layer of a managed replica group.
+//
+// Wires the fault-detector hierarchy to a ReplicatedMap: the local detector
+// heartbeats every member node, the group detector turns streaks of missed
+// heartbeats into membership verdicts, and the manager translates verdicts
+// into group actions —
+//
+//   Down  →  demote: the member's replica is marked Stale immediately, so
+//            writes stop waiting out its timeout and reads never consult it
+//            (failover happens at the verdict, not at the next unlucky
+//            write);
+//   Up    →  rejoin: a rate-limited resync attempt runs in a detached root
+//            action on the executor's blocking lane; the replica returns to
+//            the read/write sets only when that action commits.
+//
+// Membership is versioned: the epoch counter bumps on every observed health
+// transition of any member (demotion, rejoin commit, rejoin abort), so
+// clients can detect "the group changed under me". A flapping node cannot
+// livelock the epoch: demotion needs `demote_after` consecutive misses,
+// re-admission needs `rejoin_after` consecutive answers plus a whole
+// committed resync, and rejoin attempts are spaced by `rejoin_backoff` —
+// each flap costs the flapper a full hysteresis cycle, bounding the epoch
+// rate regardless of how fast the node bounces.
+#pragma once
+
+#include <unordered_map>
+
+#include "replication/fault_detector.h"
+#include "replication/replica_group.h"
+
+namespace mca {
+
+class ReplicaManager {
+ public:
+  struct Member {
+    NodeId node = 0;
+    std::size_t replica_index = 0;
+  };
+
+  struct Options {
+    LocalFaultDetector::Options detector{};
+    GroupFaultDetector::Options verdicts{};
+    // Minimum spacing between rejoin attempts for one member; failed
+    // resyncs retry no faster than this.
+    std::chrono::milliseconds rejoin_backoff{200};
+  };
+
+  // `node` is the observer node the heartbeats originate from (typically
+  // the client holding the group). The group must outlive the manager.
+  ReplicaManager(DistNode& node, ReplicatedMap& group, std::vector<Member> members);
+  ReplicaManager(DistNode& node, ReplicatedMap& group, std::vector<Member> members,
+                 Options options);
+  ~ReplicaManager();
+
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  void start();
+  void stop();
+
+  // Membership epoch: bumps on every health transition of any member.
+  [[nodiscard]] std::uint64_t epoch() const;
+  [[nodiscard]] GroupFaultDetector::Verdict verdict(NodeId peer) const;
+  [[nodiscard]] std::uint64_t rejoin_attempts() const;
+
+ private:
+  void on_verdict(NodeId peer, GroupFaultDetector::Verdict verdict);
+  void try_rejoin(std::size_t replica_index);
+
+  DistNode& node_;
+  ReplicatedMap& group_;
+  Options options_;
+  std::unordered_map<NodeId, std::size_t> index_of_;
+  LocalFaultDetector local_;
+  GroupFaultDetector verdicts_;
+
+  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t rejoin_attempts_ = 0;
+  // replica index → earliest next rejoin attempt.
+  std::unordered_map<std::size_t, std::chrono::steady_clock::time_point> rejoin_due_;
+  // Rejoins handed to the executor but not finished (quiesced by stop()).
+  std::size_t rejoins_in_flight_ = 0;
+  std::condition_variable rejoins_done_;
+  bool running_ = false;
+};
+
+}  // namespace mca

@@ -74,10 +74,11 @@ void check_node(DistNode& node, ConsistencyReport& report) {
   }
 }
 
-void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
-                          const std::vector<ValueObservation>& observations,
-                          ConsistencyReport& report) {
-  const bool committed = CoordinatorLogParticipant::committed(coordinator_rt, action);
+namespace {
+
+void check_outcome_against(bool committed, const Uid& action,
+                           const std::vector<ValueObservation>& observations,
+                           ConsistencyReport& report) {
   const char* outcome = committed ? "committed" : "aborted";
   for (const ValueObservation& o : observations) {
     const std::int64_t expected = committed ? o.if_committed : o.if_aborted;
@@ -87,6 +88,28 @@ void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
                                   " (expected " + std::to_string(expected) + ")");
     }
   }
+}
+
+}  // namespace
+
+void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
+                          const std::vector<ValueObservation>& observations,
+                          ConsistencyReport& report) {
+  check_outcome_against(CoordinatorLogParticipant::committed(coordinator_rt, action), action,
+                        observations, report);
+}
+
+void check_atomic_outcome(Runtime& coordinator_rt, const std::vector<Runtime*>& witness_rts,
+                          const Uid& action, const std::vector<ValueObservation>& observations,
+                          ConsistencyReport& report) {
+  bool committed = CoordinatorLogParticipant::committed(coordinator_rt, action);
+  for (Runtime* w : witness_rts) {
+    if (w != nullptr && WitnessLog::has_decision(*w, action)) {
+      committed = true;
+      break;
+    }
+  }
+  check_outcome_against(committed, action, observations, report);
 }
 
 }  // namespace consistency

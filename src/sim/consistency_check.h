@@ -60,5 +60,13 @@ void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
                           const std::vector<ValueObservation>& observations,
                           ConsistencyReport& report);
 
+// Witness-aware variant for mirrored coordinator logs: the transaction
+// committed iff the coordinator sealed its record OR any witness holds a
+// mirrored copy (a coordinator killed mid-fan-out leaves a pending local
+// record while a witness already carries the decision).
+void check_atomic_outcome(Runtime& coordinator_rt, const std::vector<Runtime*>& witness_rts,
+                          const Uid& action, const std::vector<ValueObservation>& observations,
+                          ConsistencyReport& report);
+
 }  // namespace consistency
 }  // namespace mca

@@ -62,6 +62,12 @@ constexpr Info kPoints[] = {
     {"tpc.coord.post_prepare_pre_log",
      "coordinator: all YES votes in, commit record not logged — participants in doubt, absence of "
      "the record means abort"},
+    {"tpc.coord.post_log_pre_mirror",
+     "coordinator: pending decision record durable, no mirror sent — every witness fences, "
+     "participants and restart reconciliation presume abort"},
+    {"tpc.coord.mirror.pre_send",
+     "coordinator: before mirroring the decision to the next witness — with skip=k exactly k "
+     "witnesses hold the record; any surviving copy resolves the commit"},
     {"tpc.coord.post_log_pre_phase2",
      "coordinator: commit record durable, no COMMIT sent — participants in doubt, recovery must "
      "find commit"},

@@ -391,6 +391,57 @@ TEST_F(NameServerTest, WriteAllReachesEveryReplicaDespiteAppError) {
   }
 }
 
+TEST_F(NameServerTest, LookupSkipsStaleReplica) {
+  // Regression: replica 0 misses a write while crashed, then comes back
+  // REACHABLE but stale. Read-one used to take the first replica that
+  // answered — returning the stale miss — instead of failing over to a
+  // copy that actually saw the write.
+  replicas_->set_write_quorum(2);
+  nodes_[0]->crash();
+  ASSERT_TRUE(server_->add("k", "v1"));
+  ASSERT_TRUE(replicas_->stale(0));
+  nodes_[0]->restart();  // answers again, but its copy never got "k"
+  EXPECT_EQ(server_->lookup("k"), "v1");
+  // The stale copy really would have answered wrongly had it been asked.
+  AtomicAction check(nodes_[0]->runtime());
+  check.begin();
+  EXPECT_EQ(maps_[0]->lookup("k"), std::nullopt);
+  check.commit();
+}
+
+TEST_F(NameServerTest, AbortedResyncLeavesReplicaStale) {
+  // The rejoin is transactional: an aborted resync reverts the copied data,
+  // so it must also revert the health flip — otherwise reads would consult
+  // a "healthy" replica holding rolled-back state.
+  replicas_->set_write_quorum(2);
+  nodes_[2]->crash();
+  ASSERT_TRUE(server_->add("k", "v1"));
+  ASSERT_TRUE(replicas_->stale(2));
+  nodes_[2]->restart();
+  {
+    AtomicAction a(client_.runtime());
+    a.begin();
+    replicas_->resync(2);
+    EXPECT_EQ(replicas_->health(2), ReplicaHealth::Rejoining);
+    a.abort();  // the copied data is reverted with the action
+  }
+  EXPECT_TRUE(replicas_->stale(2));
+  EXPECT_EQ(replicas_->health(2), ReplicaHealth::Stale);
+  EXPECT_EQ(server_->lookup("k"), "v1");  // reads still avoid the replica
+  // A committed resync then heals it for real.
+  {
+    AtomicAction a(client_.runtime());
+    a.begin();
+    replicas_->resync(2);
+    EXPECT_EQ(a.commit(), Outcome::Committed);
+  }
+  EXPECT_FALSE(replicas_->stale(2));
+  AtomicAction check(nodes_[2]->runtime());
+  check.begin();
+  EXPECT_EQ(maps_[2]->lookup("k"), "v1");
+  check.commit();
+}
+
 TEST_F(NameServerTest, WriteBelowQuorumAborts) {
   nodes_[0]->crash();
   nodes_[1]->crash();

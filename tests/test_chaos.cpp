@@ -4,14 +4,37 @@
 // Invariant under any interleaving of crashes: every transfer is atomic —
 // after the dust settles, the stable states on the two nodes sum to the
 // initial total, and equal the client's tally of committed transfers.
+//
+// Every node runs on a WalStore in a fresh temp directory: each simulated
+// kill therefore exercises the group-committed log's replay path, not just
+// the protocol state machine over an in-memory store.
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 #include "dist/remote.h"
 #include "objects/recoverable_int.h"
 #include "sim/fault_injector.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 namespace {
+
+namespace fs = std::filesystem;
+
+// Created before (destroyed after) the stores that live inside it.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(fs::path p) : path(std::move(p)) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
 
 NetworkConfig chaos_config() {
   NetworkConfig c;
@@ -30,10 +53,14 @@ std::int64_t stable_value(DistNode& node, const Uid& uid) {
 }
 
 TEST(Chaos, TransfersStayAtomicAcrossCrashes) {
+  TempDir dir(fs::temp_directory_path() / ("mca_chaos_transfers_" + Uid().to_string()));
   Network net(chaos_config());
-  DistNode client(net, 1);
-  DistNode stable_branch(net, 2);
-  DistNode flaky_branch(net, 3);
+  WalStore client_store(dir.path / "client");
+  WalStore stable_store(dir.path / "stable");
+  WalStore flaky_store(dir.path / "flaky");
+  DistNode client(net, 1, &client_store);
+  DistNode stable_branch(net, 2, &stable_store);
+  DistNode flaky_branch(net, 3, &flaky_store);
 
   constexpr std::int64_t kInitial = 10'000;
   RecoverableInt account_a(stable_branch.runtime(), kInitial);
@@ -119,10 +146,14 @@ TEST(Chaos, TransfersStayAtomicAcrossCrashes) {
 }
 
 TEST(Chaos, RepeatedCrashesOfBothServersNeverWedgeTheClient) {
+  TempDir dir(fs::temp_directory_path() / ("mca_chaos_wedge_" + Uid().to_string()));
   Network net(chaos_config());
-  DistNode client(net, 1);
-  DistNode s1(net, 2);
-  DistNode s2(net, 3);
+  WalStore client_store(dir.path / "client");
+  WalStore s1_store(dir.path / "s1");
+  WalStore s2_store(dir.path / "s2");
+  DistNode client(net, 1, &client_store);
+  DistNode s1(net, 2, &s1_store);
+  DistNode s2(net, 3, &s2_store);
   RecoverableInt x(s1.runtime(), 0);
   RecoverableInt y(s2.runtime(), 0);
   s1.host(x);

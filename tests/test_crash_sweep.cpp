@@ -541,6 +541,235 @@ TEST(CrashChaos, SeededDoubleFaultsConverge) {
 }
 
 // ---------------------------------------------------------------------------
+// Witnessed coordinator: kill the coordinator, resolve WITHOUT restarting it
+// ---------------------------------------------------------------------------
+
+// Coordinator 1 (with witnesses 4 and 5 mirroring its decision records),
+// participants 2 and 3. The property under test: when the coordinator dies
+// between the decision and phase two, the participants resolve their
+// prepared markers from a surviving witness copy — or from the witnesses'
+// sticky fences when no copy was ever mirrored — while the coordinator
+// node STAYS DOWN for the whole convergence.
+struct WitnessCluster {
+  TempDir dir;
+  Network net;
+  FileStore c_store, p1_store, p2_store, w1_store, w2_store;
+  DistNode c, p1, p2, w1, w2;
+  RecoverableInt a, b;
+
+  WitnessCluster()
+      : dir(fs::temp_directory_path() / ("mca_crash_sweep_witness_" + Uid().to_string())),
+        net(fast_config()),
+        c_store(dir.path / "c"),
+        p1_store(dir.path / "p1"),
+        p2_store(dir.path / "p2"),
+        w1_store(dir.path / "w1"),
+        w2_store(dir.path / "w2"),
+        c(net, 1, &c_store),
+        p1(net, 2, &p1_store),
+        p2(net, 3, &p2_store),
+        w1(net, 4, &w1_store),
+        w2(net, 5, &w2_store),
+        a(p1.runtime(), kInitial),
+        b(p2.runtime(), kInitial) {
+    for (DistNode* n : nodes()) {
+      n->set_recovery_options(DistNode::RecoveryOptions{/*period=*/50ms,
+                                                        /*call_timeout=*/200ms,
+                                                        /*backoff_max=*/200ms});
+      n->set_tpc_call_timeout(300ms);
+      n->set_invoke_timeout(2'000ms);
+    }
+    c.set_coordinator_mirrors({w1.id(), w2.id()});
+    p1.host(a);
+    p2.host(b);
+  }
+
+  std::vector<DistNode*> nodes() { return {&c, &p1, &p2, &w1, &w2}; }
+
+  Uid run_transfer() {
+    AtomicAction act(c.runtime());
+    act.begin();
+    const Uid uid = act.uid();
+    try {
+      RemoteInt ra(c, p1.id(), a.uid());
+      RemoteInt rb(c, p2.id(), b.uid());
+      ra.add(-kDelta);
+      rb.add(kDelta);
+      (void)act.commit();
+    } catch (const CrashPointHit&) {
+      c.crash();
+      act.abandon();
+    }
+    return uid;
+  }
+
+  void kick_participants() {
+    for (DistNode* n : {&p1, &p2}) {
+      n->rpc().reset_peer_health(c.id());
+      n->kick_recovery();
+    }
+  }
+
+  [[nodiscard]] std::size_t participant_in_doubt() {
+    return p1.in_doubt_count() + p2.in_doubt_count();
+  }
+
+  void check(const Uid& action, ConsistencyReport& report) {
+    consistency::check_node(p1, report);
+    consistency::check_node(p2, report);
+    consistency::check_node(w1, report);
+    consistency::check_node(w2, report);
+    consistency::check_atomic_outcome(
+        c.runtime(), {&w1.runtime(), &w2.runtime()}, action,
+        {{"a@node2", Cluster::stored(p1.runtime(), a.uid()), kInitial, kInitial - kDelta},
+         {"b@node3", Cluster::stored(p2.runtime(), b.uid()), kInitial, kInitial + kDelta}},
+        report);
+  }
+};
+
+struct WitnessSweepCase {
+  const char* point;
+  unsigned skip;
+  bool commits;
+};
+
+std::ostream& operator<<(std::ostream& os, const WitnessSweepCase& c) {
+  return os << c.point << " skip=" << c.skip;
+}
+
+const WitnessSweepCase kWitnessSweepCases[] = {
+    // Decision never durable anywhere: every witness answers with a fence,
+    // both participants presume abort.
+    {"tpc.coord.post_prepare_pre_log", 0, false},
+    // Pending record durable at the (dead) coordinator only — no witness
+    // holds a copy, so the fences win and the presumed abort stands.
+    {"tpc.coord.post_log_pre_mirror", 0, false},
+    // Killed before the first mirror send: same as above, via the per-send
+    // window.
+    {"tpc.coord.mirror.pre_send", 0, false},
+    // Killed after mirroring to exactly one witness: any surviving copy
+    // resolves the commit — one copy is enough.
+    {"tpc.coord.mirror.pre_send", 1, true},
+    // Decision sealed and fully mirrored, phase two never started: both
+    // participants learn "committed" from the witnesses.
+    {"tpc.coord.post_log_pre_phase2", 0, true},
+    // Phase two partially delivered: whoever missed the COMMIT recovers it
+    // from a witness.
+    {"tpc.coord.commit.pre_send", 0, true},
+};
+
+class WitnessSweep : public ::testing::TestWithParam<WitnessSweepCase> {};
+
+TEST_P(WitnessSweep, CoordinatorDeathResolvesFromWitnesses) {
+  const WitnessSweepCase& sc = GetParam();
+  crash_points::reset();
+  WitnessCluster cl;
+
+  crash_points::arm(sc.point, sc.skip);
+  const Uid action = cl.run_transfer();
+
+  ASSERT_EQ(crash_points::last_fired().value_or("<none>"), sc.point)
+      << "the armed window never executed";
+  crash_points::disarm_all();
+  ASSERT_FALSE(cl.c.up()) << "every witness-sweep window is a coordinator kill";
+
+  // Both participants hold prepared markers naming the witnesses; their
+  // daemons must drain them with the coordinator still dead. No node is
+  // restarted — resolution comes from durable witness state alone.
+  cl.kick_participants();
+  ASSERT_TRUE(wait_until([&] { return cl.participant_in_doubt() == 0; }, 15'000ms))
+      << "in-doubt markers did not drain from witness state";
+  ASSERT_FALSE(cl.c.up()) << "the coordinator must stay down throughout";
+
+  // Every resolution in this sweep went through the witness path.
+  EXPECT_GE(cl.p1.recovery_stats().resolved_from_witness +
+                cl.p2.recovery_stats().resolved_from_witness,
+            1u);
+
+  ConsistencyReport report;
+  cl.check(action, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // The witness-aware outcome matches the case's decision rule; check the
+  // values directly too so a checker regression cannot mask a wrong
+  // outcome.
+  const std::int64_t expect_a = sc.commits ? kInitial - kDelta : kInitial;
+  const std::int64_t expect_b = sc.commits ? kInitial + kDelta : kInitial;
+  EXPECT_EQ(Cluster::stored(cl.p1.runtime(), cl.a.uid()), expect_a);
+  EXPECT_EQ(Cluster::stored(cl.p2.runtime(), cl.b.uid()), expect_b);
+}
+
+std::string witness_case_name(const ::testing::TestParamInfo<WitnessSweepCase>& info) {
+  std::string name = info.param.point;
+  for (char& ch : name) {
+    if (ch == '.') ch = '_';
+  }
+  return name + "_s" + std::to_string(info.param.skip);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoordinatorDeath, WitnessSweep,
+                         ::testing::ValuesIn(kWitnessSweepCases), witness_case_name);
+
+// The coordinator eventually reboots: restart-time reconciliation must agree
+// with whatever the participants already resolved from the witnesses.
+TEST(WitnessReconcile, RestartSealsPendingFromSurvivingCopy) {
+  crash_points::reset();
+  WitnessCluster cl;
+  crash_points::arm("tpc.coord.mirror.pre_send", 1);  // one witness holds the copy
+  const Uid action = cl.run_transfer();
+  ASSERT_FALSE(cl.c.up());
+  crash_points::disarm_all();
+
+  cl.kick_participants();
+  ASSERT_TRUE(wait_until([&] { return cl.participant_in_doubt() == 0; }, 15'000ms));
+
+  // Reboot the coordinator: its Pending record reconciles against the
+  // witnesses (the surviving copy wins over the other witness's fence) and
+  // retires as Applied — and the logged outcome agrees with what the
+  // participants already applied.
+  cl.c.restart();
+  cl.c.kick_recovery();
+  ASSERT_TRUE(wait_until(
+      [&] {
+        auto rec = CoordinatorLogParticipant::read_record(cl.c.runtime(), action);
+        return rec.has_value() &&
+               rec->state == CoordinatorLogParticipant::RecordState::Applied;
+      },
+      15'000ms))
+      << "pending record never reconciled after restart";
+  EXPECT_TRUE(CoordinatorLogParticipant::committed(cl.c.runtime(), action));
+  EXPECT_EQ(Cluster::stored(cl.p1.runtime(), cl.a.uid()), kInitial - kDelta);
+  EXPECT_EQ(Cluster::stored(cl.p2.runtime(), cl.b.uid()), kInitial + kDelta);
+}
+
+TEST(WitnessReconcile, RestartDiscardsFullyFencedPendingRecord) {
+  crash_points::reset();
+  WitnessCluster cl;
+  crash_points::arm("tpc.coord.post_log_pre_mirror", 0);  // pending, zero copies
+  const Uid action = cl.run_transfer();
+  ASSERT_FALSE(cl.c.up());
+  crash_points::disarm_all();
+
+  cl.kick_participants();
+  ASSERT_TRUE(wait_until([&] { return cl.participant_in_doubt() == 0; }, 15'000ms));
+
+  // Both witnesses now hold fences. The rebooted coordinator's reconcile
+  // queries them, finds the transaction fenced everywhere, and withdraws
+  // the undecided record: presumed abort, same verdict as the participants.
+  cl.c.restart();
+  cl.c.kick_recovery();
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return !CoordinatorLogParticipant::read_record(cl.c.runtime(), action).has_value();
+      },
+      15'000ms))
+      << "fenced pending record never withdrawn";
+  EXPECT_FALSE(CoordinatorLogParticipant::committed(cl.c.runtime(), action));
+  EXPECT_EQ(Cluster::stored(cl.p1.runtime(), cl.a.uid()), kInitial);
+  EXPECT_EQ(Cluster::stored(cl.p2.runtime(), cl.b.uid()), kInitial);
+}
+
+// ---------------------------------------------------------------------------
 // Regression: the checker must catch a broken marker ordering
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,344 @@
+// Failover suite: the fault-detector hierarchy driving a managed replica
+// group (tentpole of the robustness issue).
+//
+//   * GroupFaultDetector unit tests: hysteresis (demote after K consecutive
+//     misses, rejoin after M consecutive answers) and the flapping guarantee
+//     (a peer bouncing faster than the hysteresis window produces zero
+//     verdict transitions);
+//   * LocalFaultDetector against live nodes: heartbeat loss is observed,
+//     recovery is observed, probes ride the shared timer thread;
+//   * ReplicaManager end-to-end: heartbeat loss → demotion (writes stop
+//     waiting out the dead replica) → heal → automatic resync → rejoin,
+//     with the membership epoch versioning every transition;
+//   * the flapping-node case at the manager level: rapid crash/restart
+//     cycles must not livelock the membership epoch — each flap costs a
+//     full hysteresis cycle plus the rejoin backoff;
+//   * the acceptance scenario: a five-replica group under write load
+//     survives a SIGKILL-equivalent crash of one replica with quorum
+//     commits and NO action-visible error, and the killed replica rejoins
+//     with equivalent contents after restart.
+//
+// All waits are bounded polls on observable state (health, verdicts,
+// epochs, probe passes), never fixed sleeps. Runs under tsan: the verdict
+// path crosses the timer thread, the blocking lane, and writer threads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dist/remote.h"
+#include "objects/recoverable_map.h"
+#include "replication/replica_manager.h"
+
+namespace mca {
+namespace {
+
+using namespace std::chrono_literals;
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.min_delay = std::chrono::microseconds(10);
+  c.max_delay = std::chrono::microseconds(200);
+  return c;
+}
+
+template <typename Pred>
+bool wait_until(Pred&& pred, std::chrono::milliseconds deadline) {
+  const auto end = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// GroupFaultDetector: hysteresis unit tests (no nodes, no clocks)
+// ---------------------------------------------------------------------------
+
+TEST(GroupFaultDetectorTest, DemotesOnlyAfterConsecutiveMisses) {
+  GroupFaultDetector d(GroupFaultDetector::Options{/*demote_after=*/3, /*rejoin_after=*/2});
+  int transitions = 0;
+  d.set_verdict_handler([&](NodeId, GroupFaultDetector::Verdict) { ++transitions; });
+
+  d.report(7, false);
+  d.report(7, false);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Up);  // streak of 2 < 3
+  d.report(7, true);                                         // streak broken
+  d.report(7, false);
+  d.report(7, false);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Up);
+  EXPECT_EQ(transitions, 0);
+  d.report(7, false);  // third consecutive miss
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Down);
+  EXPECT_EQ(transitions, 1);
+  d.report(7, false);  // still down: no repeat transition
+  EXPECT_EQ(transitions, 1);
+}
+
+TEST(GroupFaultDetectorTest, ReadmitsOnlyAfterConsecutiveAnswers) {
+  GroupFaultDetector d(GroupFaultDetector::Options{/*demote_after=*/1, /*rejoin_after=*/2});
+  d.report(7, false);
+  ASSERT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Down);
+  d.report(7, true);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Down);  // one answer < 2
+  d.report(7, false);                                          // streak broken
+  d.report(7, true);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Down);
+  d.report(7, true);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Up);
+}
+
+TEST(GroupFaultDetectorTest, FlappingPeerProducesNoTransitions) {
+  GroupFaultDetector d(GroupFaultDetector::Options{/*demote_after=*/3, /*rejoin_after=*/2});
+  int transitions = 0;
+  d.set_verdict_handler([&](NodeId, GroupFaultDetector::Verdict) { ++transitions; });
+  // The peer answers every other probe: neither streak ever reaches its
+  // threshold, so the verdict never moves — this is the anti-livelock core.
+  for (int i = 0; i < 200; ++i) d.report(7, i % 2 == 0);
+  EXPECT_EQ(d.verdict(7), GroupFaultDetector::Verdict::Up);
+  EXPECT_EQ(transitions, 0);
+}
+
+TEST(GroupFaultDetectorTest, ZeroThresholdsAreRejected) {
+  EXPECT_THROW(GroupFaultDetector(GroupFaultDetector::Options{0, 2}), std::invalid_argument);
+  EXPECT_THROW(GroupFaultDetector(GroupFaultDetector::Options{3, 0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LocalFaultDetector against live nodes
+// ---------------------------------------------------------------------------
+
+class LocalDetectorTest : public ::testing::Test {
+ protected:
+  LocalDetectorTest() : net_(fast_config()), observer_(net_, 1), peer_(net_, 2) {
+    // Short suspicion probes so a healed peer is noticed quickly.
+    observer_.rpc().set_health_options(
+        HealthOptions{/*suspect_after=*/2, /*probe_interval=*/20ms, /*probe_max=*/60ms});
+  }
+
+  Network net_;
+  DistNode observer_;
+  DistNode peer_;
+};
+
+TEST_F(LocalDetectorTest, HeartbeatsObserveLossAndRecovery) {
+  LocalFaultDetector fd(observer_,
+                        LocalFaultDetector::Options{/*interval=*/15ms, /*timeout=*/60ms});
+  fd.watch(peer_.id());
+  fd.start();
+  ASSERT_TRUE(wait_until([&] { return fd.probe_passes() >= 2; }, 2'000ms));
+  EXPECT_TRUE(fd.last_alive(peer_.id()));
+
+  peer_.crash();
+  EXPECT_TRUE(wait_until([&] { return !fd.last_alive(peer_.id()); }, 2'000ms));
+
+  peer_.restart();
+  // No manual heal: the endpoint's decaying probe lets a heartbeat through
+  // and the success clears suspicion.
+  EXPECT_TRUE(wait_until([&] { return fd.last_alive(peer_.id()); }, 5'000ms));
+  fd.stop();
+}
+
+TEST_F(LocalDetectorTest, StopQuiescesAndStartResumes) {
+  LocalFaultDetector fd(observer_,
+                        LocalFaultDetector::Options{/*interval=*/15ms, /*timeout=*/60ms});
+  fd.watch(peer_.id());
+  fd.start();
+  ASSERT_TRUE(wait_until([&] { return fd.probe_passes() >= 1; }, 2'000ms));
+  fd.stop();
+  const std::uint64_t frozen = fd.probe_passes();
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(fd.probe_passes(), frozen);  // no stray passes after stop
+  fd.start();
+  EXPECT_TRUE(wait_until([&] { return fd.probe_passes() > frozen; }, 2'000ms));
+  fd.stop();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaManager: the full demote → heal → resync → rejoin cycle
+// ---------------------------------------------------------------------------
+
+class ManagedGroupTest : public ::testing::Test {
+ protected:
+  explicit ManagedGroupTest(std::size_t replica_count = 3)
+      : net_(fast_config()), client_(net_, 1) {
+    client_.set_invoke_timeout(300ms);
+    client_.rpc().set_health_options(
+        HealthOptions{/*suspect_after=*/2, /*probe_interval=*/20ms, /*probe_max=*/60ms});
+    for (std::size_t i = 0; i < replica_count; ++i) {
+      nodes_.push_back(std::make_unique<DistNode>(net_, static_cast<NodeId>(2 + i)));
+      maps_.push_back(std::make_unique<RecoverableMap>(nodes_.back()->runtime()));
+      nodes_.back()->host(*maps_.back());
+    }
+    std::vector<RemoteMap> proxies;
+    std::vector<ReplicaManager::Member> members;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      proxies.emplace_back(client_, nodes_[i]->id(), maps_[i]->uid());
+      members.push_back(ReplicaManager::Member{nodes_[i]->id(), i});
+    }
+    group_ = std::make_unique<ReplicatedMap>(std::move(proxies));
+    // Rejoin is the manager's job here; park the group's own timer probe far
+    // out so every observed resync is attributable to a verdict.
+    group_->set_probe_interval(10'000ms);
+    group_->attach_runtime(client_.runtime());
+
+    ReplicaManager::Options options;
+    options.detector = LocalFaultDetector::Options{/*interval=*/20ms, /*timeout=*/60ms};
+    options.verdicts = GroupFaultDetector::Options{/*demote_after=*/3, /*rejoin_after=*/2};
+    options.rejoin_backoff = 50ms;
+    manager_ = std::make_unique<ReplicaManager>(client_, *group_, std::move(members), options);
+  }
+
+  ~ManagedGroupTest() override { manager_->stop(); }
+
+  // Committed contents of replica `i`, read node-locally.
+  std::optional<std::string> replica_lookup(std::size_t i, const std::string& key) {
+    AtomicAction a(nodes_[i]->runtime());
+    a.begin();
+    auto v = maps_[i]->lookup(key);
+    a.commit();
+    return v;
+  }
+
+  void insert_committed(const std::string& key, const std::string& value) {
+    AtomicAction a(client_.runtime());
+    a.begin();
+    group_->insert(key, value);
+    ASSERT_EQ(a.commit(), Outcome::Committed) << key;
+  }
+
+  Network net_;
+  DistNode client_;
+  std::vector<std::unique_ptr<DistNode>> nodes_;
+  std::vector<std::unique_ptr<RecoverableMap>> maps_;
+  std::unique_ptr<ReplicatedMap> group_;
+  std::unique_ptr<ReplicaManager> manager_;
+};
+
+TEST_F(ManagedGroupTest, HeartbeatLossDemotesHealRejoins) {
+  group_->set_write_quorum(2);
+  manager_->start();
+  insert_committed("k1", "v1");
+  const std::uint64_t epoch0 = manager_->epoch();
+
+  // Kill replica 0: missed heartbeats must demote it without any write
+  // touching it first.
+  nodes_[0]->crash();
+  ASSERT_TRUE(wait_until([&] { return group_->stale(0); }, 5'000ms))
+      << "verdict never demoted the dead replica";
+  EXPECT_EQ(manager_->verdict(nodes_[0]->id()), GroupFaultDetector::Verdict::Down);
+  EXPECT_GT(manager_->epoch(), epoch0);
+
+  // The group keeps serving at quorum; the write must not pay the dead
+  // replica's timeout (it is skipped, not attempted).
+  insert_committed("k2", "v2");
+
+  // Heal: heartbeats resume, the verdict flips, and the manager resyncs the
+  // replica back to Healthy in a detached action.
+  nodes_[0]->restart();
+  ASSERT_TRUE(wait_until([&] { return group_->health(0) == ReplicaHealth::Healthy; },
+                         10'000ms))
+      << "replica never rejoined after heal";
+  EXPECT_EQ(manager_->verdict(nodes_[0]->id()), GroupFaultDetector::Verdict::Up);
+  EXPECT_GE(manager_->rejoin_attempts(), 1u);
+
+  // The rejoin carried the missed write; new writes reach it directly.
+  EXPECT_EQ(replica_lookup(0, "k1"), "v1");
+  EXPECT_EQ(replica_lookup(0, "k2"), "v2");
+  insert_committed("k3", "v3");
+  EXPECT_EQ(replica_lookup(0, "k3"), "v3");
+  manager_->stop();
+}
+
+TEST_F(ManagedGroupTest, FlappingNodeDoesNotLivelockMembership) {
+  group_->set_write_quorum(2);
+  manager_->start();
+  const std::uint64_t epoch0 = manager_->epoch();
+
+  // Bounce replica 0 far faster than the hysteresis window for ~400ms.
+  int flaps = 0;
+  const auto end = std::chrono::steady_clock::now() + 400ms;
+  while (std::chrono::steady_clock::now() < end) {
+    nodes_[0]->crash();
+    std::this_thread::sleep_for(5ms);
+    nodes_[0]->restart();
+    std::this_thread::sleep_for(5ms);
+    ++flaps;
+  }
+  // Let the dust settle: the node is up for good now and must converge back
+  // to Healthy (possibly through one final demote/rejoin cycle).
+  ASSERT_TRUE(wait_until([&] { return group_->health(0) == ReplicaHealth::Healthy; },
+                         10'000ms));
+  ASSERT_TRUE(wait_until(
+      [&] { return manager_->verdict(nodes_[0]->id()) == GroupFaultDetector::Verdict::Up; },
+      10'000ms));
+
+  // Epoch bound: every bump needs a full hysteresis cycle (3 misses + 2
+  // answers at 20ms probes ≈ 100ms) plus the rejoin's transitions, so ~40
+  // flaps can produce at most a handful of cycles — far fewer than one
+  // epoch per flap. 24 is the generous ceiling for 400ms of flapping plus
+  // the settling cycle.
+  const std::uint64_t delta = manager_->epoch() - epoch0;
+  EXPECT_GT(flaps, 24);  // the bounce really was faster than hysteresis
+  EXPECT_LE(delta, 24u) << "membership epochs livelocked under flapping";
+
+  // The group stayed writable throughout the aftermath.
+  insert_committed("after-flap", "ok");
+  manager_->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 5 replicas, kill one mid-load, quorum commits, clean rejoin
+// ---------------------------------------------------------------------------
+
+class FiveReplicaGroupTest : public ManagedGroupTest {
+ protected:
+  FiveReplicaGroupTest() : ManagedGroupTest(5) {}
+};
+
+TEST_F(FiveReplicaGroupTest, KillOneReplicaMidLoadQuorumCommitsAndRejoins) {
+  group_->set_write_quorum(3);
+  manager_->start();
+
+  // Sustained write load; the victim dies between actions 10 and 11 (a
+  // SIGKILL-equivalent: no goodbye, in-memory state gone). Every single
+  // action must commit — the group absorbs the crash by demoting, never by
+  // surfacing an error to the application.
+  constexpr int kWrites = 40;
+  constexpr std::size_t kVictim = 2;
+  for (int i = 0; i < kWrites; ++i) {
+    if (i == 10) nodes_[kVictim]->crash();
+    insert_committed("key" + std::to_string(i), "val" + std::to_string(i));
+  }
+  EXPECT_TRUE(group_->stale(kVictim));
+  EXPECT_GE(manager_->epoch(), 1u);
+
+  // Restart the victim and wait out detection + resync.
+  nodes_[kVictim]->restart();
+  ASSERT_TRUE(wait_until([&] { return group_->health(kVictim) == ReplicaHealth::Healthy; },
+                         15'000ms))
+      << "killed replica never rejoined";
+
+  // Rejoin equivalence: the restarted replica holds every committed write,
+  // including everything it missed while dead.
+  for (int i = 0; i < kWrites; ++i) {
+    EXPECT_EQ(replica_lookup(kVictim, "key" + std::to_string(i)), "val" + std::to_string(i))
+        << "write " << i << " missing from the rejoined replica";
+  }
+  // And it is a full write-set member again.
+  insert_committed("post-rejoin", "yes");
+  EXPECT_EQ(replica_lookup(kVictim, "post-rejoin"), "yes");
+
+  // Reads never consulted it while stale and consult it again now.
+  {
+    AtomicAction a(client_.runtime());
+    a.begin();
+    EXPECT_EQ(group_->lookup("key5"), "val5");
+    a.commit();
+  }
+  manager_->stop();
+}
+
+}  // namespace
+}  // namespace mca
