@@ -8,6 +8,7 @@
 
 #include "bench_json.h"
 #include "dist/remote.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -7,6 +7,7 @@
 
 #include "apps/names/name_server.h"
 #include "objects/recoverable_map.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -19,6 +19,7 @@
 #include "dist/remote.h"
 #include "sim/crash_points.h"
 #include "storage/file_store.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -35,6 +35,7 @@
 #include "objects/recoverable_map.h"
 #include "replication/replica_group.h"
 #include "sim/crash_points.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

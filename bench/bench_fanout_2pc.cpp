@@ -23,6 +23,7 @@
 #include "bench_json.h"
 #include "dist/remote.h"
 #include "objects/recoverable_int.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -24,6 +24,7 @@
 
 #include "dist/remote.h"
 #include "storage/wal_store.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -1,0 +1,189 @@
+// Real-socket RPC cost (net issue): what the UDP transport adds over the
+// simulator, and whether the retransmission protocol actually recovers on
+// real sockets under loss.
+//
+// Two sections, emitted as BENCH_net.json:
+//
+//   * round-trip latency — median/p99 wall time of a sequential echo call
+//     over loopback UDP vs over the simulated Network (same RpcEndpoint
+//     stack, only the Transport swapped). Reported, not gated: absolute
+//     loopback latency is the host's business;
+//
+//   * loss-burst recovery — the same echo workload with 5% injected
+//     send-side loss at the client transport. The gate: every call still
+//     completes (retransmission masks the burst), with the observed extra
+//     datagrams reported. A failure means the retry schedule no longer
+//     covers real-socket loss.
+//
+// Rides in bench-smoke (default tier-1 suite), so it must behave anywhere:
+// in a sandbox that cannot bind loopback UDP sockets it reports
+// "skipped": true and exits 0.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "dist/rpc.h"
+#include "net/cluster.h"
+#include "net/udp_transport.h"
+#include "sim/network.h"
+
+namespace mca {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+struct Latency {
+  double median_us = 0;
+  double p99_us = 0;
+};
+
+Latency summarize(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  Latency out;
+  if (samples.empty()) return out;
+  out.median_us = samples[samples.size() / 2];
+  out.p99_us = samples[std::min(samples.size() - 1, samples.size() * 99 / 100)];
+  return out;
+}
+
+void register_echo(RpcEndpoint& server) {
+  server.register_service("echo", [](ByteBuffer& in) {
+    ByteBuffer out;
+    out.pack_u64(in.unpack_u64());
+    return out;
+  });
+}
+
+// Sequential echo round-trips over whatever endpoints the caller built.
+std::vector<double> time_calls(RpcEndpoint& client, NodeId server, int calls) {
+  std::vector<double> samples;
+  samples.reserve(calls);
+  for (int i = 0; i < calls; ++i) {
+    ByteBuffer args;
+    args.pack_u64(static_cast<std::uint64_t>(i));
+    const auto start = Clock::now();
+    const RpcResult r = client.call(server, "echo", std::move(args), {.timeout = 5'000ms});
+    const auto elapsed = std::chrono::duration<double, std::micro>(Clock::now() - start);
+    if (r.ok()) samples.push_back(elapsed.count());
+  }
+  return samples;
+}
+
+int run(bool smoke, const char* out_path) {
+  std::printf("bench_udp_rpc (%s mode)\n", smoke ? "smoke" : "full");
+
+  bench::Json result = bench::Json::object();
+  result.set("bench", "udp_rpc").set("mode", smoke ? "smoke" : "full");
+
+  if (!net::loopback_udp_available()) {
+    std::printf("loopback UDP unavailable — skipping (not a failure)\n");
+    result.set("skipped", true).set("pass", true);
+    result.write_file(out_path);
+    return 0;
+  }
+  result.set("skipped", false);
+
+  const int calls = smoke ? 200 : 2'000;
+
+  // -- UDP round-trip ---------------------------------------------------------
+  std::unordered_map<NodeId, UdpAddress> peers{
+      {1, {"127.0.0.1", net::pick_free_udp_port()}},
+      {2, {"127.0.0.1", net::pick_free_udp_port()}}};
+  Latency udp;
+  {
+    UdpTransport server_t{UdpTransportConfig{peers}};
+    UdpTransport client_t{UdpTransportConfig{peers}};
+    RpcEndpoint server(server_t, 2);
+    RpcEndpoint client(client_t, 1);
+    register_echo(server);
+    (void)time_calls(client, 2, 20);  // warm-up
+    auto samples = time_calls(client, 2, calls);
+    udp = summarize(samples);
+  }
+
+  // -- simulated-network round-trip ------------------------------------------
+  Latency sim;
+  {
+    NetworkConfig nc;
+    nc.min_delay = std::chrono::microseconds(10);
+    nc.max_delay = std::chrono::microseconds(100);
+    Network net(nc);
+    RpcEndpoint server(net, 2);
+    RpcEndpoint client(net, 1);
+    register_echo(server);
+    (void)time_calls(client, 2, 20);
+    auto samples = time_calls(client, 2, calls);
+    sim = summarize(samples);
+  }
+
+  std::printf("echo RTT: udp median %.1f us (p99 %.1f), sim median %.1f us (p99 %.1f)\n",
+              udp.median_us, udp.p99_us, sim.median_us, sim.p99_us);
+  result.set("udp_rtt_median_us", udp.median_us)
+      .set("udp_rtt_p99_us", udp.p99_us)
+      .set("sim_rtt_median_us", sim.median_us)
+      .set("sim_rtt_p99_us", sim.p99_us);
+
+  // -- recovery under a 5% loss burst ----------------------------------------
+  bool recovery_pass = false;
+  {
+    UdpTransportConfig client_cfg{peers};
+    client_cfg.loss_probability = 0.05;
+    UdpTransport server_t{UdpTransportConfig{peers}};
+    UdpTransport client_t{std::move(client_cfg)};
+    RpcEndpoint server(server_t, 2);
+    RpcEndpoint client(client_t, 1);
+    register_echo(server);
+
+    int ok = 0;
+    const int burst_calls = smoke ? 300 : 2'000;
+    const auto start = Clock::now();
+    for (int i = 0; i < burst_calls; ++i) {
+      ByteBuffer args;
+      args.pack_u64(static_cast<std::uint64_t>(i));
+      CallOptions options;
+      options.timeout = 5'000ms;
+      options.initial_backoff = 20ms;
+      options.max_backoff = 100ms;
+      if (client.call(2, "echo", std::move(args), options).ok()) ++ok;
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const auto stats = client_t.stats();
+    recovery_pass = ok == burst_calls;
+    const double overhead =
+        burst_calls > 0 ? static_cast<double>(stats.sent + stats.lost_injected) / burst_calls
+                        : 0.0;
+    std::printf("5%% loss burst: %d/%d calls completed, %llu datagrams injected-lost, "
+                "%.2f sends/call, %.1f ms total — %s\n",
+                ok, burst_calls, static_cast<unsigned long long>(stats.lost_injected), overhead,
+                wall_ms, recovery_pass ? "PASS" : "FAIL");
+    result.set("burst_calls", burst_calls)
+        .set("burst_completed", ok)
+        .set("burst_injected_lost", static_cast<std::size_t>(stats.lost_injected))
+        .set("burst_sends_per_call", overhead)
+        .set("burst_wall_ms", wall_ms)
+        .set("recovery_gate_pass", recovery_pass);
+  }
+
+  result.set("pass", recovery_pass);
+  result.write_file(out_path);
+  return recovery_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mca
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  return mca::run(smoke, out_path);
+}

@@ -12,6 +12,7 @@
 
 #include "apps/billing/billing.h"
 #include "dist/remote.h"
+#include "sim/network.h"
 
 using namespace mca;
 

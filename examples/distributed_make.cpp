@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "dist/remote_files.h"
+#include "sim/network.h"
 
 using namespace mca;
 

@@ -9,6 +9,7 @@
 
 #include "apps/names/name_server.h"
 #include "objects/recoverable_map.h"
+#include "sim/network.h"
 
 using namespace mca;
 

@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "dist/remote.h"
 #include "sim/crash_points.h"
+#include "storage/file_store.h"
+#include "storage/wal_store.h"
 
 namespace mca {
 namespace {
@@ -51,16 +53,64 @@ std::optional<LockOutcome> decode_lock_failure(const std::string& error) {
 
 }  // namespace
 
-DistNode::DistNode(Network& network, NodeId id, ObjectStore* store, std::size_t rpc_workers)
+std::string_view to_string(StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::Wal: return "wal";
+    case StoreBackend::File: return "file";
+    case StoreBackend::Memory: return "memory";
+  }
+  return "wal";
+}
+
+std::optional<StoreBackend> store_backend_from_string(std::string_view name) {
+  if (name == "wal") return StoreBackend::Wal;
+  if (name == "file") return StoreBackend::File;
+  if (name == "memory") return StoreBackend::Memory;
+  return std::nullopt;
+}
+
+std::unique_ptr<ObjectStore> make_node_store(const std::filesystem::path& data_dir,
+                                             StoreBackend backend) {
+  switch (backend) {
+    case StoreBackend::Wal: return std::make_unique<WalStore>(data_dir);
+    case StoreBackend::File: return std::make_unique<FileStore>(data_dir);
+    case StoreBackend::Memory: return std::make_unique<MemoryStore>(StorageClass::Stable);
+  }
+  return std::make_unique<WalStore>(data_dir);
+}
+
+DistNode::DistNode(Transport& transport, NodeId id, ObjectStore* store, std::size_t rpc_workers)
     : id_(id),
       owned_store_(store == nullptr ? std::make_unique<MemoryStore>(StorageClass::Stable)
                                     : nullptr),
       runtime_(std::make_unique<Runtime>(store != nullptr ? *store : *owned_store_)),
-      rpc_(network, id, rpc_workers, RpcEndpoint::kDefaultReplyCacheCapacity,
+      rpc_(transport, id, rpc_workers, RpcEndpoint::kDefaultReplyCacheCapacity,
            &runtime_->timers()),
       participants_(*runtime_, [this](const Uid& uid) { return resolve(uid); }) {
   register_standard_types();
   register_services();
+  recovery_timer_ = runtime_->timers().schedule_every(
+      recovery_options_.period, [this] { on_recovery_timer(); }, this);
+}
+
+DistNode::DistNode(Transport& transport, NodeId id, const std::filesystem::path& data_dir,
+                   StoreBackend backend, std::size_t rpc_workers)
+    : id_(id),
+      owned_store_(make_node_store(data_dir, backend)),
+      runtime_(std::make_unique<Runtime>(*owned_store_)),
+      rpc_(transport, id, rpc_workers, RpcEndpoint::kDefaultReplyCacheCapacity,
+           &runtime_->timers()),
+      participants_(*runtime_, [this](const Uid& uid) { return resolve(uid); }) {
+  register_standard_types();
+  register_services();
+  // A process booting over an existing data directory is a restarted node:
+  // apply the same presumed abort restart() applies, so a shadow orphaned by
+  // a crash between prepare's shadow writes and its marker does not survive
+  // the reboot. (Store-level scavenging already ran when the backend opened;
+  // surviving in-doubt markers stay for the background recovery daemon.)
+  if (const std::size_t dropped = participants_.discard_unreferenced_shadows(); dropped > 0) {
+    MCA_LOG(Info, "node") << "boot recovery: discarded " << dropped << " orphan shadow(s)";
+  }
   recovery_timer_ = runtime_->timers().schedule_every(
       recovery_options_.period, [this] { on_recovery_timer(); }, this);
 }

@@ -33,7 +33,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "dist/rpc.h"
@@ -57,6 +59,22 @@ class NodeUnreachable : public std::runtime_error {
       : std::runtime_error("node " + std::to_string(node) + " unreachable") {}
 };
 
+// Durable backend choices for a node bound to a data directory. Wal is the
+// production default (group-committed log, replay recovery — DESIGN.md
+// §5.6); File is the explicit opt-out to the per-object snapshot store;
+// Memory is stable-in-RAM for tests and throwaway daemons.
+enum class StoreBackend { Wal, File, Memory };
+
+[[nodiscard]] std::string_view to_string(StoreBackend backend);
+[[nodiscard]] std::optional<StoreBackend> store_backend_from_string(std::string_view name);
+
+// Creates the durable object store a node should run on: a WalStore in
+// `data_dir` unless another backend is explicitly requested. Daemon restarts
+// recover through log replay by default (ROADMAP item 2); Memory ignores
+// `data_dir`.
+[[nodiscard]] std::unique_ptr<ObjectStore> make_node_store(
+    const std::filesystem::path& data_dir, StoreBackend backend = StoreBackend::Wal);
+
 class DistNode {
  public:
   // An operation dispatcher for one object type: run `op` with `args`
@@ -65,10 +83,16 @@ class DistNode {
   using Dispatcher =
       std::function<ByteBuffer(LockManaged& object, const std::string& op, ByteBuffer& args)>;
 
-  // `store`, when given, must outlive the node (e.g. a FileStore for real
+  // `store`, when given, must outlive the node (e.g. a WalStore for real
   // persistence); otherwise the node owns a stable in-memory store.
-  DistNode(Network& network, NodeId id, ObjectStore* store = nullptr,
+  DistNode(Transport& transport, NodeId id, ObjectStore* store = nullptr,
            std::size_t rpc_workers = 8);
+
+  // Owning variant: a node bound to a data directory with its durable
+  // backend chosen by `backend` (WalStore unless opted out) — what a real
+  // node daemon runs on.
+  DistNode(Transport& transport, NodeId id, const std::filesystem::path& data_dir,
+           StoreBackend backend = StoreBackend::Wal, std::size_t rpc_workers = 8);
   ~DistNode();
 
   DistNode(const DistNode&) = delete;
@@ -207,7 +231,7 @@ class DistNode {
   };
 
   NodeId id_;
-  std::unique_ptr<MemoryStore> owned_store_;
+  std::unique_ptr<ObjectStore> owned_store_;
   std::unique_ptr<Runtime> runtime_;
   RpcEndpoint rpc_;
   ParticipantTable participants_;

@@ -78,21 +78,36 @@ void RpcFuture::on_complete(std::function<void(const RpcResult&)> fn) const {
   if (fire) fn(state_->result);
 }
 
-RpcEndpoint::RpcEndpoint(Network& network, NodeId id, std::size_t workers,
+RpcEndpoint::RpcEndpoint(Transport& transport, NodeId id, std::size_t workers,
                          std::size_t reply_cache_capacity, TimerService* timers)
-    : network_(network),
+    : transport_(transport),
       id_(id),
+      gate_(std::make_shared<ReceiverGate>()),
       reply_cache_capacity_(reply_cache_capacity),
       jitter_state_(0x6D63615F72706300ULL + id),
       owned_timers_(timers == nullptr ? std::make_unique<TimerService>("mca-rpc-timer")
                                       : nullptr),
       timers_(timers != nullptr ? timers : owned_timers_.get()),
       pool_(workers) {
-  network_.attach(id_, [this](Datagram d) { on_datagram(std::move(d)); });
+  gate_->endpoint = this;
+  // The handler owns the gate, not the endpoint: a transport that delivers
+  // after (or while) the endpoint is torn down finds the gate closed and
+  // drops the datagram instead of entering freed state.
+  transport_.attach(id_, [gate = gate_](Datagram d) {
+    const std::shared_lock entered(gate->mutex);
+    if (gate->endpoint != nullptr) gate->endpoint->on_datagram(std::move(d));
+  });
 }
 
 RpcEndpoint::~RpcEndpoint() {
-  network_.detach(id_);
+  // Close the receiver gate first: this drains deliveries already inside
+  // on_datagram and turns any later ones into drops, whatever the transport's
+  // delivery thread is doing. Only then detach.
+  {
+    const std::unique_lock closed(gate_->mutex);
+    gate_->endpoint = nullptr;
+  }
+  transport_.detach(id_);
   // Barrier against the (possibly shared) timer thread: drop every pending
   // retransmit slot, wait out an in-flight callback, refuse re-schedules.
   timers_->cancel_owner(this);
@@ -183,7 +198,7 @@ RpcFuture RpcEndpoint::call_async(NodeId to, const std::string& service, ByteBuf
 
   // First transmission happens on the issuing thread; the timer takes over
   // from the first retransmit slot on.
-  network_.send(state->request);
+  transport_.send(state->request);
   state->sends = 1;
   state->delay = next_jittered_delay(*state);
   schedule_timer(std::min(std::chrono::steady_clock::now() + state->delay, state->deadline),
@@ -227,7 +242,7 @@ void RpcEndpoint::process_call_timer(const std::shared_ptr<RpcCallState>& state)
   }
   auto next = state->deadline;
   if (state->retry_budget <= 0 || state->sends < state->retry_budget) {
-    network_.send(state->request);  // retransmit
+    transport_.send(state->request);  // retransmit
     ++state->sends;
     state->delay = next_jittered_delay(*state);
     next = std::min(now + state->delay, state->deadline);
@@ -277,7 +292,7 @@ std::chrono::milliseconds RpcEndpoint::peer_probe_wait(NodeId peer) const {
 
 void RpcEndpoint::crash() {
   up_.store(false);
-  network_.set_up(id_, false);
+  transport_.set_up(id_, false);
   std::vector<std::shared_ptr<RpcCallState>> abandoned;
   {
     const std::scoped_lock lock(mutex_);
@@ -296,7 +311,7 @@ void RpcEndpoint::crash() {
 
 void RpcEndpoint::restart() {
   up_.store(true);
-  network_.set_up(id_, true);
+  transport_.set_up(id_, true);
 }
 
 void RpcEndpoint::stop_workers() { pool_.shutdown(); }
@@ -352,7 +367,7 @@ void RpcEndpoint::on_datagram(Datagram d) {
       // Duplicate of a finished request: answer from the cache and mark the
       // entry most-recently-used so hot retransmits are not evicted.
       reply_lru_.splice(reply_lru_.begin(), reply_lru_, it->second.lru_position);
-      network_.send(it->second.reply);
+      transport_.send(it->second.reply);
       return;
     }
     if (!in_progress_.insert(request_id).second) {
@@ -403,7 +418,7 @@ void RpcEndpoint::serve(Datagram d) {
     }
     cache_reply_locked(d.request_id, reply);
   }
-  network_.send(std::move(reply));
+  transport_.send(std::move(reply));
 }
 
 }  // namespace mca

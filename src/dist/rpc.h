@@ -40,12 +40,13 @@
 #include <list>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/thread_pool.h"
 #include "common/timer_service.h"
-#include "sim/network.h"
+#include "net/transport.h"
 
 namespace mca {
 
@@ -155,10 +156,12 @@ class RpcEndpoint {
 
   static constexpr std::size_t kDefaultReplyCacheCapacity = 1024;
 
-  // `timers` is the timer service driving retransmission — normally the
-  // node runtime's shared one. Endpoints constructed without one (tests,
-  // standalone tools) own a private service.
-  RpcEndpoint(Network& network, NodeId id, std::size_t workers = 8,
+  // `transport` carries the datagrams — the simulated Network for
+  // deterministic tests, a UdpTransport for real deployments; it must
+  // outlive the endpoint. `timers` is the timer service driving
+  // retransmission — normally the node runtime's shared one. Endpoints
+  // constructed without one (tests, standalone tools) own a private service.
+  RpcEndpoint(Transport& transport, NodeId id, std::size_t workers = 8,
               std::size_t reply_cache_capacity = kDefaultReplyCacheCapacity,
               TimerService* timers = nullptr);
   ~RpcEndpoint();
@@ -213,6 +216,17 @@ class RpcEndpoint {
   [[nodiscard]] std::size_t in_progress_count() const;
 
  private:
+  // Shared between the transport's delivery handler and the destructor: the
+  // handler enters through a shared lock and checks `endpoint`; teardown
+  // takes the exclusive lock and nulls it. A datagram the transport delivers
+  // while (or after) the endpoint is being destroyed is therefore dropped at
+  // the gate instead of dispatched into a dying object — real transports
+  // have receive threads whose deliveries race destruction.
+  struct ReceiverGate {
+    std::shared_mutex mutex;
+    RpcEndpoint* endpoint = nullptr;
+  };
+
   void on_datagram(Datagram d);
   void serve(Datagram d);
 
@@ -235,9 +249,10 @@ class RpcEndpoint {
                       std::shared_ptr<RpcCallState> state);
   [[nodiscard]] std::chrono::milliseconds next_jittered_delay(const RpcCallState& state);
 
-  Network& network_;
+  Transport& transport_;
   NodeId id_;
   std::atomic<bool> up_{true};
+  std::shared_ptr<ReceiverGate> gate_;
 
   // Inserts `reply` into the reply cache as most-recent, evicting LRU
   // entries past capacity. Caller holds mutex_.

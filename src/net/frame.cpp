@@ -1,0 +1,42 @@
+#include "net/frame.h"
+
+namespace mca::net {
+
+std::vector<std::byte> encode_frame(const Datagram& d) {
+  ByteBuffer out;
+  out.pack_u32(kFrameMagic);
+  out.pack_u32(d.from);
+  out.pack_u32(d.to);
+  out.pack_u32(d.is_reply ? 1u : 0u);
+  out.pack_string(d.service);
+  out.pack_u64(d.request_id.hi());
+  out.pack_u64(d.request_id.lo());
+  out.pack_bytes(d.payload.bytes());
+  out.pack_u64(datagram_checksum(d));
+  return out.data();
+}
+
+FrameDecode decode_frame(std::span<const std::byte> bytes, Datagram& out) {
+  if (bytes.size() > kMaxFrameBytes) return FrameDecode::Malformed;
+  ByteBuffer in = ByteBuffer::reader(bytes);
+  std::uint64_t claimed = 0;
+  try {
+    if (in.unpack_u32() != kFrameMagic) return FrameDecode::Malformed;
+    out.from = in.unpack_u32();
+    out.to = in.unpack_u32();
+    out.is_reply = (in.unpack_u32() & 1u) != 0;
+    out.service = in.unpack_string();
+    const std::uint64_t hi = in.unpack_u64();
+    const std::uint64_t lo = in.unpack_u64();
+    out.request_id = Uid(hi, lo);
+    out.payload = ByteBuffer(in.unpack_bytes());
+    claimed = in.unpack_u64();
+  } catch (const BufferUnderflow&) {
+    return FrameDecode::Malformed;
+  }
+  if (!in.exhausted()) return FrameDecode::Malformed;  // trailing junk
+  out.checksum = datagram_checksum(out);
+  return out.checksum == claimed ? FrameDecode::Ok : FrameDecode::ChecksumMismatch;
+}
+
+}  // namespace mca::net

@@ -1,0 +1,49 @@
+// Wire framing for datagrams that leave the process.
+//
+// The simulated Network hands Datagram structs around in memory; a real
+// transport has to flatten them. One UDP datagram carries exactly one frame:
+//
+//   [u32 magic 'MUF1'] [u32 from] [u32 to] [u32 flags (bit0 = is_reply)]
+//   [string service]   [u64 request hi] [u64 request lo]
+//   [bytes payload]    [u64 checksum]
+//
+// All integers are little-endian (ByteBuffer's encoding) and strings/bytes
+// are u32-length-prefixed, so the bytes are identical on every host; the
+// trailing checksum is datagram_checksum() over the decoded fields — the
+// same FNV-1a digest the simulator stamps, now also endian-stable. A golden
+// -bytes regression test pins the encoding (tests/test_network.cpp).
+//
+// Decode is defensive: frames come off a real socket, so a short buffer, a
+// wrong magic, an impossible length prefix or a digest mismatch must never
+// turn into an allocation or a handler dispatch. Malformed and corrupt are
+// reported separately — transports count them apart, and only corruption
+// (valid shape, wrong digest) is the "retransmission will mask it" case.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace mca::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x3146554Du;  // "MUF1" little-endian
+
+// Ceiling on one encoded frame. Far below the 64 KiB UDP payload limit so a
+// frame always fits one datagram with headroom for IP options; anything
+// larger is refused at send and at receive (oversize, not retried — a frame
+// that cannot fit will never fit).
+inline constexpr std::size_t kMaxFrameBytes = 60 * 1024;
+
+enum class FrameDecode { Ok, Malformed, ChecksumMismatch };
+
+// Flattens `d` (stamping the checksum field) into one wire frame.
+[[nodiscard]] std::vector<std::byte> encode_frame(const Datagram& d);
+
+// Parses `bytes` into `out`. Ok means shape and digest both check out;
+// ChecksumMismatch means a well-formed frame whose content was damaged in
+// flight (out holds the decoded fields); Malformed means the shape itself is
+// wrong and `out` is unspecified.
+[[nodiscard]] FrameDecode decode_frame(std::span<const std::byte> bytes, Datagram& out);
+
+}  // namespace mca::net

@@ -1,0 +1,129 @@
+#include "net/process.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace mca::net {
+namespace {
+
+ExitStatus decode_wait_status(int raw) {
+  ExitStatus s;
+  if (WIFEXITED(raw)) {
+    s.exited = true;
+    s.code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    s.exited = false;
+    s.signal = WTERMSIG(raw);
+  }
+  return s;
+}
+
+}  // namespace
+
+ProcessHandle ProcessHandle::spawn(std::vector<std::string> argv, const std::string& log_path) {
+  if (argv.empty()) throw std::invalid_argument("spawn: empty argv");
+
+  // Open the log in the parent so a bad path fails loudly here, not as a
+  // silent exec-127 in the child.
+  int log_fd = -1;
+  if (!log_path.empty()) {
+    log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd < 0) {
+      throw std::system_error(errno, std::generic_category(), "open " + log_path);
+    }
+  }
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (std::string& arg : argv) c_argv.push_back(arg.data());
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    if (log_fd >= 0) ::close(log_fd);
+    throw std::system_error(err, std::generic_category(), "fork");
+  }
+
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    ::execv(c_argv[0], c_argv.data());
+    _exit(127);  // exec failed
+  }
+
+  if (log_fd >= 0) ::close(log_fd);
+  ProcessHandle handle;
+  handle.pid_ = pid;
+  return handle;
+}
+
+ProcessHandle::~ProcessHandle() {
+  if (pid_ > 0 && !status_) {
+    kill_hard();
+    wait();
+  }
+}
+
+ProcessHandle::ProcessHandle(ProcessHandle&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)), status_(std::move(other.status_)) {}
+
+ProcessHandle& ProcessHandle::operator=(ProcessHandle&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !status_) {
+      kill_hard();
+      wait();
+    }
+    pid_ = std::exchange(other.pid_, -1);
+    status_ = std::move(other.status_);
+  }
+  return *this;
+}
+
+bool ProcessHandle::alive() {
+  if (pid_ <= 0 || status_) return false;
+  int raw = 0;
+  const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+  if (r == pid_) {
+    status_ = decode_wait_status(raw);
+    return false;
+  }
+  return r == 0;
+}
+
+void ProcessHandle::kill_hard() {
+  if (pid_ > 0 && !status_) ::kill(pid_, SIGKILL);
+}
+
+std::optional<ExitStatus> ProcessHandle::wait() {
+  if (pid_ <= 0) return std::nullopt;
+  if (status_) return status_;
+  int raw = 0;
+  if (::waitpid(pid_, &raw, 0) == pid_) {
+    status_ = decode_wait_status(raw);
+  }
+  return status_;
+}
+
+std::optional<ExitStatus> ProcessHandle::wait_for(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    if (!alive()) return status_ ? status_ : std::optional<ExitStatus>{};
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace mca::net

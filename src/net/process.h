@@ -1,0 +1,66 @@
+// ProcessHandle: a spawned OS process the chaos harness can really kill.
+//
+// The simulator models crashes by muting an in-process node; the multi-
+// process harness needs the real thing — SIGKILL gives no destructor, no
+// flush, no goodbye message, which is exactly the fail-silent model the
+// recovery protocol claims to survive. spawn() fork/execs argv[0] with the
+// given arguments (stdout/stderr optionally redirected to a log file);
+// kill_hard() delivers SIGKILL; wait() reaps and reports how the process
+// ended. The handle owns the pid: it is reaped at destruction (killing
+// first if still alive) so a failing test never leaks daemons.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace mca::net {
+
+struct ExitStatus {
+  bool exited = false;    // normal exit (code below) vs signal death
+  int code = 0;           // exit code when exited
+  int signal = 0;         // terminating signal when !exited
+};
+
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  // Spawns `argv` (argv[0] = executable path). When `log_path` is non-empty
+  // the child's stdout+stderr are appended there. Throws std::system_error
+  // when fork or the log redirect fails; an exec failure surfaces as the
+  // child exiting 127.
+  static ProcessHandle spawn(std::vector<std::string> argv, const std::string& log_path = "");
+
+  ~ProcessHandle();
+  ProcessHandle(ProcessHandle&& other) noexcept;
+  ProcessHandle& operator=(ProcessHandle&& other) noexcept;
+  ProcessHandle(const ProcessHandle&) = delete;
+  ProcessHandle& operator=(const ProcessHandle&) = delete;
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] bool valid() const { return pid_ > 0; }
+
+  // True while the process has not been reaped and is still running.
+  [[nodiscard]] bool alive();
+
+  // SIGKILL — no warning, no cleanup. Safe to call on an already-dead or
+  // already-reaped process.
+  void kill_hard();
+
+  // Blocks until the process ends, reaps it, returns how it died. Returns
+  // the cached status on repeat calls; nullopt for a never-spawned handle.
+  std::optional<ExitStatus> wait();
+
+  // wait() with a deadline: polls, returns nullopt when the process is
+  // still running at the deadline (not reaped).
+  std::optional<ExitStatus> wait_for(std::chrono::milliseconds timeout);
+
+ private:
+  pid_t pid_ = -1;
+  std::optional<ExitStatus> status_;  // set once reaped
+};
+
+}  // namespace mca::net

@@ -1,0 +1,78 @@
+// Transport: the seam between the RPC layer and whatever carries its
+// datagrams.
+//
+// The paper's communication model (§2) is an unreliable datagram service —
+// messages may be lost, duplicated or corrupted; retransmission and
+// at-most-once filtering live above it in RpcEndpoint. Everything the RPC
+// layer needs from the carrier is this interface: attach a delivery handler
+// for a local node id, send a datagram towards a node id, and reflect
+// crash/restart ("a down node receives nothing") at the wire.
+//
+// Two implementations exist:
+//
+//   sim::Network (sim/network.h)   the deterministic in-process backend —
+//                                  seeded loss/duplication/corruption/delay
+//                                  injection, per-link partitions; every
+//                                  pre-existing test runs on it unchanged.
+//
+//   UdpTransport (net/udp_transport.h)  real UDP sockets, one process per
+//                                  node; frames cross machine boundaries in
+//                                  the endian-stable encoding of net/frame.h
+//                                  and are verified by the same FNV-1a
+//                                  checksum the simulator stamps.
+//
+// Handlers run on the transport's delivery thread and must not block; nodes
+// hand real work to their own executors (RpcEndpoint does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/uid.h"
+
+namespace mca {
+
+using NodeId = std::uint32_t;
+
+struct Datagram {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string service;
+  Uid request_id = Uid::nil();
+  bool is_reply = false;
+  ByteBuffer payload;
+  // Wire checksum over header + payload; stamped by the transport's send,
+  // verified at delivery. 0 = not yet stamped.
+  std::uint64_t checksum = 0;
+};
+
+// FNV-1a over the datagram's identifying fields and payload bytes. Any
+// single corrupted byte changes the digest. Multi-byte fields are mixed in
+// little-endian byte order, so the digest of a given datagram is identical
+// on every host — a frame checksummed on one machine verifies on another.
+[[nodiscard]] std::uint64_t datagram_checksum(const Datagram& d);
+
+class Transport {
+ public:
+  using Handler = std::function<void(Datagram)>;
+
+  virtual ~Transport() = default;
+
+  // Registers/replaces the delivery handler for local node `id` and marks it
+  // up. The handler is invoked on the transport's delivery thread.
+  virtual void attach(NodeId id, Handler handler) = 0;
+  virtual void detach(NodeId id) = 0;
+
+  // Fire-and-forget: the transport stamps the checksum and delivers the
+  // datagram to `d.to`'s handler with whatever loss/delay the backend has.
+  virtual void send(Datagram d) = 0;
+
+  // Crash / restart of a local node as seen from the wire: a down node
+  // receives nothing (messages already in flight to it are dropped).
+  virtual void set_up(NodeId id, bool up) = 0;
+  [[nodiscard]] virtual bool is_up(NodeId id) const = 0;
+};
+
+}  // namespace mca

@@ -1,0 +1,268 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace mca {
+namespace {
+
+// xorshift64* — deterministic injected loss under a fixed seed.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+[[nodiscard]] int open_udp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket(AF_INET, SOCK_DGRAM)");
+  }
+  return fd;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(UdpTransportConfig config)
+    : config_(std::move(config)),
+      rng_state_(config_.seed | 1),
+      loss_probability_(config_.loss_probability) {
+  sender_fd_ = open_udp_socket();
+}
+
+UdpTransport::~UdpTransport() {
+  std::vector<NodeId> ids;
+  {
+    const std::lock_guard lock(mutex_);
+    ids.reserve(locals_.size());
+    for (const auto& [id, local] : locals_) ids.push_back(id);
+  }
+  for (const NodeId id : ids) detach(id);
+  if (sender_fd_ >= 0) ::close(sender_fd_);
+}
+
+bool UdpTransport::resolve(NodeId id, sockaddr_in& out) const {
+  const auto it = config_.peers.find(id);
+  if (it == config_.peers.end()) return false;
+  std::memset(&out, 0, sizeof out);
+  out.sin_family = AF_INET;
+  out.sin_port = htons(it->second.port);
+  return ::inet_pton(AF_INET, it->second.host.c_str(), &out.sin_addr) == 1;
+}
+
+void UdpTransport::attach(NodeId id, Handler handler) {
+  auto local = std::make_unique<Local>();
+  local->id = id;
+  local->handler = std::move(handler);
+
+  {
+    const std::lock_guard lock(mutex_);
+    if (locals_.contains(id)) {
+      throw std::invalid_argument("node " + std::to_string(id) + " already attached");
+    }
+    const auto it = config_.peers.find(id);
+    if (it == config_.peers.end()) {
+      throw std::invalid_argument("node " + std::to_string(id) + " not in the peer map");
+    }
+
+    local->fd = open_udp_socket();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(it->second.port);
+    if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(local->fd);
+      throw std::invalid_argument("bad address for node " + std::to_string(id) + ": " +
+                                  it->second.host);
+    }
+    if (::bind(local->fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(local->fd);
+      throw std::system_error(err, std::generic_category(),
+                              "bind " + it->second.host + ":" + std::to_string(it->second.port));
+    }
+    // Port 0 asks the kernel for an ephemeral port; reflect the real one back
+    // into the peer map so in-process peers (loopback tests) can reach us.
+    if (it->second.port == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof bound;
+      if (::getsockname(local->fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        it->second.port = ntohs(bound.sin_port);
+      }
+    }
+
+    Local& ref = *local;
+    ref.rx = std::thread([this, &ref] { receive_loop(ref); });
+    locals_.emplace(id, std::move(local));
+  }
+}
+
+void UdpTransport::detach(NodeId id) {
+  std::unique_ptr<Local> local;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = locals_.find(id);
+    if (it == locals_.end()) return;
+    local = std::move(it->second);
+    locals_.erase(it);
+  }
+  local->stopping.store(true);
+  if (local->rx.joinable()) local->rx.join();
+  if (local->fd >= 0) ::close(local->fd);
+}
+
+void UdpTransport::receive_loop(Local& local) {
+  // One spare byte past the cap distinguishes "exactly at the limit" from
+  // "truncated oversize" without MSG_TRUNC portability games.
+  std::vector<std::byte> buffer(config_.max_frame_bytes + 1);
+  const int timeout_ms = static_cast<int>(config_.poll_interval.count());
+
+  while (!local.stopping.load()) {
+    pollfd pfd{local.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping
+
+    const ssize_t n = ::recv(local.fd, buffer.data(), buffer.size(), 0);
+    if (n <= 0) continue;
+
+    if (static_cast<std::size_t>(n) > config_.max_frame_bytes) {
+      const std::lock_guard lock(mutex_);
+      ++stats_.oversize_dropped;
+      continue;
+    }
+
+    Datagram d;
+    const auto verdict =
+        net::decode_frame(std::span(buffer.data(), static_cast<std::size_t>(n)), d);
+
+    Handler* handler = nullptr;
+    {
+      const std::lock_guard lock(mutex_);
+      if (verdict == net::FrameDecode::Malformed) {
+        ++stats_.malformed_dropped;
+        continue;
+      }
+      if (verdict == net::FrameDecode::ChecksumMismatch) {
+        ++stats_.corrupt_dropped;  // damaged in flight: loss, retransmission masks it
+        continue;
+      }
+      if (d.to != local.id) {
+        ++stats_.malformed_dropped;  // misrouted frame
+        continue;
+      }
+      if (drops_.contains(d.from)) {
+        ++stats_.dropped_partitioned;  // inbound side of a socket-layer partition
+        continue;
+      }
+      if (!local.up.load()) {
+        ++stats_.dropped_down;
+        continue;
+      }
+      ++stats_.delivered;
+      handler = &local.handler;
+    }
+    // Dispatch outside the lock: the handler (RpcEndpoint) may send().
+    (*handler)(std::move(d));
+  }
+}
+
+void UdpTransport::send(Datagram d) {
+  // All sends go through the shared sender socket: UDP delivery is addressed
+  // by the peer map, not the source port, and the shared fd outlives every
+  // detach() so a timer-driven retransmit can never race a closing socket.
+  sockaddr_in target{};
+  {
+    const std::lock_guard lock(mutex_);
+    const auto from_it = locals_.find(d.from);
+    if (from_it != locals_.end() && !from_it->second->up.load()) {
+      ++stats_.dropped_down;  // a crashed node is fail-silent
+      return;
+    }
+    if (drops_.contains(d.to)) {
+      ++stats_.dropped_partitioned;  // outbound side of a socket-layer partition
+      return;
+    }
+    if (loss_probability_ > 0.0) {
+      const double roll =
+          static_cast<double>(next_rand(rng_state_) >> 11) * (1.0 / 9007199254740992.0);
+      if (roll < loss_probability_) {
+        ++stats_.lost_injected;
+        return;
+      }
+    }
+    if (!resolve(d.to, target)) {
+      ++stats_.send_errors;  // unknown peer: nowhere to send, surfaces as loss
+      return;
+    }
+  }
+
+  const std::vector<std::byte> frame = net::encode_frame(d);
+  if (frame.size() > config_.max_frame_bytes) {
+    const std::lock_guard lock(mutex_);
+    ++stats_.oversize_dropped;
+    return;
+  }
+
+  const ssize_t n = ::sendto(sender_fd_, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&target), sizeof target);
+  const std::lock_guard lock(mutex_);
+  if (n == static_cast<ssize_t>(frame.size())) {
+    ++stats_.sent;
+  } else {
+    ++stats_.send_errors;  // kernel refused (buffer full, ...): just loss
+  }
+}
+
+void UdpTransport::set_up(NodeId id, bool up) {
+  const std::lock_guard lock(mutex_);
+  const auto it = locals_.find(id);
+  if (it != locals_.end()) it->second->up.store(up);
+}
+
+bool UdpTransport::is_up(NodeId id) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = locals_.find(id);
+  // Remote liveness is unknowable from here; the suspicion layer above owns
+  // that judgement, so unattached ids read as up.
+  return it == locals_.end() || it->second->up.load();
+}
+
+void UdpTransport::set_peer_drop(NodeId peer, bool drop) {
+  const std::lock_guard lock(mutex_);
+  if (drop) {
+    drops_.insert(peer);
+  } else {
+    drops_.erase(peer);
+  }
+}
+
+bool UdpTransport::peer_dropped(NodeId peer) const {
+  const std::lock_guard lock(mutex_);
+  return drops_.contains(peer);
+}
+
+void UdpTransport::set_loss_probability(double p) {
+  const std::lock_guard lock(mutex_);
+  loss_probability_ = p;
+}
+
+UdpTransport::Stats UdpTransport::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::uint16_t UdpTransport::port_of(NodeId id) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = config_.peers.find(id);
+  return it == config_.peers.end() ? 0 : it->second.port;
+}
+
+}  // namespace mca

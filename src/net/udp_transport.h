@@ -1,0 +1,134 @@
+// UdpTransport: the real-socket Transport backend.
+//
+// One UdpTransport serves one process. Its config names every node of the
+// deployment (id → host:port); attach(id) binds the UDP socket for that id
+// and starts a receive thread ("mca-udp-<id>"), so a node daemon attaches
+// exactly one id while a test process may attach several loopback nodes.
+// send() flattens the datagram with net/frame.h and ships it to the target's
+// address; receive decodes, verifies the FNV-1a digest and hands the
+// datagram to the attached handler on the receive thread — the same
+// contract (and the same corruption-becomes-loss behaviour) as the
+// simulated Network, so RpcEndpoint's retransmission, backoff and per-peer
+// suspicion run unchanged on top.
+//
+// UDP is the right fit for the paper's model: the communication layer is
+// *expected* to lose, duplicate and reorder; reliability lives in the RPC
+// retransmission protocol above, and a kernel socket buffer overflowing
+// under load is just one more loss the protocol already masks.
+//
+// Fault injection for the chaos harness and benches:
+//   set_peer_drop(peer)     socket-layer partition — frames to and from
+//                           `peer` are dropped at this process's socket
+//                           boundary (outbound at send, inbound before
+//                           dispatch), invisible to the remote end exactly
+//                           like a dead link.
+//   set_loss_probability    seeded random drop at send (loss bursts for
+//                           retransmission benches).
+//
+// Oversized frames (> max_frame_bytes) are dropped at send and counted, not
+// fragmented: a frame that cannot fit one datagram would never survive the
+// path, and the RPC above surfaces the resulting timeout. Real MTU
+// fragmentation is the kernel's business below us.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/frame.h"
+#include "net/transport.h"
+
+struct sockaddr_in;  // <netinet/in.h>; kept out of this header
+
+namespace mca {
+
+struct UdpAddress {
+  std::string host = "127.0.0.1";  // numeric IPv4
+  std::uint16_t port = 0;
+};
+
+struct UdpTransportConfig {
+  // Every node of the deployment, local and remote. attach() binds the
+  // address of its id; send() resolves the target's.
+  std::unordered_map<NodeId, UdpAddress> peers;
+  std::size_t max_frame_bytes = net::kMaxFrameBytes;
+  // Injected send-side loss (bench/chaos); decided by a seeded RNG.
+  double loss_probability = 0.0;
+  std::uint64_t seed = 42;
+  // Receive-poll granularity: how quickly detach()/destruction can stop a
+  // receive thread that is sitting in poll() with no traffic.
+  std::chrono::milliseconds poll_interval{50};
+};
+
+class UdpTransport final : public Transport {
+ public:
+  explicit UdpTransport(UdpTransportConfig config);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // Binds the socket configured for `id` and starts its receive thread.
+  // Throws std::system_error when the bind fails (port taken, no address)
+  // and std::invalid_argument for an id absent from the peer map.
+  void attach(NodeId id, Handler handler) override;
+  void detach(NodeId id) override;
+
+  void send(Datagram d) override;
+
+  // Local ids only: a down node's frames are dropped before dispatch (and
+  // its sends suppressed), fail-silence as seen from the wire. Remote ids
+  // are ignored — a real process cannot silence another machine.
+  void set_up(NodeId id, bool up) override;
+  [[nodiscard]] bool is_up(NodeId id) const override;
+
+  // -- socket-layer fault injection -------------------------------------------
+
+  void set_peer_drop(NodeId peer, bool drop);
+  [[nodiscard]] bool peer_dropped(NodeId peer) const;
+  void set_loss_probability(double p);
+
+  struct Stats {
+    std::uint64_t sent = 0;              // frames that reached sendto()
+    std::uint64_t delivered = 0;         // frames dispatched to a handler
+    std::uint64_t lost_injected = 0;     // send-side injected loss
+    std::uint64_t dropped_partitioned = 0;  // peer-drop filter (both directions)
+    std::uint64_t dropped_down = 0;      // local node down / not attached
+    std::uint64_t oversize_dropped = 0;  // frame larger than max_frame_bytes
+    std::uint64_t corrupt_dropped = 0;   // digest mismatch at receive
+    std::uint64_t malformed_dropped = 0; // undecodable bytes at receive
+    std::uint64_t send_errors = 0;       // sendto() failures
+  };
+  [[nodiscard]] Stats stats() const;
+
+  // The port `id` is configured on (what the cluster launcher prints).
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const;
+
+ private:
+  struct Local {
+    NodeId id = 0;
+    int fd = -1;
+    Handler handler;
+    std::atomic<bool> up{true};
+    std::atomic<bool> stopping{false};
+    std::thread rx;
+  };
+
+  void receive_loop(Local& local);
+  [[nodiscard]] bool resolve(NodeId id, ::sockaddr_in& out) const;
+
+  UdpTransportConfig config_;
+  mutable std::mutex mutex_;  // locals_ map shape, drops_, rng_, stats_
+  std::unordered_map<NodeId, std::unique_ptr<Local>> locals_;
+  std::unordered_set<NodeId> drops_;
+  std::uint64_t rng_state_;
+  double loss_probability_;
+  Stats stats_;
+  int sender_fd_ = -1;  // fallback when sending from an unattached id
+};
+
+}  // namespace mca

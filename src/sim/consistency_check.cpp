@@ -92,6 +92,12 @@ void check_outcome_against(bool committed, const Uid& action,
 
 }  // namespace
 
+void check_atomic_outcome(bool committed, const Uid& action,
+                          const std::vector<ValueObservation>& observations,
+                          ConsistencyReport& report) {
+  check_outcome_against(committed, action, observations, report);
+}
+
 void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
                           const std::vector<ValueObservation>& observations,
                           ConsistencyReport& report) {

@@ -56,6 +56,13 @@ void check_node(DistNode& node, ConsistencyReport& report);
 // `coordinator_rt` is the runtime holding (or not holding) the commit log
 // record for `action`; its presence decides which expectation applies to
 // every observation — mixed results are the atomicity violation.
+// Transport-agnostic variant: the caller already knows the decided outcome
+// (e.g. the multi-process harness, which reads coordinator/witness logs over
+// ctl.* RPC instead of touching a Runtime in its own address space).
+void check_atomic_outcome(bool committed, const Uid& action,
+                          const std::vector<ValueObservation>& observations,
+                          ConsistencyReport& report);
+
 void check_atomic_outcome(Runtime& coordinator_rt, const Uid& action,
                           const std::vector<ValueObservation>& observations,
                           ConsistencyReport& report);

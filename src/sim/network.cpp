@@ -1,24 +1,8 @@
 #include "sim/network.h"
 
-#include "common/checksum.h"
 #include "common/thread_name.h"
 
 namespace mca {
-
-std::uint64_t datagram_checksum(const Datagram& d) {
-  Fnv1a64 h;
-  h.mix(&d.from, sizeof d.from);
-  h.mix(&d.to, sizeof d.to);
-  h.mix(d.service.data(), d.service.size());
-  const std::uint64_t hi = d.request_id.hi();
-  const std::uint64_t lo = d.request_id.lo();
-  h.mix(&hi, sizeof hi);
-  h.mix(&lo, sizeof lo);
-  const unsigned char reply = d.is_reply ? 1 : 0;
-  h.mix(&reply, sizeof reply);
-  h.mix(d.payload.data().data(), d.payload.size());
-  return h.digest();
-}
 
 Network::Network(NetworkConfig config)
     : config_(config), rng_(config.seed), delivery_thread_([this] { delivery_loop(); }) {}

@@ -37,26 +37,9 @@
 
 #include "common/buffer.h"
 #include "common/uid.h"
+#include "net/transport.h"
 
 namespace mca {
-
-using NodeId = std::uint32_t;
-
-struct Datagram {
-  NodeId from = 0;
-  NodeId to = 0;
-  std::string service;
-  Uid request_id = Uid::nil();
-  bool is_reply = false;
-  ByteBuffer payload;
-  // Wire checksum over header + payload; stamped by Network::send, verified
-  // at delivery. 0 = not yet stamped.
-  std::uint64_t checksum = 0;
-};
-
-// FNV-1a over the datagram's identifying fields and payload bytes. Any
-// single corrupted byte changes the digest.
-[[nodiscard]] std::uint64_t datagram_checksum(const Datagram& d);
 
 struct NetworkConfig {
   double loss_probability = 0.0;
@@ -69,24 +52,24 @@ struct NetworkConfig {
   std::uint64_t seed = 42;
 };
 
-class Network {
+class Network final : public Transport {
  public:
-  using Handler = std::function<void(Datagram)>;
+  using Handler = Transport::Handler;
 
   explicit Network(NetworkConfig config = {});
-  ~Network();
+  ~Network() override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   // Registers/replaces the delivery handler for `id` and marks it up.
-  void attach(NodeId id, Handler handler);
-  void detach(NodeId id);
+  void attach(NodeId id, Handler handler) override;
+  void detach(NodeId id) override;
 
   // Crash / restart from the network's point of view: a down node receives
   // nothing (messages already in flight to it are dropped at delivery).
-  void set_up(NodeId id, bool up);
-  [[nodiscard]] bool is_up(NodeId id) const;
+  void set_up(NodeId id, bool up) override;
+  [[nodiscard]] bool is_up(NodeId id) const override;
 
   // -- partition injection -----------------------------------------------------
   // Cuts are symmetric and per-link; both directions of a cut link drop at
@@ -101,7 +84,7 @@ class Network {
   void heal_all();
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
 
-  void send(Datagram d);
+  void send(Datagram d) override;
 
   struct Stats {
     std::uint64_t sent = 0;

@@ -10,6 +10,7 @@
 #include "apps/diary/scheduler.h"
 #include "apps/names/name_server.h"
 #include "objects/recoverable_map.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -16,6 +16,7 @@
 #include "dist/remote.h"
 #include "dist/rpc.h"
 #include "objects/recoverable_int.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {
@@ -430,6 +431,82 @@ TEST(ParallelTermination, RemoteVetoAbortsEverywhere) {
   for (std::size_t i = 0; i < cluster.nodes.size(); ++i) {
     EXPECT_EQ(cluster.stable_value(i), 0) << "node " << i;
   }
+}
+
+// -- transport teardown ordering ---------------------------------------------
+
+// A Transport that models the dangerous property of every real transport:
+// its receive path holds the delivery handler beyond detach(). The simulated
+// Network erases the handler under a lock, so the sim could never exercise
+// what happens when a datagram is delivered *during or after* endpoint
+// destruction — a UDP receive thread does exactly that.
+class LingeringTransport final : public Transport {
+ public:
+  void attach(NodeId id, Handler handler) override {
+    const std::lock_guard lock(mutex_);
+    handlers_[id] = std::move(handler);
+  }
+  // Deliberately keeps the handler: detach only marks, like a receive
+  // thread that has already picked the callback up.
+  void detach(NodeId) override {}
+  void send(Datagram d) override {
+    const std::lock_guard lock(mutex_);
+    ++sent_;
+    last_ = std::move(d);
+  }
+  void set_up(NodeId, bool) override {}
+  [[nodiscard]] bool is_up(NodeId) const override { return true; }
+
+  [[nodiscard]] Handler handler(NodeId id) {
+    const std::lock_guard lock(mutex_);
+    return handlers_.at(id);
+  }
+  [[nodiscard]] int sent() {
+    const std::lock_guard lock(mutex_);
+    return sent_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  Datagram last_;
+  int sent_ = 0;
+};
+
+TEST(AsyncRpc, DatagramDeliveredAfterEndpointDestructionIsDropped) {
+  LingeringTransport transport;
+  Transport::Handler late_handler;
+
+  Datagram request;
+  request.from = 2;
+  request.to = 1;
+  request.service = "ping";
+  request.request_id = Uid();
+
+  {
+    RpcEndpoint endpoint(transport, 1);
+    endpoint.register_service("ping", [](ByteBuffer&) { return ByteBuffer{}; });
+    late_handler = transport.handler(1);
+
+    // Sanity: while the endpoint lives, the captured handler dispatches and
+    // a reply comes back through the transport.
+    late_handler(request);
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (transport.sent() == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(transport.sent(), 1);
+  }
+
+  // The endpoint is gone but the transport's receive path still holds the
+  // handler — exactly the teardown race a real socket thread produces. The
+  // delivery must be dropped at the receiver gate, not dispatched into a
+  // destroyed endpoint.
+  Datagram late = request;
+  late.request_id = Uid();
+  late_handler(late);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(transport.sent(), 1);  // no reply to the late datagram
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "objects/recoverable_int.h"
 #include "sim/fault_injector.h"
 #include "storage/wal_store.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -1,0 +1,238 @@
+// Multi-process chaos: real daemons, real SIGKILL, real sockets.
+//
+// Each scenario launches a three-node mcad cluster (separate OS processes,
+// WAL-backed stores, witnesses where the scenario needs them), drives a
+// distributed transaction from the outside, and murders processes at precise
+// protocol windows — the daemon arms a crash point whose action is
+// raise(SIGKILL), so the process dies *inside* the window with exactly the
+// durable state that window implies. No destructors, no flushes, no shared
+// memory with the test: everything the harness knows, it learned over UDP.
+//
+// Every scenario ends the same way: the surviving (or restarted) cluster
+// must converge to no in-doubt markers, pass the in-daemon consistency
+// checker (ctl.check = sim/consistency_check::check_node over RPC), and
+// show values consistent with an all-or-nothing outcome
+// (consistency::check_atomic_outcome, transport-agnostic overload).
+//
+// Scenarios:
+//   1. participant SIGKILLed mid-prepare (after shadow, before marker)
+//   2. coordinator SIGKILLed post-decision — participants resolve the
+//      commit from the witness mirrors, coordinator stays dead
+//   3. socket-level partition opening mid-protocol, then healing
+//   4. daemon restart against on-disk WAL state (kill between transactions)
+//   5. double kill: two participants die mid-prepare in the same 2PC
+//
+// Label: chaos-mp (cmake --preset chaos-mp). Needs loopback UDP; skips
+// cleanly where the sandbox forbids sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "apps/mcad/daemon.h"
+#include "net/cluster.h"
+
+namespace mca {
+namespace {
+
+using namespace std::chrono_literals;
+using mca::apps::TransferLeg;
+
+#define REQUIRE_LOOPBACK()                                     \
+  if (!net::loopback_udp_available()) {                        \
+    GTEST_SKIP() << "loopback UDP unavailable in this sandbox"; \
+  }
+
+constexpr std::uint32_t kA = 10;  // hosted at node 1
+constexpr std::uint32_t kB = 20;  // hosted at node 2
+constexpr std::uint32_t kC = 30;  // hosted at node 3
+constexpr std::int64_t kA0 = 1'000;
+constexpr std::int64_t kB0 = 500;
+constexpr std::int64_t kC0 = 0;
+
+class ChaosMpTest : public ::testing::Test {
+ protected:
+  void Launch(std::vector<NodeId> coordinator_witnesses = {}) {
+    net::ClusterConfig config;
+    config.root = std::filesystem::path(::testing::TempDir()) /
+                  ("mca_chaos_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    std::filesystem::remove_all(config.root);
+    config.nodes = {
+        {.id = 1, .witnesses = std::move(coordinator_witnesses), .ints = {{kA, kA0}}},
+        {.id = 2, .witnesses = {}, .ints = {{kB, kB0}}},
+        {.id = 3, .witnesses = {}, .ints = {{kC, kC0}}},
+    };
+    cluster_ = std::make_unique<net::Cluster>(std::move(config));
+  }
+
+  // The canonical three-leg transfer: A -= 300, B += 100, C += 200.
+  [[nodiscard]] std::vector<TransferLeg> transfer() const {
+    return {{.node = 1, .key = kA, .delta = -300},
+            {.node = 2, .key = kB, .delta = 100},
+            {.node = 3, .key = kC, .delta = 200}};
+  }
+
+  void WaitDead(NodeId node) {
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (cluster_->alive(node)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "node " << node << " was supposed to die";
+      std::this_thread::sleep_for(20ms);
+    }
+  }
+
+  // The shared epilogue: every listed node quiesces (no in-doubt markers),
+  // passes the in-daemon invariant checker, and the cross-node values form
+  // an all-or-nothing outcome.
+  void ExpectConverged(const std::vector<NodeId>& nodes, bool committed, const Uid& action) {
+    for (const NodeId n : nodes) {
+      EXPECT_TRUE(cluster_->wait_no_in_doubt(n, 20'000ms))
+          << "node " << n << " still holds in-doubt markers";
+    }
+    std::vector<consistency::ValueObservation> observations;
+    auto observe = [&](NodeId node, std::uint32_t key, std::int64_t initial,
+                       std::int64_t delta) {
+      const auto v = cluster_->peek(node, key);
+      ASSERT_TRUE(v.has_value()) << "peek " << key << "@" << node;
+      observations.push_back({.label = "k" + std::to_string(key) + "@node" + std::to_string(node),
+                              .observed = *v,
+                              .if_aborted = initial,
+                              .if_committed = initial + delta});
+    };
+    for (const TransferLeg& leg : transfer()) {
+      if (std::find(nodes.begin(), nodes.end(), leg.node) == nodes.end()) continue;
+      const std::int64_t initial = leg.key == kA ? kA0 : (leg.key == kB ? kB0 : kC0);
+      observe(leg.node, leg.key, initial, leg.delta);
+    }
+    ConsistencyReport report;
+    consistency::check_atomic_outcome(committed, action, observations, report);
+    for (const NodeId n : nodes) {
+      const auto node_report = cluster_->check(n);
+      ASSERT_TRUE(node_report.has_value()) << "ctl.check unreachable at node " << n;
+      report.violations.insert(report.violations.end(), node_report->violations.begin(),
+                               node_report->violations.end());
+    }
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+
+  std::unique_ptr<net::Cluster> cluster_;
+};
+
+// Scenario 1: a participant is SIGKILLed mid-prepare — after its shadow
+// write, before the prepared marker. It never votes; the coordinator must
+// abort; the restarted participant must come back clean from its WAL with
+// no leftover shadow and the pre-transaction value.
+TEST_F(ChaosMpTest, ParticipantKilledMidPrepareAborts) {
+  Launch();
+  cluster_->arm_kill(2, "tpc.participant.post_shadow_pre_marker");
+
+  const net::ApplyResult r = cluster_->apply(1, transfer());
+  ASSERT_TRUE(r.rpc_ok) << r.error;
+  EXPECT_FALSE(r.committed);
+  WaitDead(2);
+
+  cluster_->restart(2);
+  ExpectConverged({1, 2, 3}, /*committed=*/false, r.action);
+  EXPECT_EQ(cluster_->committed(1, r.action), false);  // presumed abort at the coordinator log
+}
+
+// Scenario 2: the coordinator is SIGKILLed after its decision is durable
+// and mirrored to the witnesses, before any phase-two COMMIT goes out. The
+// participants are in doubt with a dead coordinator; they must resolve the
+// commit from the witness mirrors — without the coordinator ever coming
+// back.
+TEST_F(ChaosMpTest, CoordinatorKilledPostDecisionResolvesFromWitnesses) {
+  Launch(/*coordinator_witnesses=*/{2, 3});
+  cluster_->arm_kill(1, "tpc.coord.post_log_pre_phase2");
+
+  RpcFuture pending = cluster_->apply_async(1, transfer(), 5'000ms);
+  WaitDead(1);  // died inside the window; the apply reply never comes
+  (void)pending.get();
+
+  // Participants 2 and 3 hold prepared markers; node 1 stays dead. Their
+  // recovery daemons find the coordinator unreachable and fall back to the
+  // witness mirrors, which hold the COMMIT decision.
+  ExpectConverged({2, 3}, /*committed=*/true, Uid::nil());
+
+  // Only now bring the coordinator back: it must reconcile its own log and
+  // apply its local leg too.
+  cluster_->restart(1);
+  ExpectConverged({1, 2, 3}, /*committed=*/true, Uid::nil());
+}
+
+// Scenario 3: the link between coordinator and one participant dies at the
+// exact moment phase-two starts (armed drop at the socket layer), so the
+// COMMIT never reaches node 3. The partitioned participant stays in doubt
+// until the link heals, then resolves by asking the coordinator.
+TEST_F(ChaosMpTest, PartitionDuringPhaseTwoHealsAndResolves) {
+  Launch();
+  cluster_->arm_drop(1, "tpc.coord.commit.pre_send", /*peer=*/3);
+
+  const net::ApplyResult r = cluster_->apply(1, transfer());
+  ASSERT_TRUE(r.rpc_ok) << r.error;
+  ASSERT_TRUE(r.committed) << r.error;  // the decision was logged before the partition opened
+
+  // Node 3 never heard phase two and cannot reach the coordinator (the
+  // coordinator's socket filter drops its frames): it must still be in
+  // doubt, holding its prepared marker — not guessing.
+  std::this_thread::sleep_for(1'500ms);
+  const auto in_doubt = cluster_->in_doubt(3);
+  ASSERT_TRUE(in_doubt.has_value());
+  EXPECT_GT(*in_doubt, 0u) << "partitioned participant resolved without hearing anyone";
+
+  cluster_->drop_link(1, 3, false);  // heal
+  cluster_->kick_recovery(3);
+  ExpectConverged({1, 2, 3}, /*committed=*/true, r.action);
+  EXPECT_EQ(cluster_->committed(1, r.action), true);
+}
+
+// Scenario 4: plain SIGKILL between transactions, restart against the
+// on-disk WAL. The restarted daemon must replay its log, re-host the same
+// object uids, serve the durable values, and participate in new commits.
+TEST_F(ChaosMpTest, RestartReplaysWalState) {
+  Launch();
+  const net::ApplyResult first = cluster_->apply(1, transfer());
+  ASSERT_TRUE(first.rpc_ok) << first.error;
+  ASSERT_TRUE(first.committed) << first.error;
+
+  cluster_->kill(2);  // no goodbye; the WAL is all that survives
+  cluster_->restart(2);
+
+  EXPECT_EQ(cluster_->peek(2, kB), kB0 + 100) << "WAL replay lost a committed value";
+  ExpectConverged({1, 2, 3}, /*committed=*/true, first.action);
+
+  // And the reborn process is a full citizen: another transfer through it.
+  const net::ApplyResult second =
+      cluster_->apply(1, {{.node = 2, .key = kB, .delta = 7}, {.node = 3, .key = kC, .delta = -7}});
+  ASSERT_TRUE(second.rpc_ok) << second.error;
+  ASSERT_TRUE(second.committed) << second.error;
+  EXPECT_EQ(cluster_->peek(2, kB), kB0 + 100 + 7);
+  EXPECT_EQ(cluster_->peek(3, kC), kC0 + 200 - 7);
+}
+
+// Scenario 5: both participants die mid-prepare in the same transaction —
+// one before its marker, one after. The coordinator aborts; both restarted
+// participants must converge to the aborted outcome (the post-marker one
+// via presumed abort against the coordinator log).
+TEST_F(ChaosMpTest, DoubleParticipantKillConvergesToAbort) {
+  Launch();
+  cluster_->arm_kill(2, "tpc.participant.post_shadow_pre_marker");
+  cluster_->arm_kill(3, "tpc.participant.prepare.post_marker");
+
+  const net::ApplyResult r = cluster_->apply(1, transfer());
+  ASSERT_TRUE(r.rpc_ok) << r.error;
+  EXPECT_FALSE(r.committed);
+  WaitDead(2);
+  WaitDead(3);
+
+  cluster_->restart(2);
+  cluster_->restart(3);
+  ExpectConverged({1, 2, 3}, /*committed=*/false, r.action);
+  EXPECT_EQ(cluster_->committed(1, r.action), false);
+}
+
+}  // namespace
+}  // namespace mca

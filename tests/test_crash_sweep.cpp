@@ -37,6 +37,7 @@
 #include "storage/faulty_store.h"
 #include "storage/file_store.h"
 #include "storage/wal_store.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

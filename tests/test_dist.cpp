@@ -9,6 +9,7 @@
 #include "dist/remote.h"
 #include "objects/recoverable_int.h"
 #include "objects/recoverable_map.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "apps/diary/scheduler.h"
 #include "dist/remote_diary.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -12,6 +12,7 @@
 #include "objects/recoverable_map.h"
 #include "objects/recoverable_set.h"
 #include "storage/file_store.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

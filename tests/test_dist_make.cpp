@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "dist/remote_files.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -29,6 +29,7 @@
 #include "dist/remote.h"
 #include "objects/recoverable_map.h"
 #include "replication/replica_manager.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

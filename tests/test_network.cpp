@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "dist/rpc.h"
+#include "net/frame.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {
@@ -464,6 +466,88 @@ TEST(Rpc, ReplyCacheUnboundedGrowthIsGone) {
     ASSERT_TRUE(client.call(1, "ping", {}).ok());
   }
   EXPECT_LE(server.reply_cache_size(), 8u);
+}
+
+// -- wire framing (net/frame.h) ----------------------------------------------
+
+Datagram golden_datagram() {
+  Datagram d;
+  d.from = 7;
+  d.to = 9;
+  d.service = "tx.prepare";
+  d.request_id = Uid(0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL);
+  d.is_reply = false;
+  d.payload.pack_u32(0xDEADBEEF);
+  d.payload.pack_string("golden");
+  return d;
+}
+
+TEST(Frame, GoldenBytesPinTheWireEncoding) {
+  // The exact bytes of one frame, pinned: every integer little-endian,
+  // strings and payload u32-length-prefixed, FNV-1a checksum last. A failure
+  // here means the wire format changed — which silently breaks mixed-version
+  // and mixed-endian deployments, so it must be a deliberate, versioned
+  // decision (bump kFrameMagic), never an accident.
+  const std::vector<std::byte> bytes = net::encode_frame(golden_datagram());
+  const unsigned char expected[] = {
+      0x4D, 0x55, 0x46, 0x31, 0x07, 0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x0A, 0x00, 0x00, 0x00, 0x74, 0x78, 0x2E, 0x70,
+      0x72, 0x65, 0x70, 0x61, 0x72, 0x65, 0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45,
+      0x23, 0x01, 0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE, 0x0E, 0x00,
+      0x00, 0x00, 0xEF, 0xBE, 0xAD, 0xDE, 0x06, 0x00, 0x00, 0x00, 0x67, 0x6F,
+      0x6C, 0x64, 0x65, 0x6E, 0x61, 0xA4, 0x9C, 0xEC, 0xD7, 0x7B, 0xEF, 0x06,
+  };
+  ASSERT_EQ(bytes.size(), sizeof expected);
+  for (std::size_t i = 0; i < sizeof expected; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "at byte " << i;
+  }
+}
+
+TEST(Frame, GoldenChecksumPinsTheDigest) {
+  // datagram_checksum mixes every field as little-endian bytes, so this
+  // value is what every host must compute, whatever its native order.
+  EXPECT_EQ(datagram_checksum(golden_datagram()), 0x06EF7BD7EC9CA461ULL);
+}
+
+TEST(Frame, RoundTripsThroughEncodeDecode) {
+  const Datagram d = golden_datagram();
+  const std::vector<std::byte> bytes = net::encode_frame(d);
+  Datagram out;
+  ASSERT_EQ(net::decode_frame(bytes, out), net::FrameDecode::Ok);
+  EXPECT_EQ(out.from, d.from);
+  EXPECT_EQ(out.to, d.to);
+  EXPECT_EQ(out.service, d.service);
+  EXPECT_EQ(out.request_id, d.request_id);
+  EXPECT_EQ(out.is_reply, d.is_reply);
+  ASSERT_EQ(out.payload.size(), d.payload.size());
+  EXPECT_EQ(out.checksum, datagram_checksum(d));
+}
+
+TEST(Frame, DetectsCorruptionAndMalformation) {
+  std::vector<std::byte> bytes = net::encode_frame(golden_datagram());
+  Datagram out;
+
+  // Flip one payload byte: shape intact, digest wrong.
+  std::vector<std::byte> corrupt = bytes;
+  corrupt[bytes.size() - 12] ^= std::byte{0x40};
+  EXPECT_EQ(net::decode_frame(corrupt, out), net::FrameDecode::ChecksumMismatch);
+
+  // Wrong magic, truncation, trailing junk, empty: all malformed.
+  std::vector<std::byte> wrong_magic = bytes;
+  wrong_magic[0] = std::byte{0x00};
+  EXPECT_EQ(net::decode_frame(wrong_magic, out), net::FrameDecode::Malformed);
+  EXPECT_EQ(net::decode_frame(std::span(bytes.data(), bytes.size() - 3), out),
+            net::FrameDecode::Malformed);
+  std::vector<std::byte> trailing = bytes;
+  trailing.push_back(std::byte{0xAA});
+  EXPECT_EQ(net::decode_frame(trailing, out), net::FrameDecode::Malformed);
+  EXPECT_EQ(net::decode_frame(std::span<const std::byte>{}, out), net::FrameDecode::Malformed);
+
+  // A length prefix pointing past the buffer must not allocate or crash.
+  std::vector<std::byte> lied = bytes;
+  lied[16] = std::byte{0xFF};  // service length -> huge
+  lied[17] = std::byte{0xFF};
+  EXPECT_EQ(net::decode_frame(lied, out), net::FrameDecode::Malformed);
 }
 
 TEST(ThreadPoolTest, ExecutesSubmittedWork) {

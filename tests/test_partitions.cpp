@@ -21,6 +21,7 @@
 
 #include "dist/remote.h"
 #include "objects/recoverable_int.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "dist/remote_glue.h"
 #include "objects/recoverable_int.h"
+#include "sim/network.h"
 
 namespace mca {
 namespace {
